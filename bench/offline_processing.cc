@@ -1,0 +1,50 @@
+// Reproduces the Sec. VII-C offline processing report: wall time for
+// constructing the region graph (clustering + T/B-edges) and for steps
+// 1-3 of the preference machinery (learning, transfer, application), per
+// period graph. Paper (64-core server): D1 21/245/106/7 minutes, D2
+// 9/10/29/0.06 minutes — our numbers are single-machine seconds on scaled
+// data; the shape to match is "preference learning dominates, application
+// is cheap".
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace l2r;
+
+namespace {
+
+void RunDataset(const DatasetSpec& spec) {
+  auto built = BuildDataset(spec);
+  if (!built.ok()) return;
+  const RoadNetwork& net = built->world.net;
+  std::printf("\n[%s] %zu vertices, %zu training trajectories\n",
+              spec.name.c_str(), net.NumVertices(),
+              built->split.train.size());
+  L2ROptions options;
+  auto router = L2RRouter::Build(&net, built->split.train, options);
+  if (!router.ok()) return;
+  const L2RBuildReport& report = (*router)->build_report();
+  std::printf("%-10s %8s %8s %8s %10s %8s %8s %8s\n", "period", "trajs",
+              "regions", "T-edges", "cluster(s)", "learn(s)", "xfer(s)",
+              "apply(s)");
+  for (int p = 0; p < kNumTimePeriods; ++p) {
+    const auto& rep = report.period[p];
+    if (rep.trajectories == 0) continue;
+    std::printf("%-10s %8zu %8zu %8zu %10.2f %8.2f %8.2f %8.2f\n",
+                p == 0 ? "off-peak" : "peak", rep.trajectories,
+                rep.num_regions, rep.num_t_edges,
+                rep.cluster_seconds + rep.region_graph_seconds,
+                rep.learn_seconds, rep.transfer_seconds, rep.apply_seconds);
+  }
+  std::printf("total offline build: %.2f s\n", report.total_seconds);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Sec. VII-C: Offline Processing Time ===\n");
+  RunDataset(MetroDataset(bench::BenchScale()));
+  RunDataset(CityDataset(bench::BenchScale()));
+  return 0;
+}

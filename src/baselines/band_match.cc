@@ -1,0 +1,70 @@
+#include "baselines/band_match.h"
+
+#include <algorithm>
+
+namespace l2r {
+
+double PolylineBandSimilarity(const RoadNetwork& net,
+                              const std::vector<VertexId>& gt_path,
+                              const Polyline& waypoints, double band_m) {
+  if (gt_path.size() < 2 || waypoints.size() < 2) return 0;
+
+  // GT path polyline with per-vertex arc lengths; GT edge i spans
+  // [cum[i], cum[i+1]].
+  std::vector<Point> pts;
+  pts.reserve(gt_path.size());
+  for (const VertexId v : gt_path) pts.push_back(net.VertexPos(v));
+  const Polyline gt(std::move(pts));
+  const size_t num_edges = gt_path.size() - 1;
+  if (gt.length() <= 0) return 0;
+
+  // Project each waypoint; remember arc positions of matched ones.
+  std::vector<double> matched_arc(waypoints.size(), -1);
+  for (size_t i = 0; i < waypoints.size(); ++i) {
+    const Polyline::Projection proj = gt.Project(waypoints.points()[i]);
+    if (proj.distance <= band_m) matched_arc[i] = proj.arc_length;
+  }
+
+  // The arc intervals between projections of consecutive matched
+  // waypoints are covered; a chain of matched waypoints merges into one
+  // long interval (otherwise edges longer than the waypoint spacing could
+  // never be covered). Edges fully inside the merged intervals count.
+  constexpr double kEps = 0.5;  // meters of slack at interval ends
+  std::vector<std::pair<double, double>> intervals;
+  for (size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    if (matched_arc[i] < 0 || matched_arc[i + 1] < 0) continue;
+    const double lo = std::min(matched_arc[i], matched_arc[i + 1]) - kEps;
+    const double hi = std::max(matched_arc[i], matched_arc[i + 1]) + kEps;
+    if (!intervals.empty() && lo <= intervals.back().second) {
+      intervals.back().second = std::max(intervals.back().second, hi);
+    } else {
+      intervals.push_back({lo, hi});
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& iv : intervals) {
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  std::vector<bool> covered(num_edges, false);
+  for (const auto& [lo, hi] : merged) {
+    for (size_t e = 0; e < num_edges; ++e) {
+      if (covered[e]) continue;
+      if (gt.ArcLengthAt(e) >= lo && gt.ArcLengthAt(e + 1) <= hi) {
+        covered[e] = true;
+      }
+    }
+  }
+
+  double covered_len = 0;
+  for (size_t e = 0; e < num_edges; ++e) {
+    if (covered[e]) covered_len += gt.ArcLengthAt(e + 1) - gt.ArcLengthAt(e);
+  }
+  return covered_len / gt.length();
+}
+
+}  // namespace l2r

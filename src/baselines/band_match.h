@@ -1,0 +1,23 @@
+#ifndef L2R_BASELINES_BAND_MATCH_H_
+#define L2R_BASELINES_BAND_MATCH_H_
+
+#include <vector>
+
+#include "common/geo.h"
+#include "roadnet/road_network.h"
+
+namespace l2r {
+
+/// The paper's Fig. 14 methodology for scoring a waypoint polyline against
+/// a ground-truth vertex path: waypoints within `band_m` of the GT
+/// polyline are "matched"; the GT edges lying between the projection
+/// points of consecutive matched waypoints count as covered; the
+/// similarity is covered length / total GT length (Eq. 1 style).
+double PolylineBandSimilarity(const RoadNetwork& net,
+                              const std::vector<VertexId>& gt_path,
+                              const Polyline& waypoints,
+                              double band_m = 10.0);
+
+}  // namespace l2r
+
+#endif  // L2R_BASELINES_BAND_MATCH_H_

@@ -1,0 +1,29 @@
+#ifndef L2R_BASELINES_ROUTER_API_H_
+#define L2R_BASELINES_ROUTER_API_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "routing/path.h"
+
+namespace l2r {
+
+/// Common interface of all compared routers (L2R adapter, Shortest,
+/// Fastest, Dom, TRIP): given a query, produce a vertex path. Routers hold
+/// reusable search workspaces, so Route is non-const; use one instance per
+/// thread.
+class VertexPathRouter {
+ public:
+  virtual ~VertexPathRouter() = default;
+
+  virtual std::string name() const = 0;
+
+  /// `departure_time` selects the time period where relevant; `driver_id`
+  /// personalizes Dom/TRIP (ignored by the others).
+  virtual Result<Path> Route(VertexId s, VertexId d, double departure_time,
+                             uint32_t driver_id) = 0;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_BASELINES_ROUTER_API_H_

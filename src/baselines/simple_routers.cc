@@ -1,0 +1,15 @@
+#include "baselines/simple_routers.h"
+
+#include "traj/trajectory.h"
+
+namespace l2r {
+
+Result<Path> FastestRouter::Route(VertexId s, VertexId d,
+                                  double departure_time,
+                                  uint32_t /*driver_id*/) {
+  const EdgeWeights& w =
+      PeriodOf(departure_time) == TimePeriod::kPeak ? peak_ : offpeak_;
+  return search_.ShortestPath(s, d, w);
+}
+
+}  // namespace l2r

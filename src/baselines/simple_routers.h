@@ -1,0 +1,50 @@
+#ifndef L2R_BASELINES_SIMPLE_ROUTERS_H_
+#define L2R_BASELINES_SIMPLE_ROUTERS_H_
+
+#include "baselines/router_api.h"
+#include "routing/dijkstra.h"
+
+namespace l2r {
+
+/// Dijkstra shortest-distance routing (the paper's "Shortest").
+class ShortestRouter : public VertexPathRouter {
+ public:
+  explicit ShortestRouter(const RoadNetwork& net)
+      : search_(net),
+        weights_(net, CostFeature::kDistance, TimePeriod::kOffPeak) {}
+
+  std::string name() const override { return "Shortest"; }
+
+  Result<Path> Route(VertexId s, VertexId d, double /*departure_time*/,
+                     uint32_t /*driver_id*/) override {
+    return search_.ShortestPath(s, d, weights_);
+  }
+
+ private:
+  DijkstraSearch search_;
+  EdgeWeights weights_;
+};
+
+/// Dijkstra fastest routing with period-dependent travel times (the
+/// paper's "Fastest"; departure time picks peak vs off-peak weights).
+class FastestRouter : public VertexPathRouter {
+ public:
+  explicit FastestRouter(const RoadNetwork& net)
+      : search_(net),
+        offpeak_(net, CostFeature::kTravelTime, TimePeriod::kOffPeak),
+        peak_(net, CostFeature::kTravelTime, TimePeriod::kPeak) {}
+
+  std::string name() const override { return "Fastest"; }
+
+  Result<Path> Route(VertexId s, VertexId d, double departure_time,
+                     uint32_t /*driver_id*/) override;
+
+ private:
+  DijkstraSearch search_;
+  EdgeWeights offpeak_;
+  EdgeWeights peak_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_BASELINES_SIMPLE_ROUTERS_H_

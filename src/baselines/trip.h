@@ -1,0 +1,59 @@
+#ifndef L2R_BASELINES_TRIP_H_
+#define L2R_BASELINES_TRIP_H_
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/router_api.h"
+#include "routing/dijkstra.h"
+#include "traj/trajectory.h"
+
+namespace l2r {
+
+struct TripOptions {
+  /// Minimum trajectories per driver for per-road-type ratio estimation;
+  /// below it a single global ratio is used.
+  size_t min_trips_for_types = 3;
+  /// Ridge regularization of the least-squares ratio fit.
+  double ridge = 1e-3;
+  /// Ratio clamp range.
+  double min_ratio = 0.7;
+  double max_ratio = 1.4;
+};
+
+/// TRIP baseline [27] (Letchner, Krumm, Horvitz, AAAI 2006): learns the
+/// ratio between a driver's observed travel times and the network-expected
+/// travel times, then computes fastest paths on the personalized weights.
+/// We estimate the ratios per road type via ridge least squares on
+/// (observed trip duration, per-type expected time breakdown).
+class TripRouter : public VertexPathRouter {
+ public:
+  static Result<std::unique_ptr<TripRouter>> Train(
+      const RoadNetwork* net,
+      const std::vector<MatchedTrajectory>& training,
+      const TripOptions& options = {});
+
+  std::string name() const override { return "TRIP"; }
+
+  Result<Path> Route(VertexId s, VertexId d, double departure_time,
+                     uint32_t driver_id) override;
+
+  /// Learned ratios of one driver (all 1.0 if unseen).
+  std::array<double, kNumRoadTypes> DriverRatios(uint32_t driver_id) const;
+
+ private:
+  TripRouter(const RoadNetwork* net, TripOptions options);
+
+  const RoadNetwork* net_;
+  TripOptions options_;
+  EdgeWeights offpeak_time_;
+  EdgeWeights peak_time_;
+  std::unordered_map<uint32_t, std::array<double, kNumRoadTypes>> ratios_;
+  DijkstraSearch search_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_BASELINES_TRIP_H_

@@ -1,0 +1,52 @@
+#include "baselines/web_router.h"
+
+namespace l2r {
+
+namespace {
+
+EdgeWeights ServiceWeights(const RoadNetwork& net, double discount) {
+  std::vector<double> values(net.NumEdges());
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    double w = net.EdgeTravelTimeS(e, TimePeriod::kOffPeak);
+    const RoadType t = net.EdgeRoadType(e);
+    if (t == RoadType::kMotorway || t == RoadType::kTrunk ||
+        t == RoadType::kPrimary) {
+      w *= discount;
+    }
+    values[e] = w;
+  }
+  return EdgeWeights::FromValues(std::move(values));
+}
+
+}  // namespace
+
+WebRouter::WebRouter(const RoadNetwork& net, WebRouterOptions options)
+    : net_(net),
+      options_(options),
+      weights_(ServiceWeights(net, options.major_road_discount)),
+      search_(net) {}
+
+Result<WebRoute> WebRouter::Route(VertexId s, VertexId d) {
+  L2R_ASSIGN_OR_RETURN(const Path path, search_.ShortestPath(s, d, weights_));
+
+  // Emit waypoints subsampled along the route, endpoints always included.
+  std::vector<Point> route_points;
+  route_points.reserve(path.vertices.size());
+  for (const VertexId v : path.vertices) {
+    route_points.push_back(net_.VertexPos(v));
+  }
+  const Polyline full(std::move(route_points));
+
+  std::vector<Point> waypoints;
+  const double step = std::max(10.0, options_.waypoint_spacing_m);
+  for (double sft = 0; sft < full.length(); sft += step) {
+    waypoints.push_back(full.PointAtArcLength(sft));
+  }
+  waypoints.push_back(full.PointAtArcLength(full.length()));
+
+  WebRoute out;
+  out.polyline = Polyline(std::move(waypoints));
+  return out;
+}
+
+}  // namespace l2r

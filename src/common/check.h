@@ -1,0 +1,47 @@
+#ifndef L2R_COMMON_CHECK_H_
+#define L2R_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checks that abort on violation. Enabled in all build types:
+/// broken invariants in a routing engine corrupt results silently, so we pay
+/// the branch. L2R_DCHECK compiles out in NDEBUG builds for hot loops.
+
+#define L2R_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "L2R_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define L2R_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "L2R_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define L2R_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    const ::l2r::Status& _l2r_st = (expr);                                  \
+    if (!_l2r_st.ok()) {                                                    \
+      std::fprintf(stderr, "L2R_CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, _l2r_st.ToString().c_str());                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define L2R_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define L2R_DCHECK(cond) L2R_CHECK(cond)
+#endif
+
+#endif  // L2R_COMMON_CHECK_H_

@@ -1,0 +1,31 @@
+#ifndef L2R_COMMON_CSV_H_
+#define L2R_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace l2r {
+
+/// Minimal CSV support for the library's save/load formats: comma-separated,
+/// quoted fields with doubled quotes, one record per line.
+
+/// Parses one CSV line into fields.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Escapes a field for CSV output when needed.
+std::string CsvEscape(const std::string& field);
+
+/// Reads a whole CSV file; skips blank lines and lines starting with '#'.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Writes rows to a CSV file, overwriting. `header` may be empty.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace l2r
+
+#endif  // L2R_COMMON_CSV_H_

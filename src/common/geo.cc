@@ -1,0 +1,100 @@
+#include "common/geo.h"
+
+#include <algorithm>
+#include <numbers>
+
+namespace l2r {
+
+namespace {
+constexpr double kEarthRadiusM = 6371000.0;
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}  // namespace
+
+SegmentProjection ProjectPointToSegment(const Point& p, const Point& a,
+                                        const Point& b) {
+  SegmentProjection out;
+  const Point ab = b - a;
+  const double len_sq = NormSq(ab);
+  if (len_sq <= 0) {
+    out.t = 0;
+    out.point = a;
+    out.distance = Dist(p, a);
+    return out;
+  }
+  double t = Dot(p - a, ab) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  out.t = t;
+  out.point = a + ab * t;
+  out.distance = Dist(p, out.point);
+  return out;
+}
+
+Polyline::Polyline(std::vector<Point> pts) : points_(std::move(pts)) {
+  cum_.reserve(points_.size());
+  double s = 0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) s += Dist(points_[i - 1], points_[i]);
+    cum_.push_back(s);
+  }
+}
+
+Point Polyline::PointAtArcLength(double s) const {
+  L2R_CHECK(!points_.empty());
+  if (points_.size() == 1 || s <= 0) return points_.front();
+  if (s >= length()) return points_.back();
+  // Binary search for the segment containing s.
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), s);
+  size_t i = static_cast<size_t>(it - cum_.begin());
+  if (i == 0) return points_.front();
+  const double seg_len = cum_[i] - cum_[i - 1];
+  if (seg_len <= 0) return points_[i];
+  const double t = (s - cum_[i - 1]) / seg_len;
+  return points_[i - 1] + (points_[i] - points_[i - 1]) * t;
+}
+
+Polyline::Projection Polyline::Project(const Point& p) const {
+  L2R_CHECK(!points_.empty());
+  Projection best;
+  best.distance = Dist(p, points_.front());
+  best.point = points_.front();
+  best.arc_length = 0;
+  best.segment = 0;
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    const SegmentProjection sp =
+        ProjectPointToSegment(p, points_[i], points_[i + 1]);
+    if (sp.distance < best.distance) {
+      best.distance = sp.distance;
+      best.point = sp.point;
+      best.segment = i;
+      best.arc_length = cum_[i] + sp.t * (cum_[i + 1] - cum_[i]);
+    }
+  }
+  return best;
+}
+
+LatLon PlanarToLatLon(const Point& p, const LatLon& origin) {
+  LatLon out;
+  out.lat = origin.lat + (p.y / kEarthRadiusM) / kDegToRad;
+  const double cos_lat = std::cos(origin.lat * kDegToRad);
+  out.lon = origin.lon + (p.x / (kEarthRadiusM * cos_lat)) / kDegToRad;
+  return out;
+}
+
+Point LatLonToPlanar(const LatLon& ll, const LatLon& origin) {
+  const double cos_lat = std::cos(origin.lat * kDegToRad);
+  return Point((ll.lon - origin.lon) * kDegToRad * kEarthRadiusM * cos_lat,
+               (ll.lat - origin.lat) * kDegToRad * kEarthRadiusM);
+}
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+}  // namespace l2r

@@ -1,0 +1,95 @@
+#include "common/hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l2r {
+
+std::vector<Point> ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const size_t n = points.size();
+  if (n <= 2) return points;
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           Cross(hull[k - 1] - hull[k - 2], points[i] - hull[k - 2]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const size_t lower_size = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size &&
+           Cross(hull[k - 1] - hull[k - 2], points[i] - hull[k - 2]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return hull;
+}
+
+double PolygonArea(const std::vector<Point>& polygon) {
+  const size_t n = polygon.size();
+  if (n < 3) return 0;
+  double twice_area = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = polygon[i];
+    const Point& b = polygon[(i + 1) % n];
+    twice_area += Cross(a, b);
+  }
+  return twice_area / 2;
+}
+
+double HullDiameter(const std::vector<Point>& hull) {
+  const size_t n = hull.size();
+  if (n < 2) return 0;
+  if (n == 2) return Dist(hull[0], hull[1]);
+  if (n <= 8) {
+    double best = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        best = std::max(best, Dist(hull[i], hull[j]));
+      }
+    }
+    return best;
+  }
+  // Rotating calipers on a CCW hull.
+  double best = 0;
+  size_t j = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const Point edge = hull[(i + 1) % n] - hull[i];
+    while (true) {
+      const size_t jn = (j + 1) % n;
+      if (Cross(edge, hull[jn] - hull[j]) > 0) {
+        j = jn;
+      } else {
+        break;
+      }
+    }
+    best = std::max(best, Dist(hull[i], hull[j]));
+    best = std::max(best, Dist(hull[(i + 1) % n], hull[j]));
+  }
+  return best;
+}
+
+Point Centroid(const std::vector<Point>& points) {
+  if (points.empty()) return Point();
+  double sx = 0;
+  double sy = 0;
+  for (const Point& p : points) {
+    sx += p.x;
+    sy += p.y;
+  }
+  const double n = static_cast<double>(points.size());
+  return Point(sx / n, sy / n);
+}
+
+}  // namespace l2r

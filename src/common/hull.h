@@ -1,0 +1,27 @@
+#ifndef L2R_COMMON_HULL_H_
+#define L2R_COMMON_HULL_H_
+
+#include <vector>
+
+#include "common/geo.h"
+
+namespace l2r {
+
+/// Convex hull (Andrew's monotone chain), counter-clockwise, no repeated
+/// first/last point. Degenerate inputs (<= 2 distinct points, collinear sets)
+/// return the extreme points in order.
+std::vector<Point> ConvexHull(std::vector<Point> points);
+
+/// Signed area via the shoelace formula (positive for CCW polygons).
+double PolygonArea(const std::vector<Point>& polygon);
+
+/// Maximum pairwise distance between hull vertices (rotating calipers for
+/// proper hulls, brute force for small/degenerate ones).
+double HullDiameter(const std::vector<Point>& hull);
+
+/// Centroid of a point set (arithmetic mean). Empty input -> origin.
+Point Centroid(const std::vector<Point>& points);
+
+}  // namespace l2r
+
+#endif  // L2R_COMMON_HULL_H_

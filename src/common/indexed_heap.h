@@ -1,0 +1,168 @@
+#ifndef L2R_COMMON_INDEXED_HEAP_H_
+#define L2R_COMMON_INDEXED_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace l2r {
+
+/// Binary heap over dense uint32 ids with an id->slot index, supporting
+/// O(log n) priority updates in either direction and removal. With
+/// Less = std::less<P> this is a min-heap (Pop returns the smallest
+/// priority); use std::greater<P> for a max-heap.
+///
+/// Used by Dijkstra variants (min, decrease-key) and by the modularity
+/// clustering of Algorithm 1 (max by popularity, arbitrary updates).
+template <typename P, typename Less = std::less<P>>
+class IndexedHeap {
+ public:
+  /// `capacity` is the exclusive upper bound on ids; grow with Reserve.
+  explicit IndexedHeap(size_t capacity = 0) : pos_(capacity, kAbsent) {}
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return pos_.size(); }
+
+  /// Grows the id space (never shrinks).
+  void Reserve(size_t capacity) {
+    if (capacity > pos_.size()) pos_.resize(capacity, kAbsent);
+  }
+
+  bool Contains(uint32_t id) const {
+    return id < pos_.size() && pos_[id] != kAbsent;
+  }
+
+  const P& PriorityOf(uint32_t id) const {
+    L2R_DCHECK(Contains(id));
+    return heap_[static_cast<size_t>(pos_[id])].pri;
+  }
+
+  /// Inserts a new id (must not be present).
+  void Push(uint32_t id, P pri) {
+    L2R_DCHECK(id < pos_.size());
+    L2R_DCHECK(!Contains(id));
+    pos_[id] = static_cast<int64_t>(heap_.size());
+    heap_.push_back(Entry{id, std::move(pri)});
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Inserts or re-prioritizes `id`.
+  void PushOrUpdate(uint32_t id, P pri) {
+    if (Contains(id)) {
+      Update(id, std::move(pri));
+    } else {
+      Push(id, std::move(pri));
+    }
+  }
+
+  /// Re-prioritizes an existing id (either direction).
+  void Update(uint32_t id, P pri) {
+    L2R_DCHECK(Contains(id));
+    const size_t i = static_cast<size_t>(pos_[id]);
+    const bool went_up = less_(pri, heap_[i].pri);
+    heap_[i].pri = std::move(pri);
+    if (went_up) {
+      SiftUp(i);
+    } else {
+      SiftDown(i);
+    }
+  }
+
+  /// Pops the top (minimum under Less) element.
+  std::pair<uint32_t, P> Pop() {
+    L2R_CHECK(!heap_.empty());
+    Entry top = std::move(heap_.front());
+    RemoveAt(0);
+    return {top.id, std::move(top.pri)};
+  }
+
+  /// Top element without removal.
+  const std::pair<const uint32_t&, const P&> Top() const {
+    L2R_CHECK(!heap_.empty());
+    return {heap_.front().id, heap_.front().pri};
+  }
+
+  /// Removes `id` if present; returns whether it was present.
+  bool Remove(uint32_t id) {
+    if (!Contains(id)) return false;
+    RemoveAt(static_cast<size_t>(pos_[id]));
+    return true;
+  }
+
+  /// Removes all elements, keeping capacity.
+  void Clear() {
+    for (const Entry& e : heap_) pos_[e.id] = kAbsent;
+    heap_.clear();
+  }
+
+ private:
+  static constexpr int64_t kAbsent = -1;
+
+  struct Entry {
+    uint32_t id;
+    P pri;
+  };
+
+  void RemoveAt(size_t i) {
+    pos_[heap_[i].id] = kAbsent;
+    if (i + 1 != heap_.size()) {
+      heap_[i] = std::move(heap_.back());
+      pos_[heap_[i].id] = static_cast<int64_t>(i);
+      heap_.pop_back();
+      // The moved element may need to go either way.
+      if (!SiftUp(i)) SiftDown(i);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  /// Returns true if the element moved.
+  bool SiftUp(size_t i) {
+    bool moved = false;
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!less_(heap_[i].pri, heap_[parent].pri)) break;
+      SwapSlots(i, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    while (true) {
+      const size_t l = 2 * i + 1;
+      const size_t r = 2 * i + 2;
+      size_t best = i;
+      if (l < n && less_(heap_[l].pri, heap_[best].pri)) best = l;
+      if (r < n && less_(heap_[r].pri, heap_[best].pri)) best = r;
+      if (best == i) break;
+      SwapSlots(i, best);
+      i = best;
+    }
+  }
+
+  void SwapSlots(size_t a, size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].id] = static_cast<int64_t>(a);
+    pos_[heap_[b].id] = static_cast<int64_t>(b);
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<int64_t> pos_;
+  Less less_;
+};
+
+template <typename P>
+using IndexedMinHeap = IndexedHeap<P, std::less<P>>;
+template <typename P>
+using IndexedMaxHeap = IndexedHeap<P, std::greater<P>>;
+
+}  // namespace l2r
+
+#endif  // L2R_COMMON_INDEXED_HEAP_H_

@@ -1,0 +1,31 @@
+#ifndef L2R_COMMON_LOGGING_H_
+#define L2R_COMMON_LOGGING_H_
+
+#include <cstdio>
+
+namespace l2r {
+
+/// Log verbosity levels, lowest = most severe.
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are dropped. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogV(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+}  // namespace internal
+
+}  // namespace l2r
+
+#define L2R_LOG_ERROR(...) \
+  ::l2r::internal::LogV(::l2r::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)
+#define L2R_LOG_WARN(...) \
+  ::l2r::internal::LogV(::l2r::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define L2R_LOG_INFO(...) \
+  ::l2r::internal::LogV(::l2r::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define L2R_LOG_DEBUG(...) \
+  ::l2r::internal::LogV(::l2r::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+
+#endif  // L2R_COMMON_LOGGING_H_

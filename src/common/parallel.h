@@ -1,0 +1,82 @@
+#ifndef L2R_COMMON_PARALLEL_H_
+#define L2R_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace l2r {
+
+/// Number of worker threads to use by default (hardware concurrency,
+/// clamped to [1, 16]).
+inline unsigned DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return hw > 16 ? 16 : hw;
+}
+
+/// Runs fn(i) for i in [0, n) on up to `num_threads` threads. Work items
+/// are claimed via an atomic counter. Determinism contract: fn(i) must
+/// write only to slot i of pre-sized output arrays (and derive any
+/// randomness from i), so results are independent of scheduling.
+inline void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                        unsigned num_threads = 0) {
+  if (n == 0) return;
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) break;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  const unsigned spawn =
+      static_cast<unsigned>(n < num_threads ? n : num_threads) - 1;
+  threads.reserve(spawn);
+  for (unsigned k = 0; k < spawn; ++k) threads.emplace_back(worker);
+  worker();
+  for (auto& th : threads) th.join();
+}
+
+/// Like ParallelFor, but each thread gets its own worker object created by
+/// `make_worker()` (e.g. a Dijkstra workspace). fn(worker, i) must follow
+/// the same slot-i determinism contract.
+template <typename MakeWorker, typename Fn>
+void ParallelForWorker(size_t n, MakeWorker make_worker, Fn fn,
+                       unsigned num_threads = 0) {
+  if (n == 0) return;
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  if (num_threads <= 1 || n == 1) {
+    auto worker = make_worker();
+    for (size_t i = 0; i < n; ++i) fn(worker, i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto run = [&]() {
+    auto worker = make_worker();
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) break;
+      fn(worker, i);
+    }
+  };
+  std::vector<std::thread> threads;
+  const unsigned spawn =
+      static_cast<unsigned>(n < num_threads ? n : num_threads) - 1;
+  threads.reserve(spawn);
+  for (unsigned k = 0; k < spawn; ++k) threads.emplace_back(run);
+  run();
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace l2r
+
+#endif  // L2R_COMMON_PARALLEL_H_

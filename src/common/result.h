@@ -1,0 +1,80 @@
+#ifndef L2R_COMMON_RESULT_H_
+#define L2R_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace l2r {
+
+/// Holds either a value of type T or a non-OK Status, like absl::StatusOr.
+/// Accessing the value of an errored Result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from error status. Aborts if `status` is OK: an OK Result must
+  /// carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    L2R_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), returns its status on error, otherwise
+/// assigns the value to `lhs`. `lhs` may include a declaration.
+#define L2R_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  L2R_ASSIGN_OR_RETURN_IMPL_(                                   \
+      L2R_STATUS_MACROS_CONCAT_(_l2r_result, __LINE__), lhs, rexpr)
+
+#define L2R_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                               \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#define L2R_STATUS_MACROS_CONCAT_(x, y) L2R_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define L2R_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+}  // namespace l2r
+
+#endif  // L2R_COMMON_RESULT_H_

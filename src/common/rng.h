@@ -1,0 +1,158 @@
+#ifndef L2R_COMMON_RNG_H_
+#define L2R_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+
+namespace l2r {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// splitmix64. All randomness in the library flows through explicit Rng
+/// instances so that every experiment is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion, recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    L2R_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    L2R_DCHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextU64() % span);
+  }
+
+  /// Uniform index in [0, n).
+  size_t Index(size_t n) {
+    L2R_DCHECK(n > 0);
+    return static_cast<size_t>(NextU64() % n);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box–Muller (cached pair).
+  double Gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Exponential with rate lambda (> 0).
+  double Exponential(double lambda) {
+    L2R_DCHECK(lambda > 0);
+    double u = NextDouble();
+    while (u <= 1e-300) u = NextDouble();
+    return -std::log(u) / lambda;
+  }
+
+  /// Samples an index proportionally to non-negative `weights` (not all zero).
+  size_t PickWeighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) {
+      L2R_DCHECK(w >= 0);
+      total += w;
+    }
+    L2R_CHECK_MSG(total > 0, "PickWeighted: all weights zero");
+    double r = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Zipf-distributed rank in [0, n): P(k) proportional to 1/(k+1)^s.
+  /// Uses a precomputable harmonic normalizer; fine for the n we need.
+  size_t Zipf(size_t n, double s) {
+    L2R_DCHECK(n > 0);
+    double h = 0;
+    for (size_t k = 0; k < n; ++k) h += 1.0 / std::pow(k + 1.0, s);
+    double r = NextDouble() * h;
+    for (size_t k = 0; k < n; ++k) {
+      r -= 1.0 / std::pow(k + 1.0, s);
+      if (r < 0) return k;
+    }
+    return n - 1;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      std::swap((*v)[i], (*v)[Index(i + 1)]);
+    }
+  }
+
+  /// Derives an independent child generator; use to give subsystems their own
+  /// streams without coupling their consumption patterns.
+  Rng Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_gauss_ = false;
+  double cached_gauss_ = 0;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_COMMON_RNG_H_

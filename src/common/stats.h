@@ -1,0 +1,56 @@
+#ifndef L2R_COMMON_STATS_H_
+#define L2R_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace l2r {
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0; }
+  double max() const { return n_ ? max_ : 0; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// Percentile with linear interpolation; `q` in [0, 1]. Sorts a copy.
+inline double Percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double idx = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+}  // namespace l2r
+
+#endif  // L2R_COMMON_STATS_H_

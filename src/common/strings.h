@@ -1,0 +1,34 @@
+#ifndef L2R_COMMON_STRINGS_H_
+#define L2R_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace l2r {
+
+/// printf-style formatting into a std::string (GCC 12 lacks std::format).
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict numeric parsing (whole string must parse).
+Result<double> ParseDouble(std::string_view s);
+Result<int64_t> ParseInt(std::string_view s);
+
+}  // namespace l2r
+
+#endif  // L2R_COMMON_STRINGS_H_

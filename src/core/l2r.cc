@@ -1,0 +1,472 @@
+#include "core/l2r.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "region/trajectory_graph.h"
+#include "traj/split.h"
+
+namespace l2r {
+
+namespace {
+
+/// Looks for a recorded inner-region trajectory sub-path from `from` to
+/// `to` in region `r`; inner paths are sorted by traversal count, so the
+/// first hit is the most popular.
+std::optional<std::vector<VertexId>> TryInnerSubPath(const RegionGraph& g,
+                                                     RegionId r,
+                                                     VertexId from,
+                                                     VertexId to) {
+  for (const StoredPathRef& ref : g.region(r).inner_paths) {
+    const std::vector<VertexId> path = g.ResolvePath(ref);
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (path[i] != from) continue;
+      for (size_t j = i; j < path.size(); ++j) {
+        if (path[j] == to) {
+          return std::vector<VertexId>(path.begin() + i,
+                                       path.begin() + j + 1);
+        }
+      }
+      break;  // `from` found but `to` not after it; try next stored path
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<L2RRouter>> L2RRouter::Build(
+    const RoadNetwork* net, std::vector<MatchedTrajectory> training,
+    const L2ROptions& options) {
+  if (net == nullptr) return Status::InvalidArgument("net is null");
+  if (training.empty()) {
+    return Status::InvalidArgument("no training trajectories");
+  }
+
+  PreferenceFeatureSpace space =
+      options.feature_space.value_or(PreferenceFeatureSpace::Default());
+  std::unique_ptr<L2RRouter> router(new L2RRouter(net, std::move(space)));
+  router->popularity_bonus_m_ = options.popularity_bonus_m;
+  router->stitch_overhead_limit_ = options.stitch_overhead_limit;
+  router->time_dependent_ = options.time_dependent;
+  router->weights_[0] = WeightSet(*net, TimePeriod::kOffPeak);
+  router->weights_[1] = WeightSet(*net, TimePeriod::kPeak);
+
+  Timer total;
+  if (options.time_dependent) {
+    PeriodPartition parts = PartitionByPeriod(training);
+    // A degenerate partition falls back to the full set so both period
+    // graphs exist.
+    if (parts.offpeak.empty()) parts.offpeak = training;
+    if (parts.peak.empty()) parts.peak = training;
+    L2R_RETURN_NOT_OK(router->BuildPeriod(
+        TimePeriod::kOffPeak, std::move(parts.offpeak), options));
+    L2R_RETURN_NOT_OK(
+        router->BuildPeriod(TimePeriod::kPeak, std::move(parts.peak), options));
+  } else {
+    L2R_RETURN_NOT_OK(router->BuildPeriod(TimePeriod::kOffPeak,
+                                          std::move(training), options));
+  }
+  router->report_.total_seconds = total.ElapsedSeconds();
+  return router;
+}
+
+Status L2RRouter::BuildPeriod(TimePeriod period,
+                              std::vector<MatchedTrajectory> trajectories,
+                              const L2ROptions& options) {
+  const int pi = static_cast<int>(period);
+  trajectories_[pi] = std::move(trajectories);
+  L2RBuildReport::PeriodReport& rep = report_.period[pi];
+  rep.trajectories = trajectories_[pi].size();
+  const WeightSet& ws = weights_[pi];
+
+  // 1. Clustering (Sec. IV-A).
+  Timer timer;
+  Result<TrajectoryGraph> tg =
+      TrajectoryGraph::Build(*net_, trajectories_[pi]);
+  if (!tg.ok()) return tg.status();
+  Result<ClusteringResult> clustering =
+      BottomUpClustering(*tg, net_->NumVertices());
+  if (!clustering.ok()) return clustering.status();
+  rep.cluster_seconds = timer.ElapsedSeconds();
+
+  // 2. Region graph with T-edges and BFS B-edges (Sec. IV-B).
+  timer.Restart();
+  Result<RegionGraph> built = BuildRegionGraph(
+      *net_, *clustering, &trajectories_[pi], options.region_graph);
+  if (!built.ok()) return built.status();
+  graphs_[pi] = std::make_unique<RegionGraph>(std::move(*built));
+  RegionGraph& graph = *graphs_[pi];
+  rep.num_regions = graph.NumRegions();
+  rep.num_t_edges = graph.NumTEdges();
+  rep.num_b_edges = graph.NumBEdges();
+  rep.region_graph_seconds = timer.ElapsedSeconds();
+
+  // 3. T-edge preference learning (Sec. V-A), parallel over T-edges.
+  // Under a learning budget, the highest-evidence T-edges are learned
+  // directly; the rest stay unlabeled and get transferred preferences
+  // (they keep their trajectory paths for routing either way).
+  timer.Restart();
+  std::vector<uint32_t> learn_set(graph.NumTEdges());
+  for (uint32_t e = 0; e < graph.NumTEdges(); ++e) learn_set[e] = e;
+  // Evidence of a T-edge = total traversed hops of its informative paths;
+  // short hops carry no preference signal (see PreferenceLearnerOptions).
+  auto path_hops = [](const StoredPathRef& p) -> uint64_t {
+    return p.end - p.begin;
+  };
+  auto evidence = [&](uint32_t e) {
+    uint64_t total = 0;
+    for (const StoredPathRef& p : graph.edge(e).t_paths) {
+      if (path_hops(p) >= options.learner.min_path_hops) {
+        total += static_cast<uint64_t>(p.count) * path_hops(p);
+      }
+    }
+    return total;
+  };
+  learn_set.erase(std::remove_if(learn_set.begin(), learn_set.end(),
+                                 [&](uint32_t e) { return evidence(e) == 0; }),
+                  learn_set.end());
+  if (options.max_learned_t_edges > 0 &&
+      learn_set.size() > options.max_learned_t_edges) {
+    std::stable_sort(learn_set.begin(), learn_set.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return evidence(a) > evidence(b);
+                     });
+    learn_set.resize(options.max_learned_t_edges);
+  }
+  std::vector<std::optional<RoutingPreference>> labeled(graph.NumEdges());
+  ParallelForWorker(
+      learn_set.size(),
+      [&]() {
+        return std::make_unique<PreferenceLearner>(*net_, ws, space_,
+                                                   options.learner);
+      },
+      [&](std::unique_ptr<PreferenceLearner>& learner, size_t i) {
+        const uint32_t e = learn_set[i];
+        const RegionEdge& edge = graph.edge(e);
+        // Most informative paths first: weight = traversals x hops.
+        std::vector<const StoredPathRef*> refs;
+        for (const StoredPathRef& p : edge.t_paths) {
+          if (path_hops(p) >= options.learner.min_path_hops) {
+            refs.push_back(&p);
+          }
+        }
+        std::stable_sort(refs.begin(), refs.end(),
+                         [&](const StoredPathRef* a, const StoredPathRef* b) {
+                           return a->count * path_hops(*a) >
+                                  b->count * path_hops(*b);
+                         });
+        if (refs.size() > options.learner.max_paths) {
+          refs.resize(options.learner.max_paths);
+        }
+        std::vector<std::vector<VertexId>> paths;
+        std::vector<uint32_t> counts;
+        for (const StoredPathRef* p : refs) {
+          paths.push_back(graph.ResolvePath(*p));
+          counts.push_back(
+              static_cast<uint32_t>(p->count * path_hops(*p)));
+        }
+        auto learned = learner->LearnForPaths(paths, counts);
+        if (learned.ok()) labeled[e] = learned->pref;
+      },
+      options.num_threads);
+  rep.learn_seconds = timer.ElapsedSeconds();
+
+  // 4. Preference transfer to B-edges (Sec. V-B).
+  timer.Restart();
+  const std::vector<RegionEdgeFeatures> features =
+      ComputeAllRegionEdgeFeatures(graph,
+                                   options.region_graph.top_k_road_types);
+  Result<TransferResult> transferred =
+      TransferPreferences(features, labeled, space_, options.transfer);
+  if (!transferred.ok()) return transferred.status();
+  preferences_[pi] = std::move(transferred->preferences);
+  rep.transfer_null_rate = transferred->null_rate;
+  rep.transfer_seconds = timer.ElapsedSeconds();
+
+  // 5. Apply transferred preferences: attach B-edge paths (Sec. V-C).
+  timer.Restart();
+  ApplyOptions apply_options = options.apply;
+  if (apply_options.num_threads == 0) {
+    apply_options.num_threads = options.num_threads;
+  }
+  Result<ApplyStats> applied = ApplyTransferredPreferences(
+      &graph, *net_, ws, space_, preferences_[pi], apply_options);
+  if (!applied.ok()) return applied.status();
+  rep.apply_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::optional<Path> L2RRouter::InnerRegionRoute(const RegionGraph& graph,
+                                                RegionId r, VertexId s,
+                                                VertexId d) const {
+  auto verts = TryInnerSubPath(graph, r, s, d);
+  if (!verts.has_value()) return std::nullopt;
+  Path path;
+  path.vertices = std::move(*verts);
+  return path;
+}
+
+std::optional<std::vector<uint32_t>> L2RRouter::RegionRoute(
+    const RegionGraph& graph, RegionId rs, RegionId rd) const {
+  // Direct region edge wins outright (Sec. VI).
+  auto usable = [&](uint32_t eid) {
+    const RegionEdge& e = graph.edge(eid);
+    return e.is_t_edge ? !e.t_paths.empty() : !e.b_paths.empty();
+  };
+  const int64_t direct = graph.FindEdge(rs, rd);
+  if (direct >= 0 && usable(static_cast<uint32_t>(direct))) {
+    return std::vector<uint32_t>{static_cast<uint32_t>(direct)};
+  }
+
+  // Greedy best-first by centroid distance to the destination region.
+  const Point& goal = graph.region(rd).centroid;
+  IndexedMinHeap<double> frontier(graph.NumRegions());
+  std::vector<int64_t> parent_edge(graph.NumRegions(), -1);
+  std::vector<bool> visited(graph.NumRegions(), false);
+  frontier.Push(rs, Dist(graph.region(rs).centroid, goal));
+  visited[rs] = true;
+  while (!frontier.empty()) {
+    const auto [r, pri] = frontier.Pop();
+    (void)pri;
+    // A direct edge to the destination is always taken when present.
+    const int64_t to_dest = graph.FindEdge(r, rd);
+    if (to_dest >= 0 && usable(static_cast<uint32_t>(to_dest))) {
+      std::vector<uint32_t> edges;
+      edges.push_back(static_cast<uint32_t>(to_dest));
+      RegionId cur = r;
+      while (cur != rs) {
+        const int64_t pe = parent_edge[cur];
+        L2R_CHECK(pe >= 0);
+        edges.push_back(static_cast<uint32_t>(pe));
+        cur = graph.edge(static_cast<uint32_t>(pe)).from;
+      }
+      std::reverse(edges.begin(), edges.end());
+      return edges;
+    }
+    for (const uint32_t eid : graph.OutEdges(r)) {
+      if (!usable(eid)) continue;
+      const RegionId nxt = graph.edge(eid).to;
+      if (visited[nxt]) continue;
+      visited[nxt] = true;
+      parent_edge[nxt] = eid;
+      frontier.Push(nxt, Dist(graph.region(nxt).centroid, goal));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<VertexId>> L2RRouter::BestEdgePath(
+    const RegionGraph& graph, const RegionEdge& edge, VertexId cur,
+    const Point& goal) const {
+  const Point& here = net_->VertexPos(cur);
+  std::optional<std::vector<VertexId>> best;
+  double best_score = kInfCost;
+  auto consider = [&](std::vector<VertexId> verts, uint32_t count) {
+    if (verts.size() < 2) return;
+    // Enter where we are, leave toward where we are going: detour to the
+    // path start plus remaining distance from the path end to the query
+    // destination, discounted by path popularity.
+    const double connector = Dist(here, net_->VertexPos(verts.front()));
+    const double onward = Dist(net_->VertexPos(verts.back()), goal);
+    const double score = connector + onward -
+                         popularity_bonus_m_ * std::log2(1.0 + count);
+    if (score < best_score) {
+      best_score = score;
+      best = std::move(verts);
+    }
+  };
+  if (edge.is_t_edge) {
+    for (const StoredPathRef& ref : edge.t_paths) {
+      consider(graph.ResolvePath(ref), ref.count);
+    }
+  } else {
+    for (const std::vector<VertexId>& p : edge.b_paths) consider(p, 1);
+  }
+  return best;
+}
+
+std::optional<RoutingPreference> L2RRouter::PairPreference(
+    int period_index, const RegionGraph& graph,
+    const std::vector<uint32_t>& region_edges) const {
+  if (region_edges.empty()) return std::nullopt;
+  const auto& prefs = preferences_[period_index];
+  // Prefer the edge that directly represents the (Rs, Rd) pair: the last
+  // edge ends at Rd; a single edge IS the pair.
+  for (const uint32_t eid : region_edges) {
+    if (eid < prefs.size() && prefs[eid].has_value()) return prefs[eid];
+  }
+  return std::nullopt;
+}
+
+Status L2RRouter::StitchRegionPath(L2RQueryContext* ctx,
+                                   const RegionGraph& graph,
+                                   const WeightSet& ws,
+                                   const std::vector<uint32_t>& region_edges,
+                                   VertexId cur, VertexId dest,
+                                   std::vector<VertexId>* out,
+                                   double* overhead_m) const {
+  if (out->empty()) out->push_back(cur);
+  *overhead_m = 0;
+
+  auto connect = [&](VertexId from, VertexId to) -> Status {
+    *overhead_m += Dist(net_->VertexPos(from), net_->VertexPos(to));
+    if (from == to) return Status::OK();
+    // Prefer a recorded inner-region path when both endpoints share a
+    // region; otherwise the fastest path.
+    const RegionId r = graph.RegionOf(from);
+    if (r != kNoRegion && graph.RegionOf(to) == r) {
+      if (auto inner = TryInnerSubPath(graph, r, from, to)) {
+        out->insert(out->end(), inner->begin() + 1, inner->end());
+        return Status::OK();
+      }
+    }
+    auto fastest = ctx->dijkstra.ShortestPath(from, to, ws.time);
+    if (!fastest.ok()) return fastest.status();
+    out->insert(out->end(), fastest->vertices.begin() + 1,
+                fastest->vertices.end());
+    return Status::OK();
+  };
+
+  const Point& goal = net_->VertexPos(dest);
+  for (const uint32_t eid : region_edges) {
+    const RegionEdge& edge = graph.edge(eid);
+    auto best = BestEdgePath(graph, edge, cur, goal);
+    if (!best.has_value()) {
+      return Status::NotFound("region edge has no usable path");
+    }
+    L2R_RETURN_NOT_OK(connect(cur, best->front()));
+    out->insert(out->end(), best->begin() + 1, best->end());
+    cur = best->back();
+  }
+  return connect(cur, dest);
+}
+
+Result<RouteResult> L2RRouter::Route(L2RQueryContext* ctx, VertexId s,
+                                     VertexId d,
+                                     double departure_time) const {
+  if (ctx == nullptr) return Status::InvalidArgument("ctx is null");
+  if (s >= net_->NumVertices() || d >= net_->NumVertices()) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+  if (s == d) return Status::InvalidArgument("source equals destination");
+
+  const TimePeriod period =
+      time_dependent_ ? PeriodOf(departure_time) : TimePeriod::kOffPeak;
+  const int pi =
+      graphs_[static_cast<int>(period)] ? static_cast<int>(period) : 0;
+  const RegionGraph& graph = *graphs_[pi];
+  const WeightSet& ws = weights_[pi];
+
+  RouteResult result;
+  result.source_region = graph.RegionOf(s);
+  result.dest_region = graph.RegionOf(d);
+
+  auto finish = [&](Path path, RouteMethod method) -> Result<RouteResult> {
+    Result<double> tt = net_->PathTravelTimeS(path.vertices, ws.period());
+    if (!tt.ok()) return tt.status();
+    path.cost = *tt;
+    result.path = std::move(path);
+    result.method = method;
+    return result;
+  };
+
+  auto fastest_fallback = [&]() -> Result<RouteResult> {
+    auto fastest = ctx->dijkstra.ShortestPath(s, d, ws.time);
+    if (!fastest.ok()) return fastest.status();
+    return finish(std::move(*fastest), RouteMethod::kFastestFallback);
+  };
+
+  // Case 1, same region: the most-traversed recorded inner path, else the
+  // fastest path (Sec. VI).
+  if (result.source_region != kNoRegion &&
+      result.source_region == result.dest_region) {
+    if (auto inner = InnerRegionRoute(graph, result.source_region, s, d)) {
+      return finish(std::move(*inner), RouteMethod::kInnerRegionPopular);
+    }
+    return fastest_fallback();
+  }
+
+  // Case 2: find candidate regions by fastest-path search (forward from s,
+  // backward from d), keeping the connector paths Ps and Pd.
+  RegionId rs = result.source_region;
+  RegionId rd = result.dest_region;
+  std::vector<VertexId> prefix{s};
+  std::vector<VertexId> suffix{d};
+  if (rs == kNoRegion) {
+    const VertexId hit = ctx->dijkstra.RunUntil(s, ws.time, [&](VertexId v) {
+      return v == d || graph.RegionOf(v) != kNoRegion;
+    });
+    if (hit == kInvalidVertex) return fastest_fallback();
+    if (hit == d) {
+      return finish(ctx->dijkstra.ExtractPath(d),
+                    RouteMethod::kFastestFallback);
+    }
+    prefix = ctx->dijkstra.ExtractPath(hit).vertices;
+    rs = graph.RegionOf(hit);
+  }
+  if (rd == kNoRegion) {
+    const VertexId hit =
+        ctx->dijkstra.RunUntilReverse(d, ws.time, [&](VertexId v) {
+          return v == s || graph.RegionOf(v) != kNoRegion;
+        });
+    if (hit == kInvalidVertex || hit == s) return fastest_fallback();
+    suffix = ctx->dijkstra.ExtractReversePath(hit).vertices;
+    rd = graph.RegionOf(hit);
+  }
+
+  if (rs == rd) {
+    // The candidate regions coincide: connect through the region.
+    std::vector<VertexId> out = prefix;
+    double overhead = 0;
+    Status st = StitchRegionPath(ctx, graph, ws, {}, out.back(),
+                                 suffix.front(), &out, &overhead);
+    if (!st.ok()) return fastest_fallback();
+    out.insert(out.end(), suffix.begin() + 1, suffix.end());
+    Path path;
+    path.vertices = std::move(out);
+    return finish(std::move(path), RouteMethod::kRegionGraph);
+  }
+
+  const auto region_edges = RegionRoute(graph, rs, rd);
+  const std::optional<RoutingPreference> pair_pref =
+      region_edges.has_value() ? PairPreference(pi, graph, *region_edges)
+                               : std::nullopt;
+
+  // Applying the region pair's preference with Algorithm 2 — the paper's
+  // mechanism for identifying paths where recorded ones do not serve.
+  auto preference_route = [&]() -> Result<RouteResult> {
+    if (!pair_pref.has_value()) return fastest_fallback();
+    auto routed =
+        ctx->pref_dijkstra.Route(s, d, ws.Get(pair_pref->master),
+                                 space_.slave_mask(pair_pref->slave_index));
+    if (!routed.ok()) return fastest_fallback();
+    return finish(std::move(routed->path), RouteMethod::kPreferenceRoute);
+  };
+
+  if (!region_edges.has_value()) return preference_route();
+
+  std::vector<VertexId> out = prefix;
+  double overhead = 0;
+  const Status st = StitchRegionPath(ctx, graph, ws, *region_edges,
+                                     out.back(), suffix.front(), &out,
+                                     &overhead);
+  // Stitch-or-apply gate: recorded paths are reused only when they
+  // actually pass near the query endpoints; otherwise the preference is
+  // applied directly (see L2ROptions::stitch_overhead_limit).
+  const double span = Dist(net_->VertexPos(s), net_->VertexPos(d));
+  if (!st.ok() || overhead > stitch_overhead_limit_ * span) {
+    return preference_route();
+  }
+  if (suffix.size() > 1) {
+    out.insert(out.end(), suffix.begin() + 1, suffix.end());
+  }
+  result.region_hops = region_edges->size();
+  Path path;
+  path.vertices = std::move(out);
+  return finish(std::move(path), RouteMethod::kRegionGraph);
+}
+
+}  // namespace l2r

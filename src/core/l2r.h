@@ -1,0 +1,183 @@
+#ifndef L2R_CORE_L2R_H_
+#define L2R_CORE_L2R_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "pref/learner.h"
+#include "region/region_graph.h"
+#include "routing/dijkstra.h"
+#include "transfer/apply.h"
+#include "transfer/transfer.h"
+#include "traj/trajectory.h"
+
+namespace l2r {
+
+/// Options of the full learn-to-route pipeline.
+struct L2ROptions {
+  /// Build separate peak and off-peak region graphs (paper Sec. III scope
+  /// (1)); if false one off-peak graph serves all departure times.
+  bool time_dependent = true;
+  RegionGraphOptions region_graph;
+  PreferenceLearnerOptions learner;
+  TransferOptions transfer;
+  ApplyOptions apply;
+  /// Slave feature space for preferences; defaults to none + 6 road types
+  /// + highway combo.
+  std::optional<PreferenceFeatureSpace> feature_space;
+  /// Budget on T-edges whose preferences are learned directly (the
+  /// highest-evidence edges first); the rest stay unlabeled and receive
+  /// transferred preferences like B-edges. 0 = learn all T-edges.
+  size_t max_learned_t_edges = 8000;
+  unsigned num_threads = 0;
+  /// Stitching: tradeoff between connector detour (meters) and path
+  /// popularity when choosing among a region edge's paths.
+  double popularity_bonus_m = 50;
+  /// Stitch-or-apply gate: a stitched region path is kept only when its
+  /// connector overhead stays below this fraction of the query's
+  /// straight-line distance; otherwise the route is rebuilt by applying
+  /// the region pair's (learned or transferred) preference with
+  /// Algorithm 2 — the same mechanism Sec. V-C uses for B-edges.
+  double stitch_overhead_limit = 0.50;
+};
+
+/// Build-time report (the offline processing the paper times in
+/// Sec. VII-C).
+struct L2RBuildReport {
+  struct PeriodReport {
+    size_t trajectories = 0;
+    size_t num_regions = 0;
+    size_t num_t_edges = 0;
+    size_t num_b_edges = 0;
+    double cluster_seconds = 0;
+    double region_graph_seconds = 0;
+    double learn_seconds = 0;
+    double transfer_seconds = 0;
+    double apply_seconds = 0;
+    double transfer_null_rate = 0;
+  };
+  PeriodReport period[kNumTimePeriods];
+  double total_seconds = 0;
+};
+
+/// How a returned route was produced (Sec. VI).
+enum class RouteMethod : uint8_t {
+  kInnerRegionPopular,  ///< Case 1, same region, popular trajectory path
+  kRegionGraph,         ///< stitched from region-edge trajectory paths
+  kPreferenceRoute,     ///< Algorithm 2 under the region pair's preference
+  kFastestFallback,     ///< no usable region structure; fastest path
+};
+
+struct RouteResult {
+  Path path;  ///< path.cost = travel time (s) for the queried period
+  RouteMethod method = RouteMethod::kFastestFallback;
+  RegionId source_region = kNoRegion;
+  RegionId dest_region = kNoRegion;
+  size_t region_hops = 0;
+};
+
+/// Reusable per-thread query workspace (allocation-free routing).
+class L2RQueryContext {
+ public:
+  explicit L2RQueryContext(const RoadNetwork& net)
+      : dijkstra(net), pref_dijkstra(net) {}
+
+ private:
+  friend class L2RRouter;
+  DijkstraSearch dijkstra;
+  PreferenceDijkstra pref_dijkstra;
+};
+
+/// The learn-to-route engine (the paper's L2R): builds the region graph(s)
+/// from training trajectories, learns T-edge preferences, transfers them to
+/// B-edges, attaches B-edge paths, and serves routing requests for
+/// arbitrary (source, destination) pairs.
+class L2RRouter {
+ public:
+  /// Builds the full pipeline. `training` trajectories are consumed (the
+  /// router keeps them: region graphs reference their paths). `net` must
+  /// outlive the router.
+  static Result<std::unique_ptr<L2RRouter>> Build(
+      const RoadNetwork* net, std::vector<MatchedTrajectory> training,
+      const L2ROptions& options = {});
+
+  /// Routes from `s` to `d` departing at `departure_time` (selects the
+  /// peak or off-peak region graph).
+  Result<RouteResult> Route(L2RQueryContext* ctx, VertexId s, VertexId d,
+                            double departure_time) const;
+
+  L2RQueryContext MakeContext() const { return L2RQueryContext(*net_); }
+
+  const L2RBuildReport& build_report() const { return report_; }
+  const RegionGraph& region_graph(TimePeriod p) const {
+    return *graphs_[static_cast<int>(p)];
+  }
+  /// Final (learned or transferred) preference of each region edge of the
+  /// period graph, index-aligned with region_graph(p).edges().
+  const std::vector<std::optional<RoutingPreference>>& edge_preferences(
+      TimePeriod p) const {
+    return preferences_[static_cast<int>(p)];
+  }
+  const WeightSet& weights(TimePeriod p) const {
+    return weights_[static_cast<int>(p)];
+  }
+  const PreferenceFeatureSpace& feature_space() const { return space_; }
+
+ private:
+  L2RRouter(const RoadNetwork* net, PreferenceFeatureSpace space)
+      : net_(net), space_(std::move(space)) {}
+
+  Status BuildPeriod(TimePeriod period,
+                     std::vector<MatchedTrajectory> trajectories,
+                     const L2ROptions& options);
+
+  /// Sec. VI Case 1, same region: most-traversed recorded inner path.
+  std::optional<Path> InnerRegionRoute(const RegionGraph& graph, RegionId r,
+                                       VertexId s, VertexId d) const;
+
+  /// Greedy region-graph search (Sec. VI): returns region-edge ids.
+  std::optional<std::vector<uint32_t>> RegionRoute(const RegionGraph& graph,
+                                                   RegionId rs,
+                                                   RegionId rd) const;
+
+  /// Maps a region path to a road path, stitching with inner paths /
+  /// fastest connectors. `cur` is the current road vertex. Reports the
+  /// total straight-line connector overhead in *overhead_m.
+  Status StitchRegionPath(L2RQueryContext* ctx, const RegionGraph& graph,
+                          const WeightSet& ws,
+                          const std::vector<uint32_t>& region_edges,
+                          VertexId cur, VertexId dest,
+                          std::vector<VertexId>* out,
+                          double* overhead_m) const;
+
+  /// The preference governing travel from rs to rd: the direct region
+  /// edge's preference if present, else the first hop's.
+  std::optional<RoutingPreference> PairPreference(
+      int period_index, const RegionGraph& graph,
+      const std::vector<uint32_t>& region_edges) const;
+
+  /// Chooses the best stored path on a region edge w.r.t. the current
+  /// stitch position and the query destination (start near `cur`, end
+  /// toward `goal`, popular paths preferred).
+  std::optional<std::vector<VertexId>> BestEdgePath(
+      const RegionGraph& graph, const RegionEdge& edge, VertexId cur,
+      const Point& goal) const;
+
+  const RoadNetwork* net_;
+  PreferenceFeatureSpace space_;
+  double popularity_bonus_m_ = 50;
+  double stitch_overhead_limit_ = 0.50;
+  bool time_dependent_ = true;
+  WeightSet weights_[kNumTimePeriods];
+  std::vector<MatchedTrajectory> trajectories_[kNumTimePeriods];
+  std::unique_ptr<RegionGraph> graphs_[kNumTimePeriods];
+  std::vector<std::optional<RoutingPreference>>
+      preferences_[kNumTimePeriods];
+  L2RBuildReport report_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_CORE_L2R_H_

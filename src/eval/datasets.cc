@@ -1,0 +1,68 @@
+#include "eval/datasets.h"
+
+namespace l2r {
+
+DatasetSpec MetroDataset(double traj_scale) {
+  DatasetSpec spec;
+  spec.name = "Metro(D1-like)";
+  spec.network.style = NetworkStyle::kMetro;
+  spec.network.seed = 101;
+  spec.network.city_width_m = 15000;
+  spec.network.city_height_m = 11000;
+  spec.network.block_spacing_m = 300;
+  spec.network.num_satellite_towns = 5;
+  spec.network.metro_radius_m = 30000;
+  spec.network.satellite_scale = 0.4;
+
+  spec.traj.num_trajectories =
+      static_cast<size_t>(12000 * traj_scale);
+  spec.traj.seed = 202;
+  spec.traj.num_days = 28;
+  spec.traj.sample_interval_s = 1.0;  // high-frequency regime (D1)
+  spec.traj.gps_noise_sigma_m = 5.0;
+  spec.traj.num_drivers = 183;  // as in D1
+  spec.traj.emit_gps = false;   // ground-truth paths drive the pipeline
+  spec.traj.min_trip_euclid_m = 1000;
+  spec.traj.od_distance_decay_m = 9000;  // short trips dominate (Table II)
+
+  spec.buckets.edges_km = {0, 10, 30, 60, 150};
+  spec.train_fraction = 0.75;  // 18 of 24 months in the paper
+  return spec;
+}
+
+DatasetSpec CityDataset(double traj_scale) {
+  DatasetSpec spec;
+  spec.name = "City(D2-like)";
+  spec.network.style = NetworkStyle::kCity;
+  spec.network.seed = 303;
+  spec.network.city_width_m = 24000;  // Chengdu-ish 33x25 km envelope
+  spec.network.city_height_m = 18000;
+  spec.network.block_spacing_m = 300;
+
+  spec.traj.num_trajectories =
+      static_cast<size_t>(10000 * traj_scale);
+  spec.traj.seed = 404;
+  spec.traj.num_days = 28;
+  spec.traj.sample_interval_s = 15.0;  // low-frequency regime (D2)
+  spec.traj.gps_noise_sigma_m = 12.0;
+  spec.traj.num_drivers = 1086;  // scaled-down taxi fleet
+  spec.traj.emit_gps = false;
+  spec.traj.min_trip_euclid_m = 600;
+  spec.traj.od_distance_decay_m = 3500;  // Table II: (2,5] km trips peak
+
+  spec.buckets.edges_km = {0, 2, 5, 10, 35};
+  spec.train_fraction = 0.75;  // 21 of 28 days in the paper
+  return spec;
+}
+
+Result<BuiltDataset> BuildDataset(const DatasetSpec& spec) {
+  BuiltDataset out;
+  L2R_ASSIGN_OR_RETURN(out.world, GenerateNetwork(spec.network));
+  const DriverModel model(&out.world, spec.network.seed ^ 0xABCDEF);
+  const TrajectoryGenerator generator(&out.world, &model);
+  L2R_ASSIGN_OR_RETURN(out.data, generator.Generate(spec.traj));
+  out.split = SplitByTime(out.data.matched, spec.train_fraction);
+  return out;
+}
+
+}  // namespace l2r

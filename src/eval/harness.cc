@@ -1,0 +1,171 @@
+#include "eval/harness.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "pref/similarity.h"
+
+namespace l2r {
+
+std::vector<QueryCase> BuildQueries(
+    const RoadNetwork& net, const std::vector<MatchedTrajectory>& test,
+    size_t max_queries) {
+  std::vector<QueryCase> out;
+  for (const MatchedTrajectory& t : test) {
+    if (max_queries > 0 && out.size() >= max_queries) break;
+    if (t.path.size() < 2 || t.path.front() == t.path.back()) continue;
+    QueryCase q;
+    q.s = t.path.front();
+    q.d = t.path.back();
+    q.departure_time = t.departure_time;
+    q.driver_id = t.driver_id;
+    q.gt_path = t.path;
+    const Result<double> len = net.PathLengthM(t.path);
+    if (!len.ok()) continue;
+    q.gt_length_m = *len;
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+const char* RegionCategoryName(RegionCategory c) {
+  switch (c) {
+    case RegionCategory::kInRegion:
+      return "InRegion";
+    case RegionCategory::kInOutRegion:
+      return "InOutRegion";
+    case RegionCategory::kOutRegion:
+      return "OutRegion";
+  }
+  return "?";
+}
+
+RegionCategory CategorizeQuery(const L2RRouter& router,
+                               const QueryCase& query) {
+  const TimePeriod p = PeriodOf(query.departure_time);
+  const RegionGraph& g = router.region_graph(p);
+  const bool s_in = g.RegionOf(query.s) != kNoRegion;
+  const bool d_in = g.RegionOf(query.d) != kNoRegion;
+  if (s_in && d_in) return RegionCategory::kInRegion;
+  if (s_in || d_in) return RegionCategory::kInOutRegion;
+  return RegionCategory::kOutRegion;
+}
+
+std::string DistanceBuckets::LabelOf(size_t bucket) const {
+  return StrFormat("(%g,%g]", edges_km[bucket], edges_km[bucket + 1]);
+}
+
+size_t DistanceBuckets::BucketOf(double length_m) const {
+  const double km = length_m / 1000.0;
+  for (size_t b = 0; b + 1 < edges_km.size(); ++b) {
+    if (km <= edges_km[b + 1]) return b;
+  }
+  return edges_km.size() - 2;
+}
+
+namespace {
+
+struct Accum {
+  size_t n = 0;
+  size_t failures = 0;
+  double eq1 = 0;
+  double eq4 = 0;
+  double ms = 0;
+
+  BucketStats Finish(std::string label) const {
+    BucketStats out;
+    out.label = std::move(label);
+    out.queries = n;
+    out.failures = failures;
+    if (n > 0) {
+      out.mean_accuracy_eq1 = 100.0 * eq1 / static_cast<double>(n);
+      out.mean_accuracy_eq4 = 100.0 * eq4 / static_cast<double>(n);
+      out.mean_query_ms = ms / static_cast<double>(n);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+RouterEval EvaluateRouter(
+    const RoadNetwork& net, const std::string& name,
+    const std::vector<QueryCase>& queries, const DistanceBuckets& buckets,
+    const std::function<RegionCategory(const QueryCase&)>& categorize,
+    const std::function<Result<Path>(const QueryCase&)>& route) {
+  std::vector<Accum> by_dist(buckets.size());
+  std::vector<Accum> by_region(kNumRegionCategories);
+  Accum overall;
+
+  for (const QueryCase& q : queries) {
+    Timer timer;
+    const Result<Path> routed = route(q);
+    const double ms = timer.ElapsedMillis();
+    double eq1 = 0;
+    double eq4 = 0;
+    const bool ok = routed.ok();
+    if (ok) {
+      eq1 = PathSimilarity(net, q.gt_path, routed->vertices);
+      eq4 = PathSimilarityJaccard(net, q.gt_path, routed->vertices);
+    }
+    const size_t db = buckets.BucketOf(q.gt_length_m);
+    const size_t rb = static_cast<size_t>(categorize(q));
+    for (Accum* acc : {&by_dist[db], &by_region[rb], &overall}) {
+      ++acc->n;
+      if (!ok) ++acc->failures;
+      acc->eq1 += eq1;
+      acc->eq4 += eq4;
+      acc->ms += ms;
+    }
+  }
+
+  RouterEval out;
+  out.router = name;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    out.by_distance.push_back(by_dist[b].Finish(buckets.LabelOf(b)));
+  }
+  for (int c = 0; c < kNumRegionCategories; ++c) {
+    out.by_region.push_back(by_region[c].Finish(
+        RegionCategoryName(static_cast<RegionCategory>(c))));
+  }
+  out.overall = overall.Finish("overall");
+  return out;
+}
+
+RouterEval EvaluateRouter(
+    const RoadNetwork& net, const std::vector<QueryCase>& queries,
+    const DistanceBuckets& buckets,
+    const std::function<RegionCategory(const QueryCase&)>& categorize,
+    VertexPathRouter* router) {
+  return EvaluateRouter(
+      net, router->name(), queries, buckets, categorize,
+      [router](const QueryCase& q) {
+        return router->Route(q.s, q.d, q.departure_time, q.driver_id);
+      });
+}
+
+void PrintComparisonTable(
+    const std::string& title, const std::vector<RouterEval>& evals,
+    const std::function<const std::vector<BucketStats>&(const RouterEval&)>&
+        pick,
+    const std::function<double(const BucketStats&)>& metric,
+    const char* metric_name) {
+  std::printf("\n%s  [%s]\n", title.c_str(), metric_name);
+  if (evals.empty()) return;
+  std::printf("%-14s", "bucket");
+  for (const RouterEval& ev : evals) {
+    std::printf("%12s", ev.router.c_str());
+  }
+  std::printf("%10s\n", "queries");
+  const std::vector<BucketStats>& first = pick(evals.front());
+  for (size_t b = 0; b < first.size(); ++b) {
+    std::printf("%-14s", first[b].label.c_str());
+    for (const RouterEval& ev : evals) {
+      std::printf("%12.1f", metric(pick(ev)[b]));
+    }
+    std::printf("%10zu\n", first[b].queries);
+  }
+}
+
+}  // namespace l2r

@@ -1,0 +1,123 @@
+#ifndef L2R_EVAL_HARNESS_H_
+#define L2R_EVAL_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/router_api.h"
+#include "common/result.h"
+#include "core/l2r.h"
+#include "traj/trajectory.h"
+
+namespace l2r {
+
+/// One evaluation query derived from a held-out test trajectory: route
+/// from its source to its destination at its departure time and compare
+/// with the path the local driver actually took (the ground truth).
+struct QueryCase {
+  VertexId s = kInvalidVertex;
+  VertexId d = kInvalidVertex;
+  double departure_time = 0;
+  uint32_t driver_id = 0;
+  std::vector<VertexId> gt_path;
+  double gt_length_m = 0;
+};
+
+/// Extracts queries from test trajectories (skipping degenerate ones) and
+/// computes GT path lengths.
+std::vector<QueryCase> BuildQueries(const RoadNetwork& net,
+                                    const std::vector<MatchedTrajectory>& test,
+                                    size_t max_queries = 0);
+
+/// The paper's region categories (Sec. VII-A): both endpoints in regions,
+/// exactly one, or neither — judged against the region graph used for the
+/// query's period.
+enum class RegionCategory : uint8_t {
+  kInRegion = 0,
+  kInOutRegion = 1,
+  kOutRegion = 2,
+};
+inline constexpr int kNumRegionCategories = 3;
+const char* RegionCategoryName(RegionCategory c);
+
+RegionCategory CategorizeQuery(const L2RRouter& router,
+                               const QueryCase& query);
+
+/// Aggregated evaluation of one router over one bucketing scheme.
+struct BucketStats {
+  std::string label;
+  size_t queries = 0;
+  size_t failures = 0;
+  double mean_accuracy_eq1 = 0;   ///< mean Eq. 1 similarity, percent
+  double mean_accuracy_eq4 = 0;   ///< mean Eq. 4 similarity, percent
+  double mean_query_ms = 0;
+};
+
+struct RouterEval {
+  std::string router;
+  std::vector<BucketStats> by_distance;
+  std::vector<BucketStats> by_region;
+  BucketStats overall;
+};
+
+/// Distance bucket boundaries in km; bucket i covers
+/// (edges[i], edges[i+1]].
+struct DistanceBuckets {
+  std::vector<double> edges_km;
+  std::string LabelOf(size_t bucket) const;
+  /// Bucket of a GT length (clamped into range).
+  size_t BucketOf(double length_m) const;
+  size_t size() const { return edges_km.size() - 1; }
+};
+
+/// Runs every query through `route` and aggregates accuracy/time buckets.
+/// `route` returns the computed path (or an error, counted as failure with
+/// similarity 0).
+RouterEval EvaluateRouter(
+    const RoadNetwork& net, const std::string& name,
+    const std::vector<QueryCase>& queries,
+    const DistanceBuckets& buckets,
+    const std::function<RegionCategory(const QueryCase&)>& categorize,
+    const std::function<Result<Path>(const QueryCase&)>& route);
+
+/// Convenience adapter: evaluates a VertexPathRouter.
+RouterEval EvaluateRouter(const RoadNetwork& net,
+                          const std::vector<QueryCase>& queries,
+                          const DistanceBuckets& buckets,
+                          const std::function<RegionCategory(
+                              const QueryCase&)>& categorize,
+                          VertexPathRouter* router);
+
+/// L2R adapter conforming to the common router interface.
+class L2RAdapter : public VertexPathRouter {
+ public:
+  explicit L2RAdapter(const L2RRouter* router)
+      : router_(router), ctx_(router->MakeContext()) {}
+
+  std::string name() const override { return "L2R"; }
+
+  Result<Path> Route(VertexId s, VertexId d, double departure_time,
+                     uint32_t /*driver_id*/) override {
+    L2R_ASSIGN_OR_RETURN(RouteResult r,
+                         router_->Route(&ctx_, s, d, departure_time));
+    return std::move(r.path);
+  }
+
+ private:
+  const L2RRouter* router_;
+  L2RQueryContext ctx_;
+};
+
+/// Prints a paper-style table: one row per bucket, one column per router.
+void PrintComparisonTable(
+    const std::string& title, const std::vector<RouterEval>& evals,
+    const std::function<const std::vector<BucketStats>&(const RouterEval&)>&
+        pick,
+    const std::function<double(const BucketStats&)>& metric,
+    const char* metric_name);
+
+}  // namespace l2r
+
+#endif  // L2R_EVAL_HARNESS_H_

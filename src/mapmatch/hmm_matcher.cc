@@ -1,0 +1,250 @@
+#include "mapmatch/hmm_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "routing/dijkstra.h"
+
+namespace l2r {
+
+namespace {
+constexpr double kMinusInf = -1e18;
+}  // namespace
+
+HmmMapMatcher::HmmMapMatcher(const RoadNetwork& net, const SpatialGrid& grid,
+                             HmmMatchOptions options)
+    : net_(net),
+      grid_(grid),
+      options_(options),
+      distance_weights_(net, CostFeature::kDistance, TimePeriod::kOffPeak) {}
+
+std::vector<HmmMapMatcher::Candidate> HmmMapMatcher::CandidatesFor(
+    const Point& p) const {
+  std::vector<Candidate> out;
+  for (const EdgeId e : grid_.EdgesNear(p, options_.candidate_radius_m)) {
+    const EdgeRecord& rec = net_.edge(e);
+    const SegmentProjection sp = ProjectPointToSegment(
+        p, net_.VertexPos(rec.from), net_.VertexPos(rec.to));
+    Candidate c;
+    c.edge = e;
+    c.along_t = sp.t;
+    c.snapped = sp.point;
+    c.gps_distance = sp.distance;
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.gps_distance < b.gps_distance;
+            });
+  if (out.size() > options_.max_candidates) {
+    out.resize(options_.max_candidates);
+  }
+  return out;
+}
+
+Status HmmMapMatcher::MatchSegment(const std::vector<GpsRecord>& fixes,
+                                   size_t begin, size_t end,
+                                   std::vector<VertexId>* out) const {
+  // Collect candidate sets, skipping fixes with none.
+  std::vector<std::vector<Candidate>> cands;
+  std::vector<size_t> fix_index;
+  for (size_t i = begin; i < end; ++i) {
+    auto cs = CandidatesFor(fixes[i].pos);
+    if (!cs.empty()) {
+      cands.push_back(std::move(cs));
+      fix_index.push_back(i);
+    }
+  }
+  if (cands.empty()) {
+    return Status::NotFound("no map-matching candidates in segment");
+  }
+
+  const double sigma2 =
+      options_.emission_sigma_m * options_.emission_sigma_m;
+  auto log_emission = [&](const Candidate& c) {
+    return -0.5 * c.gps_distance * c.gps_distance / sigma2;
+  };
+
+  const size_t n = cands.size();
+  std::vector<std::vector<double>> score(n);
+  std::vector<std::vector<int>> back(n);
+  for (size_t i = 0; i < n; ++i) {
+    score[i].assign(cands[i].size(), kMinusInf);
+    back[i].assign(cands[i].size(), -1);
+  }
+  for (size_t a = 0; a < cands[0].size(); ++a) {
+    score[0][a] = log_emission(cands[0][a]);
+  }
+
+  DijkstraSearch search(net_);
+  // Route distance from candidate b (on edge eb at tb) to candidate a.
+  // Same edge, forward order: along-edge distance. Otherwise through
+  // eb.to -> ea.from.
+  auto route_distance = [&](const Candidate& b, const Candidate& a,
+                            double bound) -> double {
+    const EdgeRecord& eb = net_.edge(b.edge);
+    const EdgeRecord& ea = net_.edge(a.edge);
+    if (b.edge == a.edge && a.along_t >= b.along_t) {
+      return (a.along_t - b.along_t) * eb.length_m;
+    }
+    const double tail = (1.0 - b.along_t) * eb.length_m;
+    const double head = a.along_t * ea.length_m;
+    if (eb.to == ea.from) return tail + head;
+    if (!search.Reached(ea.from)) return kInfCost;
+    (void)bound;
+    return tail + search.DistTo(ea.from) + head;
+  };
+
+  for (size_t i = 1; i < n; ++i) {
+    const double gc =
+        Dist(fixes[fix_index[i - 1]].pos, fixes[fix_index[i]].pos);
+    const double bound =
+        options_.route_dist_factor * gc + options_.route_dist_slack_m;
+    for (size_t b = 0; b < cands[i - 1].size(); ++b) {
+      if (score[i - 1][b] <= kMinusInf) continue;
+      // One bounded one-to-many search per predecessor candidate.
+      search.RunBounded(net_.edge(cands[i - 1][b].edge).to,
+                        distance_weights_, bound);
+      for (size_t a = 0; a < cands[i].size(); ++a) {
+        const double rd = route_distance(cands[i - 1][b], cands[i][a], bound);
+        if (rd >= kInfCost || rd > bound + 1e-6) continue;
+        const double log_trans =
+            -std::abs(rd - gc) / options_.transition_beta_m;
+        const double s =
+            score[i - 1][b] + log_trans + log_emission(cands[i][a]);
+        if (s > score[i][a]) {
+          score[i][a] = s;
+          back[i][a] = static_cast<int>(b);
+        }
+      }
+    }
+    // HMM break: no candidate reachable. Restart the chain at fix i.
+    bool any = false;
+    for (const double s : score[i]) {
+      if (s > kMinusInf) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      for (size_t a = 0; a < cands[i].size(); ++a) {
+        score[i][a] = log_emission(cands[i][a]);
+        back[i][a] = -1;
+      }
+    }
+  }
+
+  // Backtrack the best chain.
+  std::vector<int> chosen(n, -1);
+  {
+    size_t best_a = 0;
+    for (size_t a = 1; a < cands[n - 1].size(); ++a) {
+      if (score[n - 1][a] > score[n - 1][best_a]) best_a = a;
+    }
+    chosen[n - 1] = static_cast<int>(best_a);
+    for (size_t i = n - 1; i > 0; --i) {
+      const int b = back[i][static_cast<size_t>(chosen[i])];
+      if (b >= 0) {
+        chosen[i - 1] = b;
+      } else {
+        // Chain break: pick the locally best predecessor.
+        size_t best = 0;
+        for (size_t a = 1; a < cands[i - 1].size(); ++a) {
+          if (score[i - 1][a] > score[i - 1][best]) best = a;
+        }
+        chosen[i - 1] = static_cast<int>(best);
+      }
+    }
+  }
+
+  // Reconstruct the vertex path.
+  auto append_vertex = [&](VertexId v) {
+    if (out->empty() || out->back() != v) out->push_back(v);
+  };
+  {
+    const Candidate& c0 = cands[0][static_cast<size_t>(chosen[0])];
+    append_vertex(net_.edge(c0.edge).from);
+    append_vertex(net_.edge(c0.edge).to);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const Candidate& prev = cands[i - 1][static_cast<size_t>(chosen[i - 1])];
+    const Candidate& cur = cands[i][static_cast<size_t>(chosen[i])];
+    if (prev.edge == cur.edge) continue;
+    const VertexId from = net_.edge(prev.edge).to;
+    const VertexId to = net_.edge(cur.edge).from;
+    if (from != to) {
+      auto joined = search.ShortestPath(from, to, distance_weights_);
+      if (joined.ok()) {
+        for (const VertexId v : joined->vertices) append_vertex(v);
+      } else {
+        append_vertex(to);  // discontinuity; keep going
+      }
+    }
+    append_vertex(net_.edge(cur.edge).to);
+  }
+  return Status::OK();
+}
+
+Result<MatchResult> HmmMapMatcher::Match(const Trajectory& traj) const {
+  if (traj.points.size() < 2) {
+    return Status::InvalidArgument("trajectory has fewer than 2 fixes");
+  }
+
+  // Thin dense fixes.
+  std::vector<GpsRecord> fixes;
+  fixes.reserve(traj.points.size());
+  for (const GpsRecord& r : traj.points) {
+    if (!fixes.empty() && options_.min_fix_spacing_m > 0 &&
+        Dist(fixes.back().pos, r.pos) < options_.min_fix_spacing_m) {
+      continue;
+    }
+    fixes.push_back(r);
+  }
+  if (fixes.size() < 2) fixes = traj.points;
+
+  MatchResult result;
+  result.fixes_used = fixes.size();
+
+  // Split on large gaps.
+  std::vector<size_t> breaks;  // segment start indices
+  breaks.push_back(0);
+  for (size_t i = 1; i < fixes.size(); ++i) {
+    if (Dist(fixes[i - 1].pos, fixes[i].pos) > options_.break_gap_m) {
+      breaks.push_back(i);
+    }
+  }
+  result.segments = breaks.size();
+
+  DijkstraSearch joiner(net_);
+  for (size_t s = 0; s < breaks.size(); ++s) {
+    const size_t begin = breaks[s];
+    const size_t end = s + 1 < breaks.size() ? breaks[s + 1] : fixes.size();
+    if (end - begin < 1) continue;
+    std::vector<VertexId> seg_path;
+    const Status st = MatchSegment(fixes, begin, end, &seg_path);
+    if (!st.ok()) continue;
+    if (!result.path.empty() && !seg_path.empty() &&
+        result.path.back() != seg_path.front()) {
+      // Join segments with a shortest path so the result stays a path.
+      auto join = joiner.ShortestPath(result.path.back(), seg_path.front(),
+                                      distance_weights_);
+      if (join.ok()) {
+        for (size_t k = 1; k + 1 < join->vertices.size(); ++k) {
+          result.path.push_back(join->vertices[k]);
+        }
+      }
+    }
+    for (const VertexId v : seg_path) {
+      if (result.path.empty() || result.path.back() != v) {
+        result.path.push_back(v);
+      }
+    }
+  }
+
+  if (result.path.size() < 2) {
+    return Status::NotFound("map matching produced no path");
+  }
+  return result;
+}
+
+}  // namespace l2r

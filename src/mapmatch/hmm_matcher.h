@@ -1,0 +1,83 @@
+#ifndef L2R_MAPMATCH_HMM_MATCHER_H_
+#define L2R_MAPMATCH_HMM_MATCHER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "roadnet/spatial_grid.h"
+#include "roadnet/weights.h"
+#include "traj/trajectory.h"
+
+namespace l2r {
+
+/// Parameters of the HMM map matcher (Newson & Krumm, SIGSPATIAL 2009 —
+/// the paper's citation [29]).
+struct HmmMatchOptions {
+  /// Candidate search radius around each GPS fix, meters.
+  double candidate_radius_m = 50;
+  /// Max candidates kept per fix (nearest first).
+  size_t max_candidates = 8;
+  /// GPS noise sigma for the Gaussian emission probability, meters.
+  double emission_sigma_m = 10;
+  /// Scale of the exponential transition probability on
+  /// |route_dist - great_circle_dist|, meters.
+  double transition_beta_m = 60;
+  /// Route-distance search bound as a multiple of the great-circle
+  /// distance between consecutive fixes (plus a constant slack).
+  double route_dist_factor = 4.0;
+  double route_dist_slack_m = 400;
+  /// If consecutive fixes are further apart than this, the trajectory is
+  /// split and matched piecewise.
+  double break_gap_m = 2000;
+  /// Thin out fixes closer than this along-track distance (Newson & Krumm
+  /// preprocess); 0 disables.
+  double min_fix_spacing_m = 0;
+};
+
+/// Result of matching one trajectory.
+struct MatchResult {
+  /// Vertex path of the matched route (may be empty if matching failed).
+  std::vector<VertexId> path;
+  /// Number of GPS fixes actually used (after thinning/splitting).
+  size_t fixes_used = 0;
+  /// Number of contiguous segments the trajectory was split into.
+  size_t segments = 1;
+};
+
+/// Hidden-Markov-Model map matcher: candidates are projections onto nearby
+/// edges, emission = Gaussian in projection distance, transition favours
+/// route distances close to the great-circle distance, decoded with
+/// Viterbi. Connects candidate-to-candidate route gaps with shortest
+/// (distance) paths.
+class HmmMapMatcher {
+ public:
+  /// `grid` must index `net`; both must outlive the matcher.
+  HmmMapMatcher(const RoadNetwork& net, const SpatialGrid& grid,
+                HmmMatchOptions options = {});
+
+  /// Matches a raw trajectory onto the network.
+  Result<MatchResult> Match(const Trajectory& traj) const;
+
+ private:
+  struct Candidate {
+    EdgeId edge = kInvalidEdge;
+    double along_t = 0;       ///< projection parameter on the edge
+    Point snapped;            ///< projected position
+    double gps_distance = 0;  ///< fix-to-projection distance
+  };
+
+  std::vector<Candidate> CandidatesFor(const Point& p) const;
+
+  /// Matches one contiguous run of fixes; appends vertices to `out`.
+  Status MatchSegment(const std::vector<GpsRecord>& fixes, size_t begin,
+                      size_t end, std::vector<VertexId>* out) const;
+
+  const RoadNetwork& net_;
+  const SpatialGrid& grid_;
+  HmmMatchOptions options_;
+  EdgeWeights distance_weights_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_MAPMATCH_HMM_MATCHER_H_

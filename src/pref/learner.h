@@ -1,0 +1,63 @@
+#ifndef L2R_PREF_LEARNER_H_
+#define L2R_PREF_LEARNER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "pref/preference.h"
+#include "routing/preference_dijkstra.h"
+
+namespace l2r {
+
+struct PreferenceLearnerOptions {
+  /// Paths per T-edge actually used for learning (the most informative —
+  /// longest × most traversed — first); bounds the number of
+  /// shortest-path computations.
+  size_t max_paths = 4;
+  /// Paths with fewer hops carry almost no preference signal (every cost
+  /// feature explains a 2-vertex hop); edges whose paths are all shorter
+  /// stay unlabeled and receive transferred preferences instead.
+  size_t min_path_hops = 4;
+  /// A slave feature is adopted only if it improves the summed similarity
+  /// by more than this.
+  double min_improvement = 1e-9;
+};
+
+/// The coordinate-descent preference learner of Sec. V-A: first pick the
+/// master travel-cost feature whose lowest-cost paths best match the
+/// ground-truth paths (Eq. 1), then pick the slave road-condition feature
+/// that further improves the match (or none).
+class PreferenceLearner {
+ public:
+  /// `ws` supplies the per-period weight arrays the searches run on.
+  PreferenceLearner(const RoadNetwork& net, const WeightSet& ws,
+                    const PreferenceFeatureSpace& space,
+                    PreferenceLearnerOptions options = {});
+
+  struct LearnOutput {
+    RoutingPreference pref;
+    /// Weighted mean Eq. 1 similarity achieved by the chosen preference.
+    double similarity = 0;
+  };
+
+  /// Learns V* for one T-edge's path set. `counts[i]` weights path i (its
+  /// trajectory traversal count); pass an empty vector for uniform weights.
+  Result<LearnOutput> LearnForPaths(
+      const std::vector<std::vector<VertexId>>& paths,
+      const std::vector<uint32_t>& counts);
+
+  /// Learns the preference explaining a single path (used for the paper's
+  /// Fig. 6(a) per-path preference statistics).
+  Result<LearnOutput> LearnForPath(const std::vector<VertexId>& path);
+
+ private:
+  const RoadNetwork& net_;
+  const WeightSet& ws_;
+  const PreferenceFeatureSpace& space_;
+  PreferenceLearnerOptions options_;
+  PreferenceDijkstra search_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_PREF_LEARNER_H_

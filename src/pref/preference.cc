@@ -1,0 +1,57 @@
+#include "pref/preference.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace l2r {
+
+PreferenceFeatureSpace PreferenceFeatureSpace::Default() {
+  std::vector<RoadTypeMask> slaves;
+  slaves.push_back(0);  // none
+  for (int t = 0; t < kNumRoadTypes; ++t) {
+    slaves.push_back(RoadTypeBit(static_cast<RoadType>(t)));
+  }
+  slaves.push_back(RoadTypeBit(RoadType::kMotorway) |
+                   RoadTypeBit(RoadType::kTrunk));
+  return PreferenceFeatureSpace(std::move(slaves));
+}
+
+PreferenceFeatureSpace::PreferenceFeatureSpace(
+    std::vector<RoadTypeMask> slaves)
+    : slaves_(std::move(slaves)) {
+  L2R_CHECK_MSG(!slaves_.empty() && slaves_[0] == 0,
+                "slave feature 0 must be 'none'");
+  for (size_t i = 0; i < slaves_.size(); ++i) {
+    for (size_t j = i + 1; j < slaves_.size(); ++j) {
+      L2R_CHECK_MSG(slaves_[i] != slaves_[j], "duplicate slave feature");
+    }
+  }
+}
+
+std::string PreferenceName(const RoutingPreference& pref,
+                           const PreferenceFeatureSpace& space) {
+  std::string out = "<";
+  out += CostFeatureName(pref.master);
+  out += ", ";
+  out += RoadTypeMaskName(space.slave_mask(pref.slave_index));
+  out += ">";
+  return out;
+}
+
+double PreferenceJaccard(const RoutingPreference& a,
+                         const RoutingPreference& b) {
+  // Feature sets: {master} plus {slave} when present. Sets have size 1-2.
+  const bool a_has_slave = a.slave_index != 0;
+  const bool b_has_slave = b.slave_index != 0;
+  const bool master_eq = a.master == b.master;
+  const bool slave_eq =
+      a_has_slave && b_has_slave && a.slave_index == b.slave_index;
+  const int size_a = a_has_slave ? 2 : 1;
+  const int size_b = b_has_slave ? 2 : 1;
+  const int shared = (master_eq ? 1 : 0) + (slave_eq ? 1 : 0);
+  const int uni = size_a + size_b - shared;
+  return uni == 0 ? 0 : static_cast<double>(shared) / uni;
+}
+
+}  // namespace l2r

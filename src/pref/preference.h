@@ -1,0 +1,61 @@
+#ifndef L2R_PREF_PREFERENCE_H_
+#define L2R_PREF_PREFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "roadnet/weights.h"
+
+namespace l2r {
+
+/// The feature space of the paper's 2-dimensional routing preferences
+/// (Sec. V-A): the master dimension ranges over the three travel-cost
+/// features; the slave dimension over road-condition features. Slave
+/// feature 0 is always "no preference"; the rest are road-type masks
+/// (single types, plus combos like the paper's TP1+2).
+class PreferenceFeatureSpace {
+ public:
+  /// Default space: none, the six road types, and highway (motorway|trunk).
+  static PreferenceFeatureSpace Default();
+
+  /// `slaves` must start with 0 ("none") and contain no duplicates.
+  explicit PreferenceFeatureSpace(std::vector<RoadTypeMask> slaves);
+
+  int num_master() const { return kNumCostFeatures; }
+  int num_slave() const { return static_cast<int>(slaves_.size()); }
+  /// p = total feature count = columns of the transfer matrices Y / Y-hat.
+  int num_features() const { return num_master() + num_slave(); }
+
+  RoadTypeMask slave_mask(int slave_index) const {
+    return slaves_[slave_index];
+  }
+  const std::vector<RoadTypeMask>& slaves() const { return slaves_; }
+
+ private:
+  std::vector<RoadTypeMask> slaves_;
+};
+
+/// A routing preference V = <master, slave> (Sec. V-A).
+struct RoutingPreference {
+  CostFeature master = CostFeature::kTravelTime;
+  int slave_index = 0;  ///< index into PreferenceFeatureSpace, 0 = none
+
+  bool operator==(const RoutingPreference& o) const {
+    return master == o.master && slave_index == o.slave_index;
+  }
+  bool operator!=(const RoutingPreference& o) const { return !(*this == o); }
+};
+
+/// Human-readable form, e.g. "<TT, motorway|trunk>".
+std::string PreferenceName(const RoutingPreference& pref,
+                           const PreferenceFeatureSpace& space);
+
+/// Jaccard similarity of the feature sets of two preferences (used by the
+/// paper's Fig. 9 transfer-accuracy evaluation): each preference is the set
+/// {master} or {master, slave}.
+double PreferenceJaccard(const RoutingPreference& a,
+                         const RoutingPreference& b);
+
+}  // namespace l2r
+
+#endif  // L2R_PREF_PREFERENCE_H_

@@ -1,0 +1,69 @@
+#include "pref/similarity.h"
+
+#include <unordered_map>
+
+namespace l2r {
+
+namespace {
+
+uint64_t UndirectedKey(VertexId a, VertexId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// Canonical undirected edge set with lengths; parallel traversals dedupe.
+std::unordered_map<uint64_t, double> EdgeSet(
+    const RoadNetwork& net, const std::vector<VertexId>& path) {
+  std::unordered_map<uint64_t, double> out;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const VertexId a = path[i];
+    const VertexId b = path[i + 1];
+    if (a == b) continue;
+    EdgeId e = net.FindEdge(a, b);
+    if (e == kInvalidEdge) e = net.FindEdge(b, a);
+    const double len = e != kInvalidEdge
+                           ? net.EdgeLengthM(e)
+                           : Dist(net.VertexPos(a), net.VertexPos(b));
+    out.emplace(UndirectedKey(a, b), len);
+  }
+  return out;
+}
+
+struct Overlap {
+  double shared = 0;
+  double gt_total = 0;
+  double cand_total = 0;
+};
+
+Overlap ComputeOverlap(const RoadNetwork& net,
+                       const std::vector<VertexId>& gt,
+                       const std::vector<VertexId>& cand) {
+  Overlap o;
+  const auto gt_edges = EdgeSet(net, gt);
+  const auto cand_edges = EdgeSet(net, cand);
+  for (const auto& [key, len] : gt_edges) {
+    o.gt_total += len;
+    if (cand_edges.count(key) != 0) o.shared += len;
+  }
+  for (const auto& [key, len] : cand_edges) o.cand_total += len;
+  return o;
+}
+
+}  // namespace
+
+double PathSimilarity(const RoadNetwork& net,
+                      const std::vector<VertexId>& ground_truth,
+                      const std::vector<VertexId>& candidate) {
+  const Overlap o = ComputeOverlap(net, ground_truth, candidate);
+  return o.gt_total > 0 ? o.shared / o.gt_total : 0;
+}
+
+double PathSimilarityJaccard(const RoadNetwork& net,
+                             const std::vector<VertexId>& ground_truth,
+                             const std::vector<VertexId>& candidate) {
+  const Overlap o = ComputeOverlap(net, ground_truth, candidate);
+  const double uni = o.gt_total + o.cand_total - o.shared;
+  return uni > 0 ? o.shared / uni : 0;
+}
+
+}  // namespace l2r

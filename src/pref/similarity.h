@@ -1,0 +1,25 @@
+#ifndef L2R_PREF_SIMILARITY_H_
+#define L2R_PREF_SIMILARITY_H_
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace l2r {
+
+/// Path similarity of the paper's Eq. 1:
+///   pSim(Pk, P) = sum of lengths of shared edges / total length of Pk.
+/// Edges are compared as undirected vertex pairs. Pk is the ground truth.
+double PathSimilarity(const RoadNetwork& net,
+                      const std::vector<VertexId>& ground_truth,
+                      const std::vector<VertexId>& candidate);
+
+/// Path similarity of the paper's Eq. 4 (Jaccard over edge length):
+///   pSim = shared length / union length.
+double PathSimilarityJaccard(const RoadNetwork& net,
+                             const std::vector<VertexId>& ground_truth,
+                             const std::vector<VertexId>& candidate);
+
+}  // namespace l2r
+
+#endif  // L2R_PREF_SIMILARITY_H_

@@ -1,0 +1,219 @@
+#include "region/clustering.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "common/indexed_heap.h"
+
+namespace l2r {
+
+double ModularityGain(uint64_t s_ij, uint64_t s_i, uint64_t s_j, uint64_t s) {
+  L2R_CHECK(s > 0);
+  const double sd = static_cast<double>(s);
+  return static_cast<double>(s_ij) / sd -
+         (static_cast<double>(s_i) * static_cast<double>(s_j)) / (sd * sd);
+}
+
+namespace {
+
+/// Aggregated connection between two clusters: popularity total plus a
+/// per-road-type breakdown so the Table I checks can use the dominant type
+/// of merged parallel edges.
+struct AdjInfo {
+  uint64_t pop = 0;
+  std::array<uint64_t, kNumRoadTypes> pop_by_type{};
+
+  void Add(const AdjInfo& o) {
+    pop += o.pop;
+    for (int t = 0; t < kNumRoadTypes; ++t) pop_by_type[t] += o.pop_by_type[t];
+  }
+
+  RoadType DominantType() const {
+    int best = 0;
+    for (int t = 1; t < kNumRoadTypes; ++t) {
+      if (pop_by_type[t] > pop_by_type[best]) best = t;
+    }
+    return static_cast<RoadType>(best);
+  }
+};
+
+struct Cluster {
+  bool alive = true;
+  bool is_simple = true;
+  std::optional<RoadType> road_type;
+  uint64_t popularity = 0;
+  std::vector<VertexId> members;
+  std::unordered_map<uint32_t, AdjInfo> adj;
+};
+
+}  // namespace
+
+Result<ClusteringResult> BottomUpClustering(const TrajectoryGraph& graph,
+                                            size_t num_network_vertices) {
+  ClusteringResult out;
+  out.vertex_region.assign(num_network_vertices, kNoRegion);
+  if (graph.vertices().empty()) return out;
+  const uint64_t s_total = graph.total_popularity();
+  if (s_total == 0) {
+    return Status::InvalidArgument("trajectory graph has zero popularity");
+  }
+
+  // Initial simple clusters, one per trajectory-graph vertex.
+  std::vector<Cluster> clusters;
+  clusters.reserve(2 * graph.vertices().size());
+  std::unordered_map<VertexId, uint32_t> cluster_of;
+  for (const VertexId v : graph.vertices()) {
+    Cluster c;
+    c.is_simple = true;
+    c.popularity = graph.VertexPopularity(v);
+    c.members.push_back(v);
+    cluster_of.emplace(v, static_cast<uint32_t>(clusters.size()));
+    clusters.push_back(std::move(c));
+  }
+  for (const TrajectoryGraph::Edge& e : graph.edges()) {
+    const uint32_t cu = cluster_of.at(e.u);
+    const uint32_t cv = cluster_of.at(e.v);
+    AdjInfo info;
+    info.pop = e.popularity;
+    info.pop_by_type[static_cast<int>(e.road_type)] = e.popularity;
+    clusters[cu].adj[cv].Add(info);
+    clusters[cv].adj[cu].Add(info);
+  }
+
+  IndexedMaxHeap<uint64_t> pq(2 * clusters.size() + 1);
+  for (uint32_t c = 0; c < clusters.size(); ++c) {
+    pq.Push(c, clusters[c].popularity);
+  }
+
+  auto finalize_region = [&](uint32_t c) {
+    Cluster& cl = clusters[c];
+    cl.alive = false;
+    const RegionId r = static_cast<RegionId>(out.regions.size());
+    for (const VertexId v : cl.members) out.vertex_region[v] = r;
+    std::sort(cl.members.begin(), cl.members.end());
+    out.regions.push_back(std::move(cl.members));
+    out.region_road_type.push_back(cl.road_type);
+    out.region_popularity.push_back(cl.popularity);
+  };
+
+  // CheckQ (Sec. IV-A): positive modularity gain plus the Table I
+  // road-type conditions.
+  auto check_q = [&](uint32_t k, uint32_t j, const AdjInfo& info) {
+    const double gain = ModularityGain(info.pop, clusters[k].popularity,
+                                       clusters[j].popularity, s_total);
+    if (gain <= 0) return false;
+    const Cluster& ck = clusters[k];
+    const Cluster& cj = clusters[j];
+    const RoadType edge_type = info.DominantType();
+    if (ck.is_simple && cj.is_simple) return true;
+    if (ck.is_simple && !cj.is_simple) return *cj.road_type == edge_type;
+    if (!ck.is_simple && cj.is_simple) return *ck.road_type == edge_type;
+    return *ck.road_type == *cj.road_type;
+  };
+
+  while (!pq.empty()) {
+    const auto [k, pop_k] = pq.Pop();
+    (void)pop_k;
+    Cluster& ck = clusters[k];
+    L2R_DCHECK(ck.alive);
+
+    if (ck.adj.empty()) {  // line 19: isolated cluster becomes a region
+      finalize_region(k);
+      continue;
+    }
+
+    // VA: adjacent clusters, sorted for determinism.
+    std::vector<uint32_t> va;
+    va.reserve(ck.adj.size());
+    for (const auto& [j, info] : ck.adj) va.push_back(j);
+    std::sort(va.begin(), va.end());
+
+    // VB: qualified neighbors (CheckQ).
+    std::vector<uint32_t> vb;
+    for (const uint32_t j : va) {
+      if (check_q(k, j, ck.adj.at(j))) vb.push_back(j);
+    }
+
+    // SelectM: aggregates take all of VB; a simple vertex takes the
+    // largest same-incident-road-type subset.
+    std::vector<uint32_t> vb_sel;
+    if (!ck.is_simple) {
+      vb_sel = vb;
+    } else if (!vb.empty()) {
+      std::array<std::vector<uint32_t>, kNumRoadTypes> by_type;
+      for (const uint32_t j : vb) {
+        by_type[static_cast<int>(ck.adj.at(j).DominantType())].push_back(j);
+      }
+      int best = 0;
+      for (int t = 1; t < kNumRoadTypes; ++t) {
+        if (by_type[t].size() > by_type[best].size()) best = t;
+      }
+      vb_sel = by_type[best];
+    }
+
+    // Lines 12-13: cut edges to all non-selected neighbors.
+    for (const uint32_t j : va) {
+      if (std::find(vb_sel.begin(), vb_sel.end(), j) != vb_sel.end()) {
+        continue;
+      }
+      ck.adj.erase(j);
+      clusters[j].adj.erase(k);
+    }
+
+    if (vb_sel.empty()) {
+      // All edges cut; re-queuing would pop it straight into a region.
+      finalize_region(k);
+      continue;
+    }
+
+    // Merge k with vb_sel into a new aggregate cluster.
+    Cluster merged;
+    merged.is_simple = false;
+    if (!ck.is_simple) {
+      merged.road_type = ck.road_type;
+    } else {
+      // For a simple vk the selected subset shares one incident edge type.
+      merged.road_type = ck.adj.at(vb_sel.front()).DominantType();
+    }
+
+    std::vector<uint32_t> merge_set;
+    merge_set.push_back(k);
+    merge_set.insert(merge_set.end(), vb_sel.begin(), vb_sel.end());
+
+    const uint32_t new_id = static_cast<uint32_t>(clusters.size());
+    std::unordered_map<uint32_t, AdjInfo> new_adj;
+    for (const uint32_t c : merge_set) {
+      Cluster& cl = clusters[c];
+      merged.popularity += cl.popularity;
+      merged.members.insert(merged.members.end(), cl.members.begin(),
+                            cl.members.end());
+      for (const auto& [nbr, info] : cl.adj) {
+        if (std::find(merge_set.begin(), merge_set.end(), nbr) !=
+            merge_set.end()) {
+          continue;  // internal edge disappears
+        }
+        new_adj[nbr].Add(info);
+      }
+      cl.alive = false;
+      cl.members.clear();
+      cl.adj.clear();
+      pq.Remove(c);  // vb_sel members are still queued; k already popped
+    }
+    // Rewire neighbors to the new aggregate id.
+    for (const auto& [nbr, info] : new_adj) {
+      Cluster& cn = clusters[nbr];
+      for (const uint32_t c : merge_set) cn.adj.erase(c);
+      cn.adj[new_id] = info;
+    }
+    merged.adj = std::move(new_adj);
+
+    clusters.push_back(std::move(merged));
+    pq.Reserve(clusters.size() + 1);
+    pq.Push(new_id, clusters[new_id].popularity);
+  }
+
+  return out;
+}
+
+}  // namespace l2r

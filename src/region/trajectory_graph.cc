@@ -1,0 +1,69 @@
+#include "region/trajectory_graph.h"
+
+#include <algorithm>
+
+namespace l2r {
+
+namespace {
+uint64_t PairKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+Result<TrajectoryGraph> TrajectoryGraph::Build(
+    const RoadNetwork& net, const std::vector<MatchedTrajectory>& trajs) {
+  TrajectoryGraph g;
+  std::unordered_map<uint64_t, uint32_t> edge_index;
+
+  for (const MatchedTrajectory& t : trajs) {
+    for (size_t i = 0; i + 1 < t.path.size(); ++i) {
+      const VertexId a = t.path[i];
+      const VertexId b = t.path[i + 1];
+      if (a >= net.NumVertices() || b >= net.NumVertices()) {
+        return Status::InvalidArgument("trajectory vertex out of range");
+      }
+      if (a == b) continue;
+      const uint64_t key = PairKey(a, b);
+      auto [it, inserted] = edge_index.try_emplace(
+          key, static_cast<uint32_t>(g.edges_.size()));
+      if (inserted) {
+        Edge e;
+        e.u = std::min(a, b);
+        e.v = std::max(a, b);
+        EdgeId road_edge = net.FindEdge(a, b);
+        if (road_edge == kInvalidEdge) road_edge = net.FindEdge(b, a);
+        if (road_edge == kInvalidEdge) {
+          return Status::InvalidArgument(
+              "trajectory hop is not a road edge: " + std::to_string(a) +
+              "->" + std::to_string(b));
+        }
+        e.road_type = net.EdgeRoadType(road_edge);
+        g.edges_.push_back(e);
+      }
+      ++g.edges_[it->second].popularity;
+    }
+  }
+
+  for (uint32_t ei = 0; ei < g.edges_.size(); ++ei) {
+    const Edge& e = g.edges_[ei];
+    g.total_popularity_ += e.popularity;
+    g.vertex_pop_[e.u] += e.popularity;
+    g.vertex_pop_[e.v] += e.popularity;
+    g.incident_[e.u].push_back(ei);
+    g.incident_[e.v].push_back(ei);
+  }
+  g.vertices_.reserve(g.vertex_pop_.size());
+  for (const auto& [v, pop] : g.vertex_pop_) g.vertices_.push_back(v);
+  std::sort(g.vertices_.begin(), g.vertices_.end());
+  return g;
+}
+
+const std::vector<uint32_t>& TrajectoryGraph::IncidentEdges(
+    VertexId v) const {
+  static const std::vector<uint32_t> kEmpty;
+  const auto it = incident_.find(v);
+  return it == incident_.end() ? kEmpty : it->second;
+}
+
+}  // namespace l2r

@@ -1,0 +1,61 @@
+#ifndef L2R_REGION_TRAJECTORY_GRAPH_H_
+#define L2R_REGION_TRAJECTORY_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace l2r {
+
+/// The trajectory graph G' (Sec. IV-A): the undirected subgraph of the road
+/// network induced by edges traversed by at least one trajectory, with
+/// popularity annotations:
+///   s_ij = number of trajectory traversals of edge {vi, vj}
+///   S_i  = sum of s_ij over edges incident to vi
+///   S    = sum of s_ij over all edges.
+class TrajectoryGraph {
+ public:
+  /// An undirected edge of the trajectory graph.
+  struct Edge {
+    VertexId u = kInvalidVertex;  ///< u < v canonical order
+    VertexId v = kInvalidVertex;
+    uint64_t popularity = 0;      ///< s_uv
+    RoadType road_type = RoadType::kResidential;
+  };
+
+  /// Builds the trajectory graph from matched trajectories. Traversals of
+  /// (u,v) and (v,u) count toward the same undirected edge. The edge road
+  /// type is taken from the road network.
+  static Result<TrajectoryGraph> Build(
+      const RoadNetwork& net, const std::vector<MatchedTrajectory>& trajs);
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  /// Vertices traversed by at least one trajectory.
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+
+  uint64_t total_popularity() const { return total_popularity_; }  ///< S
+
+  /// S_i of a vertex (0 for vertices not in the graph).
+  uint64_t VertexPopularity(VertexId v) const {
+    const auto it = vertex_pop_.find(v);
+    return it == vertex_pop_.end() ? 0 : it->second;
+  }
+
+  /// Incident trajectory-graph edge indices of `v`.
+  const std::vector<uint32_t>& IncidentEdges(VertexId v) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<VertexId> vertices_;
+  uint64_t total_popularity_ = 0;
+  std::unordered_map<VertexId, uint64_t> vertex_pop_;
+  std::unordered_map<VertexId, std::vector<uint32_t>> incident_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_REGION_TRAJECTORY_GRAPH_H_

@@ -1,0 +1,82 @@
+#ifndef L2R_ROADNET_GENERATOR_H_
+#define L2R_ROADNET_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "roadnet/road_network.h"
+
+namespace l2r {
+
+/// Urban-planning district classes used by the synthetic world model. The
+/// generator assigns one to every vertex; the trajectory generator's latent
+/// driver preferences key on district types (see DESIGN.md substitutions).
+/// L2R itself never sees districts — it only sees the network and
+/// trajectories, exactly like the paper.
+enum class DistrictType : uint8_t {
+  kCityCenter = 0,
+  kBusiness = 1,
+  kResidential = 2,
+  kIndustrial = 3,
+  kSuburb = 4,
+  kRural = 5,
+};
+inline constexpr int kNumDistrictTypes = 6;
+
+const char* DistrictTypeName(DistrictType t);
+
+/// Peak-hour congestion multiplier on free-flow speed for a district.
+double DistrictPeakFactor(DistrictType t);
+
+/// Network shapes mirroring the paper's two datasets:
+///  - kCity:  one dense city (Chengdu-like N2 shape).
+///  - kMetro: a main city plus satellite towns connected by motorways
+///            (Denmark-like N1 shape, long-distance trips possible).
+enum class NetworkStyle : uint8_t { kCity = 0, kMetro = 1 };
+
+/// Parameters of the synthetic road-network generator.
+struct NetworkGenConfig {
+  NetworkStyle style = NetworkStyle::kCity;
+  uint64_t seed = 42;
+
+  /// Size of the (main) city patch.
+  double city_width_m = 16000;
+  double city_height_m = 12000;
+  /// Fine street-grid spacing inside a city patch.
+  double block_spacing_m = 250;
+  /// Position jitter as a fraction of spacing.
+  double jitter_frac = 0.18;
+
+  /// Metro style only: satellite towns around the main city.
+  int num_satellite_towns = 5;
+  /// Metro style only: ring radius at which satellites are placed.
+  double metro_radius_m = 32000;
+  /// Metro style only: satellite patch size relative to the main city.
+  double satellite_scale = 0.4;
+
+  /// Emit a motorway ring around city patches.
+  bool motorway_ring = true;
+};
+
+/// A generated network plus the world-model ground truth that the
+/// trajectory generator needs (per-vertex district types).
+struct GeneratedNetwork {
+  RoadNetwork net;
+  std::vector<DistrictType> vertex_district;
+  std::array<std::vector<VertexId>, kNumDistrictTypes> vertices_by_district;
+  size_t num_patches = 0;
+
+  DistrictType VertexDistrict(VertexId v) const {
+    return vertex_district[v];
+  }
+};
+
+/// Generates a synthetic hierarchical road network (see DESIGN.md §2).
+/// Deterministic in `config.seed`.
+Result<GeneratedNetwork> GenerateNetwork(const NetworkGenConfig& config);
+
+}  // namespace l2r
+
+#endif  // L2R_ROADNET_GENERATOR_H_

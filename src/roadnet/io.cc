@@ -1,0 +1,92 @@
+#include "roadnet/io.h"
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace l2r {
+
+Status SaveNetwork(const GeneratedNetwork& gn, const std::string& prefix) {
+  const RoadNetwork& net = gn.net;
+  std::vector<std::vector<std::string>> vrows;
+  vrows.reserve(net.NumVertices());
+  for (VertexId v = 0; v < net.NumVertices(); ++v) {
+    const Point& p = net.VertexPos(v);
+    vrows.push_back({std::to_string(v), StrFormat("%.3f", p.x),
+                     StrFormat("%.3f", p.y),
+                     std::to_string(static_cast<int>(gn.vertex_district[v]))});
+  }
+  L2R_RETURN_NOT_OK(WriteCsvFile(prefix + ".vertices.csv",
+                                 {"id", "x", "y", "district"}, vrows));
+
+  std::vector<std::vector<std::string>> erows;
+  erows.reserve(net.NumEdges());
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    const EdgeRecord& r = net.edge(e);
+    erows.push_back({std::to_string(r.from), std::to_string(r.to),
+                     StrFormat("%.3f", static_cast<double>(r.length_m)),
+                     StrFormat("%.3f", static_cast<double>(r.speed_offpeak_kmh)),
+                     StrFormat("%.3f", static_cast<double>(r.speed_peak_kmh)),
+                     std::to_string(static_cast<int>(r.road_type))});
+  }
+  return WriteCsvFile(
+      prefix + ".edges.csv",
+      {"from", "to", "length_m", "speed_offpeak", "speed_peak", "type"},
+      erows);
+}
+
+Result<GeneratedNetwork> LoadNetwork(const std::string& prefix) {
+  L2R_ASSIGN_OR_RETURN(auto vrows, ReadCsvFile(prefix + ".vertices.csv"));
+  L2R_ASSIGN_OR_RETURN(auto erows, ReadCsvFile(prefix + ".edges.csv"));
+
+  GeneratedNetwork out;
+  RoadNetworkBuilder builder;
+  bool first = true;
+  for (const auto& row : vrows) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (row.size() != 4) return Status::IOError("bad vertex row");
+    L2R_ASSIGN_OR_RETURN(const double x, ParseDouble(row[1]));
+    L2R_ASSIGN_OR_RETURN(const double y, ParseDouble(row[2]));
+    L2R_ASSIGN_OR_RETURN(const int64_t d, ParseInt(row[3]));
+    if (d < 0 || d >= kNumDistrictTypes) {
+      return Status::IOError("bad district id");
+    }
+    builder.AddVertex(Point(x, y));
+    out.vertex_district.push_back(static_cast<DistrictType>(d));
+  }
+
+  first = true;
+  for (const auto& row : erows) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    if (row.size() != 6) return Status::IOError("bad edge row");
+    L2R_ASSIGN_OR_RETURN(const int64_t from, ParseInt(row[0]));
+    L2R_ASSIGN_OR_RETURN(const int64_t to, ParseInt(row[1]));
+    L2R_ASSIGN_OR_RETURN(const double length, ParseDouble(row[2]));
+    L2R_ASSIGN_OR_RETURN(const double so, ParseDouble(row[3]));
+    L2R_ASSIGN_OR_RETURN(const double sp, ParseDouble(row[4]));
+    L2R_ASSIGN_OR_RETURN(const int64_t type, ParseInt(row[5]));
+    if (type < 0 || type >= kNumRoadTypes) {
+      return Status::IOError("bad road type");
+    }
+    builder.AddEdge(static_cast<VertexId>(from), static_cast<VertexId>(to),
+                    static_cast<RoadType>(type), so, sp, length);
+  }
+
+  L2R_ASSIGN_OR_RETURN(out.net, builder.Build());
+  if (out.vertex_district.size() != out.net.NumVertices()) {
+    return Status::IOError("vertex/district count mismatch");
+  }
+  for (VertexId v = 0; v < out.net.NumVertices(); ++v) {
+    out.vertices_by_district[static_cast<size_t>(out.vertex_district[v])]
+        .push_back(v);
+  }
+  out.num_patches = 1;
+  return out;
+}
+
+}  // namespace l2r

@@ -1,0 +1,19 @@
+#ifndef L2R_ROADNET_IO_H_
+#define L2R_ROADNET_IO_H_
+
+#include <string>
+
+#include "roadnet/generator.h"
+
+namespace l2r {
+
+/// Saves a generated network to `<prefix>.vertices.csv` (id,x,y,district)
+/// and `<prefix>.edges.csv` (from,to,length_m,speed_offpeak,speed_peak,type).
+Status SaveNetwork(const GeneratedNetwork& gn, const std::string& prefix);
+
+/// Loads a network previously written by SaveNetwork.
+Result<GeneratedNetwork> LoadNetwork(const std::string& prefix);
+
+}  // namespace l2r
+
+#endif  // L2R_ROADNET_IO_H_

@@ -1,0 +1,131 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "roadnet/weights.h"
+
+namespace l2r {
+
+EdgeId RoadNetwork::FindEdge(VertexId u, VertexId v) const {
+  for (EdgeId e : OutEdges(u)) {
+    if (edges_[e].to == v) return e;
+  }
+  return kInvalidEdge;
+}
+
+double RoadNetwork::EdgeFuelMl(EdgeId e, TimePeriod p) const {
+  const EdgeRecord& r = edges_[e];
+  return FuelMilliliters(r.length_m, r.SpeedKmh(p));
+}
+
+Result<double> RoadNetwork::PathLengthM(
+    const std::vector<VertexId>& path) const {
+  L2R_ASSIGN_OR_RETURN(std::vector<EdgeId> edges, PathToEdges(path));
+  double total = 0;
+  for (EdgeId e : edges) total += EdgeLengthM(e);
+  return total;
+}
+
+Result<double> RoadNetwork::PathTravelTimeS(const std::vector<VertexId>& path,
+                                            TimePeriod p) const {
+  L2R_ASSIGN_OR_RETURN(std::vector<EdgeId> edges, PathToEdges(path));
+  double total = 0;
+  for (EdgeId e : edges) total += EdgeTravelTimeS(e, p);
+  return total;
+}
+
+Result<std::vector<EdgeId>> RoadNetwork::PathToEdges(
+    const std::vector<VertexId>& path) const {
+  std::vector<EdgeId> out;
+  if (path.size() < 2) return out;
+  out.reserve(path.size() - 1);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const EdgeId e = FindEdge(path[i], path[i + 1]);
+    if (e == kInvalidEdge) {
+      return Status::NotFound("no edge " + std::to_string(path[i]) + "->" +
+                              std::to_string(path[i + 1]));
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+EdgeId RoadNetworkBuilder::AddEdge(VertexId from, VertexId to, RoadType type,
+                                   double speed_offpeak_kmh,
+                                   double speed_peak_kmh, double length_m) {
+  L2R_CHECK(from < positions_.size());
+  L2R_CHECK(to < positions_.size());
+  EdgeRecord rec;
+  rec.from = from;
+  rec.to = to;
+  rec.road_type = type;
+  rec.speed_offpeak_kmh = static_cast<float>(speed_offpeak_kmh);
+  rec.speed_peak_kmh = static_cast<float>(speed_peak_kmh);
+  rec.length_m = static_cast<float>(
+      length_m >= 0 ? length_m : Dist(positions_[from], positions_[to]));
+  edges_.push_back(rec);
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+EdgeId RoadNetworkBuilder::AddTwoWayEdge(VertexId from, VertexId to,
+                                         RoadType type,
+                                         double speed_offpeak_kmh,
+                                         double speed_peak_kmh,
+                                         double length_m) {
+  const EdgeId first = AddEdge(from, to, type, speed_offpeak_kmh,
+                               speed_peak_kmh, length_m);
+  AddEdge(to, from, type, speed_offpeak_kmh, speed_peak_kmh, length_m);
+  return first;
+}
+
+Result<RoadNetwork> RoadNetworkBuilder::Build() {
+  for (const EdgeRecord& e : edges_) {
+    if (e.from == e.to) {
+      return Status::InvalidArgument("self-loop edge at vertex " +
+                                     std::to_string(e.from));
+    }
+    if (e.length_m <= 0) {
+      return Status::InvalidArgument("non-positive edge length");
+    }
+    if (e.speed_offpeak_kmh <= 0 || e.speed_peak_kmh <= 0) {
+      return Status::InvalidArgument("non-positive edge speed");
+    }
+  }
+
+  RoadNetwork net;
+  net.positions_ = std::move(positions_);
+  net.edges_ = std::move(edges_);
+  positions_.clear();
+  edges_.clear();
+
+  const size_t n = net.positions_.size();
+  const size_t m = net.edges_.size();
+
+  net.out_offsets_.assign(n + 1, 0);
+  net.in_offsets_.assign(n + 1, 0);
+  for (const EdgeRecord& e : net.edges_) {
+    ++net.out_offsets_[e.from + 1];
+    ++net.in_offsets_[e.to + 1];
+  }
+  std::partial_sum(net.out_offsets_.begin(), net.out_offsets_.end(),
+                   net.out_offsets_.begin());
+  std::partial_sum(net.in_offsets_.begin(), net.in_offsets_.end(),
+                   net.in_offsets_.begin());
+
+  net.out_ids_.resize(m);
+  net.in_ids_.resize(m);
+  std::vector<uint32_t> out_cursor(net.out_offsets_.begin(),
+                                   net.out_offsets_.end() - 1);
+  std::vector<uint32_t> in_cursor(net.in_offsets_.begin(),
+                                  net.in_offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    net.out_ids_[out_cursor[net.edges_[e].from]++] = e;
+    net.in_ids_[in_cursor[net.edges_[e].to]++] = e;
+  }
+
+  for (const Point& p : net.positions_) net.bounds_.Extend(p);
+  return net;
+}
+
+}  // namespace l2r

@@ -1,0 +1,156 @@
+#ifndef L2R_ROADNET_ROAD_NETWORK_H_
+#define L2R_ROADNET_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/geo.h"
+#include "common/result.h"
+#include "roadnet/road_types.h"
+
+namespace l2r {
+
+using VertexId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+inline constexpr EdgeId kInvalidEdge = 0xFFFFFFFFu;
+
+/// Time period used for travel-time weights. The paper builds separate peak
+/// and off-peak region graphs (Sec. III, Scope (1)).
+enum class TimePeriod : uint8_t { kOffPeak = 0, kPeak = 1 };
+inline constexpr int kNumTimePeriods = 2;
+
+/// A directed road segment.
+struct EdgeRecord {
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  float length_m = 0;
+  float speed_offpeak_kmh = 50;
+  float speed_peak_kmh = 50;
+  RoadType road_type = RoadType::kResidential;
+
+  float SpeedKmh(TimePeriod p) const {
+    return p == TimePeriod::kPeak ? speed_peak_kmh : speed_offpeak_kmh;
+  }
+};
+
+/// Axis-aligned bounding box in planar meters.
+struct BoundingBox {
+  Point min{1e300, 1e300};
+  Point max{-1e300, -1e300};
+
+  void Extend(const Point& p) {
+    min.x = p.x < min.x ? p.x : min.x;
+    min.y = p.y < min.y ? p.y : min.y;
+    max.x = p.x > max.x ? p.x : max.x;
+    max.y = p.y > max.y ? p.y : max.y;
+  }
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+};
+
+/// Immutable directed road network G = (V, E, W) with CSR adjacency in both
+/// directions. Weight functions W (distance, travel time, fuel, road type)
+/// are exposed per edge; bulk weight arrays live in roadnet/weights.h.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  size_t NumVertices() const { return positions_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  const Point& VertexPos(VertexId v) const {
+    L2R_DCHECK(v < positions_.size());
+    return positions_[v];
+  }
+
+  const EdgeRecord& edge(EdgeId e) const {
+    L2R_DCHECK(e < edges_.size());
+    return edges_[e];
+  }
+
+  /// Outgoing edge ids of `v`.
+  std::span<const EdgeId> OutEdges(VertexId v) const {
+    L2R_DCHECK(v < positions_.size());
+    return {out_ids_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// Incoming edge ids of `v`.
+  std::span<const EdgeId> InEdges(VertexId v) const {
+    L2R_DCHECK(v < positions_.size());
+    return {in_ids_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// First edge from `u` to `v`, or kInvalidEdge.
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  /// Weight functions (Sec. III): wDI, wTT, wFC, wRT.
+  double EdgeLengthM(EdgeId e) const { return edges_[e].length_m; }
+  double EdgeTravelTimeS(EdgeId e, TimePeriod p) const {
+    const EdgeRecord& r = edges_[e];
+    return static_cast<double>(r.length_m) / (r.SpeedKmh(p) / 3.6);
+  }
+  /// Fuel consumption in milliliters (see FuelMilliliters in weights.h).
+  double EdgeFuelMl(EdgeId e, TimePeriod p) const;
+  RoadType EdgeRoadType(EdgeId e) const { return edges_[e].road_type; }
+
+  const BoundingBox& bounds() const { return bounds_; }
+
+  /// Sum of wDI over a vertex path; Status if the path is not connected.
+  Result<double> PathLengthM(const std::vector<VertexId>& path) const;
+  /// Sum of wTT over a vertex path.
+  Result<double> PathTravelTimeS(const std::vector<VertexId>& path,
+                                 TimePeriod p) const;
+  /// Resolves a vertex path to edge ids; Status if some hop has no edge.
+  Result<std::vector<EdgeId>> PathToEdges(
+      const std::vector<VertexId>& path) const;
+
+ private:
+  friend class RoadNetworkBuilder;
+
+  std::vector<Point> positions_;
+  std::vector<EdgeRecord> edges_;
+  std::vector<uint32_t> out_offsets_;  // size n+1
+  std::vector<EdgeId> out_ids_;
+  std::vector<uint32_t> in_offsets_;   // size n+1
+  std::vector<EdgeId> in_ids_;
+  BoundingBox bounds_;
+};
+
+/// Accumulates vertices/edges and finalizes into an immutable RoadNetwork.
+class RoadNetworkBuilder {
+ public:
+  VertexId AddVertex(const Point& pos) {
+    positions_.push_back(pos);
+    return static_cast<VertexId>(positions_.size() - 1);
+  }
+
+  /// Adds a one-way edge; length defaults to the Euclidean distance.
+  EdgeId AddEdge(VertexId from, VertexId to, RoadType type,
+                 double speed_offpeak_kmh, double speed_peak_kmh,
+                 double length_m = -1);
+
+  /// Adds both directions with identical attributes; returns the first id.
+  EdgeId AddTwoWayEdge(VertexId from, VertexId to, RoadType type,
+                       double speed_offpeak_kmh, double speed_peak_kmh,
+                       double length_m = -1);
+
+  size_t NumVertices() const { return positions_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+  const Point& VertexPos(VertexId v) const { return positions_[v]; }
+
+  /// Validates and finalizes. The builder is left empty.
+  Result<RoadNetwork> Build();
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<EdgeRecord> edges_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_ROADNET_ROAD_NETWORK_H_

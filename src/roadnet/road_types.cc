@@ -1,0 +1,53 @@
+#include "roadnet/road_types.h"
+
+namespace l2r {
+
+const char* RoadTypeName(RoadType t) {
+  switch (t) {
+    case RoadType::kMotorway:
+      return "motorway";
+    case RoadType::kTrunk:
+      return "trunk";
+    case RoadType::kPrimary:
+      return "primary";
+    case RoadType::kSecondary:
+      return "secondary";
+    case RoadType::kTertiary:
+      return "tertiary";
+    case RoadType::kResidential:
+      return "residential";
+  }
+  return "unknown";
+}
+
+std::string RoadTypeMaskName(RoadTypeMask mask) {
+  if (mask == 0) return "none";
+  std::string out;
+  for (int i = 0; i < kNumRoadTypes; ++i) {
+    if (MaskContains(mask, static_cast<RoadType>(i))) {
+      if (!out.empty()) out += '|';
+      out += RoadTypeName(static_cast<RoadType>(i));
+    }
+  }
+  return out;
+}
+
+double RoadTypeBaseSpeedKmh(RoadType t) {
+  switch (t) {
+    case RoadType::kMotorway:
+      return 110.0;
+    case RoadType::kTrunk:
+      return 90.0;
+    case RoadType::kPrimary:
+      return 65.0;
+    case RoadType::kSecondary:
+      return 55.0;
+    case RoadType::kTertiary:
+      return 45.0;
+    case RoadType::kResidential:
+      return 30.0;
+  }
+  return 50.0;
+}
+
+}  // namespace l2r

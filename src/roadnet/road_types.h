@@ -1,0 +1,43 @@
+#ifndef L2R_ROADNET_ROAD_TYPES_H_
+#define L2R_ROADNET_ROAD_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace l2r {
+
+/// The six OpenStreetMap road classes the paper uses as road-condition
+/// features (Sec. VII-A: motorway, trunk, primary, secondary, tertiary,
+/// residential).
+enum class RoadType : uint8_t {
+  kMotorway = 0,
+  kTrunk = 1,
+  kPrimary = 2,
+  kSecondary = 3,
+  kTertiary = 4,
+  kResidential = 5,
+};
+
+inline constexpr int kNumRoadTypes = 6;
+
+const char* RoadTypeName(RoadType t);
+
+/// Bitmask over road types; bit i corresponds to RoadType(i).
+using RoadTypeMask = uint8_t;
+
+inline constexpr RoadTypeMask RoadTypeBit(RoadType t) {
+  return static_cast<RoadTypeMask>(1u << static_cast<uint8_t>(t));
+}
+inline constexpr bool MaskContains(RoadTypeMask mask, RoadType t) {
+  return (mask & RoadTypeBit(t)) != 0;
+}
+
+/// Comma-separated names of the set bits, e.g. "motorway|trunk".
+std::string RoadTypeMaskName(RoadTypeMask mask);
+
+/// Free-flow (off-peak) design speed of a road class, km/h.
+double RoadTypeBaseSpeedKmh(RoadType t);
+
+}  // namespace l2r
+
+#endif  // L2R_ROADNET_ROAD_TYPES_H_

@@ -1,0 +1,177 @@
+#include "roadnet/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace l2r {
+
+SpatialGrid::SpatialGrid(const RoadNetwork& net, double cell_size_m)
+    : net_(net), cell_size_(cell_size_m) {
+  L2R_CHECK(cell_size_m > 0);
+  const BoundingBox& bb = net.bounds();
+  if (net.NumVertices() == 0) {
+    origin_x_ = 0;
+    origin_y_ = 0;
+    vertex_offsets_.assign(2, 0);
+    edge_offsets_.assign(2, 0);
+    return;
+  }
+  origin_x_ = bb.min.x;
+  origin_y_ = bb.min.y;
+  nx_ = std::max(1, static_cast<int>(bb.width() / cell_size_) + 1);
+  ny_ = std::max(1, static_cast<int>(bb.height() / cell_size_) + 1);
+  const size_t cells = static_cast<size_t>(nx_) * static_cast<size_t>(ny_);
+
+  // Vertices: counting sort into cells.
+  vertex_offsets_.assign(cells + 1, 0);
+  for (VertexId v = 0; v < net.NumVertices(); ++v) {
+    const Point& p = net.VertexPos(v);
+    ++vertex_offsets_[CellIndex(CellX(p.x), CellY(p.y)) + 1];
+  }
+  std::partial_sum(vertex_offsets_.begin(), vertex_offsets_.end(),
+                   vertex_offsets_.begin());
+  vertex_items_.resize(net.NumVertices());
+  {
+    std::vector<uint32_t> cursor(vertex_offsets_.begin(),
+                                 vertex_offsets_.end() - 1);
+    for (VertexId v = 0; v < net.NumVertices(); ++v) {
+      const Point& p = net.VertexPos(v);
+      vertex_items_[cursor[CellIndex(CellX(p.x), CellY(p.y))]++] = v;
+    }
+  }
+
+  // Edges: insert into every cell the segment's bbox overlaps.
+  std::vector<uint32_t> counts(cells + 1, 0);
+  auto for_each_cell = [&](EdgeId e, auto&& fn) {
+    const EdgeRecord& rec = net.edge(e);
+    const Point& a = net.VertexPos(rec.from);
+    const Point& b = net.VertexPos(rec.to);
+    const int cx0 = CellX(std::min(a.x, b.x));
+    const int cx1 = CellX(std::max(a.x, b.x));
+    const int cy0 = CellY(std::min(a.y, b.y));
+    const int cy1 = CellY(std::max(a.y, b.y));
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        fn(CellIndex(cx, cy));
+      }
+    }
+  };
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    for_each_cell(e, [&](size_t c) { ++counts[c + 1]; });
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+  edge_offsets_ = counts;
+  edge_items_.resize(edge_offsets_.back());
+  {
+    std::vector<uint32_t> cursor(edge_offsets_.begin(),
+                                 edge_offsets_.end() - 1);
+    for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+      for_each_cell(e, [&](size_t c) { edge_items_[cursor[c]++] = e; });
+    }
+  }
+}
+
+int SpatialGrid::CellX(double x) const {
+  int cx = static_cast<int>((x - origin_x_) / cell_size_);
+  return std::clamp(cx, 0, nx_ - 1);
+}
+
+int SpatialGrid::CellY(double y) const {
+  int cy = static_cast<int>((y - origin_y_) / cell_size_);
+  return std::clamp(cy, 0, ny_ - 1);
+}
+
+VertexId SpatialGrid::NearestVertex(const Point& p) const {
+  if (net_.NumVertices() == 0) return kInvalidVertex;
+  const int pcx = CellX(p.x);
+  const int pcy = CellY(p.y);
+  VertexId best = kInvalidVertex;
+  double best_d2 = 1e300;
+  // Expanding ring search; stop once the closed ring distance exceeds the
+  // best found distance.
+  const int max_ring = std::max(nx_, ny_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    if (best != kInvalidVertex) {
+      const double ring_min_dist =
+          (static_cast<double>(ring) - 1.0) * cell_size_;
+      if (ring_min_dist > 0 && ring_min_dist * ring_min_dist > best_d2) break;
+    }
+    const int cx0 = std::max(0, pcx - ring);
+    const int cx1 = std::min(nx_ - 1, pcx + ring);
+    const int cy0 = std::max(0, pcy - ring);
+    const int cy1 = std::min(ny_ - 1, pcy + ring);
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        // Only the ring boundary (interior already scanned).
+        if (ring > 0 && cx != cx0 && cx != cx1 && cy != cy0 && cy != cy1) {
+          continue;
+        }
+        const size_t c = CellIndex(cx, cy);
+        for (uint32_t i = vertex_offsets_[c]; i < vertex_offsets_[c + 1];
+             ++i) {
+          const VertexId v = vertex_items_[i];
+          const double d2 = DistSq(p, net_.VertexPos(v));
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = v;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<VertexId> SpatialGrid::VerticesInRadius(const Point& p,
+                                                    double radius_m) const {
+  std::vector<VertexId> out;
+  if (net_.NumVertices() == 0) return out;
+  const double r2 = radius_m * radius_m;
+  const int cx0 = CellX(p.x - radius_m);
+  const int cx1 = CellX(p.x + radius_m);
+  const int cy0 = CellY(p.y - radius_m);
+  const int cy1 = CellY(p.y + radius_m);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      const size_t c = CellIndex(cx, cy);
+      for (uint32_t i = vertex_offsets_[c]; i < vertex_offsets_[c + 1]; ++i) {
+        const VertexId v = vertex_items_[i];
+        if (DistSq(p, net_.VertexPos(v)) <= r2) out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeId> SpatialGrid::EdgesNear(const Point& p,
+                                           double radius_m) const {
+  std::vector<EdgeId> out;
+  if (net_.NumEdges() == 0) return out;
+  const int cx0 = CellX(p.x - radius_m);
+  const int cx1 = CellX(p.x + radius_m);
+  const int cy0 = CellY(p.y - radius_m);
+  const int cy1 = CellY(p.y + radius_m);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      const size_t c = CellIndex(cx, cy);
+      for (uint32_t i = edge_offsets_[c]; i < edge_offsets_[c + 1]; ++i) {
+        out.push_back(edge_items_[i]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Filter by true segment distance.
+  std::vector<EdgeId> filtered;
+  filtered.reserve(out.size());
+  for (EdgeId e : out) {
+    const EdgeRecord& rec = net_.edge(e);
+    const SegmentProjection sp = ProjectPointToSegment(
+        p, net_.VertexPos(rec.from), net_.VertexPos(rec.to));
+    if (sp.distance <= radius_m) filtered.push_back(e);
+  }
+  return filtered;
+}
+
+}  // namespace l2r

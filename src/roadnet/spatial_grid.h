@@ -1,0 +1,53 @@
+#ifndef L2R_ROADNET_SPATIAL_GRID_H_
+#define L2R_ROADNET_SPATIAL_GRID_H_
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace l2r {
+
+/// Uniform-grid spatial index over a road network's vertices and edges.
+/// Supports nearest-vertex queries (expanding ring search) and edge
+/// candidate retrieval for map matching.
+class SpatialGrid {
+ public:
+  /// `cell_size_m` trades memory for query selectivity; ~150-400 m works
+  /// well for city networks.
+  SpatialGrid(const RoadNetwork& net, double cell_size_m);
+
+  /// Nearest vertex to `p` by Euclidean distance. kInvalidVertex only when
+  /// the network has no vertices.
+  VertexId NearestVertex(const Point& p) const;
+
+  /// All vertices within `radius_m` of `p`.
+  std::vector<VertexId> VerticesInRadius(const Point& p,
+                                         double radius_m) const;
+
+  /// Edges whose segment comes within `radius_m` of `p` (deduplicated).
+  std::vector<EdgeId> EdgesNear(const Point& p, double radius_m) const;
+
+ private:
+  int CellX(double x) const;
+  int CellY(double y) const;
+  size_t CellIndex(int cx, int cy) const {
+    return static_cast<size_t>(cy) * static_cast<size_t>(nx_) +
+           static_cast<size_t>(cx);
+  }
+
+  const RoadNetwork& net_;
+  double cell_size_;
+  double origin_x_;
+  double origin_y_;
+  int nx_ = 1;
+  int ny_ = 1;
+  // CSR-style buckets.
+  std::vector<uint32_t> vertex_offsets_;
+  std::vector<VertexId> vertex_items_;
+  std::vector<uint32_t> edge_offsets_;
+  std::vector<EdgeId> edge_items_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_ROADNET_SPATIAL_GRID_H_

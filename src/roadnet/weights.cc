@@ -1,0 +1,46 @@
+#include "roadnet/weights.h"
+
+namespace l2r {
+
+const char* CostFeatureName(CostFeature f) {
+  switch (f) {
+    case CostFeature::kDistance:
+      return "DI";
+    case CostFeature::kTravelTime:
+      return "TT";
+    case CostFeature::kFuel:
+      return "FC";
+  }
+  return "??";
+}
+
+double FuelMilliliters(double length_m, double speed_kmh) {
+  // ml/km = c0 / v + c1 + c2 * v^2, minimum near 58 km/h (~117 ml/km).
+  constexpr double kC0 = 3000.0;
+  constexpr double kC1 = 35.0;
+  constexpr double kC2 = 0.009;
+  const double v = speed_kmh < 5.0 ? 5.0 : speed_kmh;
+  const double ml_per_km = kC0 / v + kC1 + kC2 * v * v;
+  return ml_per_km * (length_m / 1000.0);
+}
+
+EdgeWeights::EdgeWeights(const RoadNetwork& net, CostFeature feature,
+                         TimePeriod period)
+    : feature_(feature), period_(period) {
+  values_.resize(net.NumEdges());
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+    switch (feature) {
+      case CostFeature::kDistance:
+        values_[e] = net.EdgeLengthM(e);
+        break;
+      case CostFeature::kTravelTime:
+        values_[e] = net.EdgeTravelTimeS(e, period);
+        break;
+      case CostFeature::kFuel:
+        values_[e] = net.EdgeFuelMl(e, period);
+        break;
+    }
+  }
+}
+
+}  // namespace l2r

@@ -1,0 +1,91 @@
+#ifndef L2R_ROADNET_WEIGHTS_H_
+#define L2R_ROADNET_WEIGHTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace l2r {
+
+/// The travel-cost features of the paper's preference master dimension
+/// (Sec. V-A): distance (DI), travel time (TT), fuel consumption (FC).
+enum class CostFeature : uint8_t {
+  kDistance = 0,
+  kTravelTime = 1,
+  kFuel = 2,
+};
+inline constexpr int kNumCostFeatures = 3;
+
+const char* CostFeatureName(CostFeature f);
+
+/// Fuel consumed over `length_m` meters at steady `speed_kmh`, in
+/// milliliters. Simplified vehicular environmental impact model in the
+/// spirit of EcoMark [37,38]: per-km consumption is a bathtub curve
+///   ml/km = c0 / v + c1 + c2 * v^2
+/// (idle share dominates at low speed, aerodynamic drag at high speed),
+/// minimized around 55-65 km/h. This makes the fuel-optimal path genuinely
+/// different from both the shortest and the fastest path.
+double FuelMilliliters(double length_m, double speed_kmh);
+
+/// Precomputed per-edge weights for one cost feature and time period.
+/// Shortest-path searches index this array instead of recomputing costs.
+class EdgeWeights {
+ public:
+  EdgeWeights() = default;
+  EdgeWeights(const RoadNetwork& net, CostFeature feature, TimePeriod period);
+
+  /// Custom weight array (e.g. scalarized or personalized weights); values
+  /// must be positive and indexed by EdgeId.
+  static EdgeWeights FromValues(std::vector<double> values) {
+    EdgeWeights w;
+    w.values_ = std::move(values);
+    return w;
+  }
+
+  CostFeature feature() const { return feature_; }
+  TimePeriod period() const { return period_; }
+
+  double operator[](EdgeId e) const { return values_[e]; }
+  size_t size() const { return values_.size(); }
+
+ private:
+  CostFeature feature_ = CostFeature::kDistance;
+  TimePeriod period_ = TimePeriod::kOffPeak;
+  std::vector<double> values_;
+};
+
+/// Bundle of the three cost-feature weight arrays for one time period.
+struct WeightSet {
+  WeightSet() = default;
+  WeightSet(const RoadNetwork& net, TimePeriod period)
+      : distance(net, CostFeature::kDistance, period),
+        time(net, CostFeature::kTravelTime, period),
+        fuel(net, CostFeature::kFuel, period),
+        period_(period) {}
+
+  const EdgeWeights& Get(CostFeature f) const {
+    switch (f) {
+      case CostFeature::kDistance:
+        return distance;
+      case CostFeature::kTravelTime:
+        return time;
+      case CostFeature::kFuel:
+        return fuel;
+    }
+    return distance;
+  }
+
+  TimePeriod period() const { return period_; }
+
+  EdgeWeights distance;
+  EdgeWeights time;
+  EdgeWeights fuel;
+
+ private:
+  TimePeriod period_ = TimePeriod::kOffPeak;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_ROADNET_WEIGHTS_H_

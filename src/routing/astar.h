@@ -1,0 +1,43 @@
+#ifndef L2R_ROUTING_ASTAR_H_
+#define L2R_ROUTING_ASTAR_H_
+
+#include <vector>
+
+#include "common/indexed_heap.h"
+#include "common/result.h"
+#include "roadnet/weights.h"
+#include "routing/path.h"
+
+namespace l2r {
+
+/// Admissible heuristic scale for `w`: the largest c such that
+/// w[e] >= c * length(e) for every edge, so h(v) = c * euclid(v, t) is a
+/// lower bound on the remaining cost.
+double HeuristicScaleFor(const RoadNetwork& net, const EdgeWeights& w);
+
+/// A* single-pair search with a Euclidean-scaled admissible heuristic.
+/// Returns exactly the Dijkstra-optimal cost (the heuristic is consistent).
+class AStarSearch {
+ public:
+  explicit AStarSearch(const RoadNetwork& net);
+
+  /// `heuristic_scale` must satisfy the bound above; pass the value from
+  /// HeuristicScaleFor (or 0 to degrade to plain Dijkstra).
+  Result<Path> ShortestPath(VertexId s, VertexId t, const EdgeWeights& w,
+                            double heuristic_scale);
+
+  size_t LastSettledCount() const { return settled_count_; }
+
+ private:
+  const RoadNetwork& net_;
+  std::vector<double> g_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<uint32_t> stamp_;
+  uint32_t current_stamp_ = 0;
+  IndexedMinHeap<double> heap_;
+  size_t settled_count_ = 0;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_ROUTING_ASTAR_H_

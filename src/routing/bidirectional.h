@@ -1,0 +1,46 @@
+#ifndef L2R_ROUTING_BIDIRECTIONAL_H_
+#define L2R_ROUTING_BIDIRECTIONAL_H_
+
+#include <vector>
+
+#include "common/indexed_heap.h"
+#include "common/result.h"
+#include "roadnet/weights.h"
+#include "routing/path.h"
+
+namespace l2r {
+
+/// Bidirectional Dijkstra: alternates forward (out-edges) and backward
+/// (in-edges) searches, stopping when the frontiers' minima prove the best
+/// meeting point optimal. Returns the same costs as DijkstraSearch.
+class BidirectionalSearch {
+ public:
+  explicit BidirectionalSearch(const RoadNetwork& net);
+
+  Result<Path> ShortestPath(VertexId s, VertexId t, const EdgeWeights& w);
+
+  size_t LastSettledCount() const { return settled_count_; }
+
+ private:
+  struct Side {
+    std::vector<double> dist;
+    std::vector<EdgeId> parent_edge;
+    std::vector<uint32_t> stamp;
+    IndexedMinHeap<double> heap;
+
+    explicit Side(size_t n)
+        : dist(n, 0), parent_edge(n, kInvalidEdge), stamp(n, 0), heap(n) {}
+
+    bool Visited(VertexId v, uint32_t cur) const { return stamp[v] == cur; }
+  };
+
+  const RoadNetwork& net_;
+  Side fwd_;
+  Side bwd_;
+  uint32_t current_stamp_ = 0;
+  size_t settled_count_ = 0;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_ROUTING_BIDIRECTIONAL_H_

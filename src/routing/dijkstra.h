@@ -1,0 +1,86 @@
+#ifndef L2R_ROUTING_DIJKSTRA_H_
+#define L2R_ROUTING_DIJKSTRA_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/indexed_heap.h"
+#include "common/result.h"
+#include "roadnet/weights.h"
+#include "routing/path.h"
+
+namespace l2r {
+
+inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+/// Dijkstra's algorithm with a reusable workspace: distance/parent arrays
+/// are stamped per query so repeated queries on the same network do no O(n)
+/// clearing. Not thread-safe; use one instance per thread.
+class DijkstraSearch {
+ public:
+  explicit DijkstraSearch(const RoadNetwork& net);
+
+  const RoadNetwork& net() const { return net_; }
+
+  /// Single-pair shortest path under `w`. NotFound if `t` is unreachable.
+  Result<Path> ShortestPath(VertexId s, VertexId t, const EdgeWeights& w);
+
+  /// Runs from `s` until `stop(v)` returns true for a settled vertex or the
+  /// cost bound is exceeded. Returns the stopping vertex (kInvalidVertex if
+  /// none). After the call the workspace holds distances for all settled
+  /// vertices; use DistTo/Reached/ExtractPath.
+  VertexId RunUntil(VertexId s, const EdgeWeights& w,
+                    const std::function<bool(VertexId)>& stop,
+                    double max_cost = kInfCost);
+
+  /// One-to-all within `max_cost`.
+  void RunBounded(VertexId s, const EdgeWeights& w, double max_cost);
+
+  /// Like RunUntil but searching backward over in-edges from `d`: DistTo(v)
+  /// then holds the cost of the forward path v -> d. Use ExtractReversePath
+  /// to materialize it.
+  VertexId RunUntilReverse(VertexId d, const EdgeWeights& w,
+                           const std::function<bool(VertexId)>& stop,
+                           double max_cost = kInfCost);
+
+  /// Path v -> ... -> d (forward orientation) after RunUntilReverse.
+  Path ExtractReversePath(VertexId v) const;
+
+  /// Valid after RunUntil/RunBounded (or a successful ShortestPath).
+  bool Reached(VertexId v) const {
+    return stamp_[v] == current_stamp_ && dist_[v] < kInfCost;
+  }
+  double DistTo(VertexId v) const {
+    return stamp_[v] == current_stamp_ ? dist_[v] : kInfCost;
+  }
+  /// Path from the last query's source to `v` (v must be reached).
+  Path ExtractPath(VertexId v) const;
+
+  /// Number of vertices settled by the last query (work measure).
+  size_t LastSettledCount() const { return settled_count_; }
+
+ private:
+  void Reset();
+  void Relax(VertexId u, double du, const EdgeWeights& w);
+  VertexId RunImpl(VertexId s, const EdgeWeights& w,
+                   const std::function<bool(VertexId)>& stop, double max_cost,
+                   bool reverse);
+
+  const RoadNetwork& net_;
+  bool reverse_ = false;
+  std::vector<double> dist_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<uint32_t> stamp_;
+  uint32_t current_stamp_ = 0;
+  IndexedMinHeap<double> heap_;
+  size_t settled_count_ = 0;
+};
+
+/// Convenience single-shot wrapper (allocates a workspace).
+Result<Path> ShortestPath(const RoadNetwork& net, VertexId s, VertexId t,
+                          const EdgeWeights& w);
+
+}  // namespace l2r
+
+#endif  // L2R_ROUTING_DIJKSTRA_H_

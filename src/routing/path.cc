@@ -1,0 +1,25 @@
+#include "routing/path.h"
+
+namespace l2r {
+
+bool PathIsConnected(const RoadNetwork& net, const std::vector<VertexId>& p) {
+  for (size_t i = 0; i + 1 < p.size(); ++i) {
+    if (net.FindEdge(p[i], p[i + 1]) == kInvalidEdge) return false;
+  }
+  return true;
+}
+
+void AppendPath(Path* base, const Path& suffix) {
+  if (suffix.vertices.empty()) return;
+  size_t start = 0;
+  if (!base->vertices.empty() &&
+      base->vertices.back() == suffix.vertices.front()) {
+    start = 1;
+  }
+  base->vertices.insert(base->vertices.end(),
+                        suffix.vertices.begin() + start,
+                        suffix.vertices.end());
+  base->cost += suffix.cost;
+}
+
+}  // namespace l2r

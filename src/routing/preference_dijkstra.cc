@@ -1,0 +1,111 @@
+#include "routing/preference_dijkstra.h"
+
+#include <algorithm>
+
+#include "routing/dijkstra.h"
+
+namespace l2r {
+
+PreferenceDijkstra::PreferenceDijkstra(const RoadNetwork& net)
+    : net_(net),
+      dist_(net.NumVertices(), kInfCost),
+      parent_edge_(net.NumVertices(), kInvalidEdge),
+      stamp_(net.NumVertices(), 0),
+      heap_(net.NumVertices()) {}
+
+VertexId PreferenceDijkstra::Run(VertexId s, VertexId t,
+                                 const EdgeWeights& master,
+                                 RoadTypeMask slave_mask) {
+  ++current_stamp_;
+  if (current_stamp_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    current_stamp_ = 1;
+  }
+  heap_.Clear();
+
+  stamp_[s] = current_stamp_;
+  dist_[s] = 0;
+  parent_edge_[s] = kInvalidEdge;
+  heap_.Push(s, 0);
+
+  while (!heap_.empty()) {
+    const auto [u, du] = heap_.Pop();
+    if (u == t) return t;
+
+    // Lines 7-9 of Algorithm 2: does any out-edge satisfy the slave
+    // preference?
+    bool none_sat = true;
+    if (slave_mask != 0) {
+      for (const EdgeId e : net_.OutEdges(u)) {
+        if (MaskContains(slave_mask, net_.edge(e).road_type)) {
+          none_sat = false;
+          break;
+        }
+      }
+    }
+
+    for (const EdgeId e : net_.OutEdges(u)) {
+      const bool satisfies =
+          slave_mask != 0 &&
+          MaskContains(slave_mask, net_.edge(e).road_type);
+      // Line 11: explore e iff it satisfies the slave preference, or no
+      // edge does (noneSat), or there is no slave preference at all.
+      if (slave_mask != 0 && !satisfies && !none_sat) continue;
+      const VertexId x = net_.edge(e).to;
+      const double nd = du + master[e];
+      if (stamp_[x] != current_stamp_) {
+        stamp_[x] = current_stamp_;
+        dist_[x] = nd;
+        parent_edge_[x] = e;
+        heap_.Push(x, nd);
+      } else if (nd < dist_[x]) {
+        dist_[x] = nd;
+        parent_edge_[x] = e;
+        heap_.PushOrUpdate(x, nd);
+      }
+    }
+  }
+  return kInvalidVertex;
+}
+
+Path PreferenceDijkstra::Extract(VertexId t) const {
+  Path path;
+  path.cost = dist_[t];
+  VertexId cur = t;
+  while (true) {
+    path.vertices.push_back(cur);
+    const EdgeId pe = parent_edge_[cur];
+    if (pe == kInvalidEdge) break;
+    cur = net_.edge(pe).from;
+  }
+  std::reverse(path.vertices.begin(), path.vertices.end());
+  return path;
+}
+
+Result<PreferencePathResult> PreferenceDijkstra::Route(
+    VertexId s, VertexId t, const EdgeWeights& master,
+    RoadTypeMask slave_mask) {
+  if (s >= net_.NumVertices() || t >= net_.NumVertices()) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+  PreferencePathResult out;
+  if (Run(s, t, master, slave_mask) == t) {
+    out.path = Extract(t);
+    return out;
+  }
+  if (slave_mask == 0) {
+    return Status::NotFound("no path " + std::to_string(s) + "->" +
+                            std::to_string(t));
+  }
+  // The slave filter can disconnect t (Algorithm 2 leaves this case
+  // unspecified); fall back to the unfiltered master-cost search.
+  if (Run(s, t, master, /*slave_mask=*/0) == t) {
+    out.path = Extract(t);
+    out.fell_back_to_unfiltered = true;
+    return out;
+  }
+  return Status::NotFound("no path " + std::to_string(s) + "->" +
+                          std::to_string(t));
+}
+
+}  // namespace l2r

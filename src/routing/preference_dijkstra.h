@@ -1,0 +1,52 @@
+#ifndef L2R_ROUTING_PREFERENCE_DIJKSTRA_H_
+#define L2R_ROUTING_PREFERENCE_DIJKSTRA_H_
+
+#include <vector>
+
+#include "common/indexed_heap.h"
+#include "common/result.h"
+#include "roadnet/weights.h"
+#include "routing/path.h"
+
+namespace l2r {
+
+/// Result of a preference-aware search.
+struct PreferencePathResult {
+  Path path;
+  /// True when the slave road-type filter disconnected the destination and
+  /// the search fell back to an unfiltered Dijkstra (the paper's Algorithm 2
+  /// does not specify this case; we fall back and flag it).
+  bool fell_back_to_unfiltered = false;
+};
+
+/// The paper's Algorithm 2 ("ApplyingPreferencesModifiedDijkstra"):
+/// Dijkstra over the master-dimension cost where, from each settled vertex
+/// u, only edges satisfying the slave road-type preference are explored —
+/// unless u has no satisfying out-edge, in which case all of u's edges are
+/// explored.
+class PreferenceDijkstra {
+ public:
+  explicit PreferenceDijkstra(const RoadNetwork& net);
+
+  /// `master` is the cost weight array; `slave_mask` the preferred road
+  /// types (0 = no slave preference = plain Dijkstra).
+  Result<PreferencePathResult> Route(VertexId s, VertexId t,
+                                     const EdgeWeights& master,
+                                     RoadTypeMask slave_mask);
+
+ private:
+  VertexId Run(VertexId s, VertexId t, const EdgeWeights& master,
+               RoadTypeMask slave_mask);
+  Path Extract(VertexId t) const;
+
+  const RoadNetwork& net_;
+  std::vector<double> dist_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<uint32_t> stamp_;
+  uint32_t current_stamp_ = 0;
+  IndexedMinHeap<double> heap_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_ROUTING_PREFERENCE_DIJKSTRA_H_

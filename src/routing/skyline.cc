@@ -1,0 +1,146 @@
+#include "routing/skyline.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace l2r {
+
+bool Dominates(const CostVector& a, const CostVector& b, double eps) {
+  const double f = 1.0 + eps;
+  const bool no_worse =
+      a.di <= b.di * f && a.tt <= b.tt * f && a.fc <= b.fc * f;
+  if (!no_worse) return false;
+  return a.di < b.di || a.tt < b.tt || a.fc < b.fc ||
+         eps > 0;  // eps-dominance may prune exact ties
+}
+
+SkylineSearch::SkylineSearch(const RoadNetwork& net) : net_(net) {}
+
+namespace {
+
+struct Label {
+  CostVector c;
+  VertexId vertex = kInvalidVertex;
+  uint32_t parent = UINT32_MAX;  // index into the label arena
+  EdgeId via_edge = kInvalidEdge;
+  bool pruned = false;
+};
+
+struct QueueEntry {
+  double priority;
+  uint32_t label;
+  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
+};
+
+}  // namespace
+
+Result<SkylineSearch::RouteOutput> SkylineSearch::Route(
+    VertexId s, VertexId t, const WeightSet& ws, const SkylineOptions& opts) {
+  if (s >= net_.NumVertices() || t >= net_.NumVertices()) {
+    return Status::InvalidArgument("vertex id out of range");
+  }
+
+  // Scalarization scales: rough per-dimension magnitudes so the priority
+  // queue explores balanced improvements first.
+  const double d_scale =
+      std::max(1.0, Dist(net_.VertexPos(s), net_.VertexPos(t)));
+  const double t_scale = std::max(1.0, d_scale / (110.0 / 3.6));
+  const double f_scale = std::max(1.0, 0.12 * d_scale);  // ~120 ml/km
+  auto priority = [&](const CostVector& c) {
+    return c.di / d_scale + c.tt / t_scale + c.fc / f_scale;
+  };
+
+  std::vector<Label> arena;
+  arena.reserve(4096);
+  std::vector<std::vector<uint32_t>> fronts(net_.NumVertices());
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+
+  RouteOutput out;
+
+  auto try_insert = [&](VertexId v, const CostVector& c, uint32_t parent,
+                        EdgeId via) -> int64_t {
+    auto& front = fronts[v];
+    for (const uint32_t li : front) {
+      if (!arena[li].pruned && Dominates(arena[li].c, c, opts.epsilon)) {
+        return -1;
+      }
+    }
+    // Remove labels the newcomer dominates.
+    for (uint32_t& li : front) {
+      if (!arena[li].pruned && Dominates(c, arena[li].c, 0.0)) {
+        arena[li].pruned = true;
+      }
+    }
+    front.erase(std::remove_if(front.begin(), front.end(),
+                               [&](uint32_t li) { return arena[li].pruned; }),
+                front.end());
+    if (front.size() >= opts.max_labels_per_vertex) return -1;
+    Label lab;
+    lab.c = c;
+    lab.vertex = v;
+    lab.parent = parent;
+    lab.via_edge = via;
+    arena.push_back(lab);
+    const uint32_t idx = static_cast<uint32_t>(arena.size() - 1);
+    front.push_back(idx);
+    ++out.labels_created;
+    return idx;
+  };
+
+  const int64_t root = try_insert(s, CostVector{}, UINT32_MAX, kInvalidEdge);
+  queue.push(QueueEntry{0.0, static_cast<uint32_t>(root)});
+
+  while (!queue.empty()) {
+    if (out.labels_created > opts.max_total_labels) {
+      out.truncated = true;
+      break;
+    }
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const Label lab = arena[top.label];  // copy: arena may reallocate
+    if (lab.pruned) continue;
+    if (lab.vertex == t) continue;  // destination labels are never expanded
+    // Prune against the destination's current front.
+    bool dominated_by_t = false;
+    for (const uint32_t li : fronts[t]) {
+      if (!arena[li].pruned && Dominates(arena[li].c, lab.c, opts.epsilon)) {
+        dominated_by_t = true;
+        break;
+      }
+    }
+    if (dominated_by_t) continue;
+
+    for (const EdgeId e : net_.OutEdges(lab.vertex)) {
+      const VertexId x = net_.edge(e).to;
+      const CostVector nc = lab.c + CostVector{ws.distance[e], ws.time[e],
+                                               ws.fuel[e]};
+      const int64_t idx = try_insert(x, nc, top.label, e);
+      if (idx >= 0) {
+        queue.push(QueueEntry{priority(nc), static_cast<uint32_t>(idx)});
+      }
+    }
+  }
+
+  for (const uint32_t li : fronts[t]) {
+    if (arena[li].pruned) continue;
+    SkylinePath sp;
+    sp.costs = arena[li].c;
+    sp.path.cost = priority(arena[li].c);
+    uint32_t cur = li;
+    while (cur != UINT32_MAX) {
+      sp.path.vertices.push_back(arena[cur].vertex);
+      cur = arena[cur].parent;
+    }
+    std::reverse(sp.path.vertices.begin(), sp.path.vertices.end());
+    out.paths.push_back(std::move(sp));
+  }
+  if (out.paths.empty()) {
+    return Status::NotFound("no skyline path " + std::to_string(s) + "->" +
+                            std::to_string(t));
+  }
+  return out;
+}
+
+}  // namespace l2r

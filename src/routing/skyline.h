@@ -1,0 +1,69 @@
+#ifndef L2R_ROUTING_SKYLINE_H_
+#define L2R_ROUTING_SKYLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "roadnet/weights.h"
+#include "routing/path.h"
+
+namespace l2r {
+
+/// Cost vector over the paper's three travel-cost features.
+struct CostVector {
+  double di = 0;  ///< distance, m
+  double tt = 0;  ///< travel time, s
+  double fc = 0;  ///< fuel, ml
+
+  CostVector operator+(const CostVector& o) const {
+    return {di + o.di, tt + o.tt, fc + o.fc};
+  }
+};
+
+/// True if `a` dominates `b` with relative slack `eps` (a is no worse than
+/// (1+eps)·b... in every dimension and strictly better in one at eps=0;
+/// eps > 0 aggressively prunes near-duplicates, as in practical skyline
+/// routing implementations).
+bool Dominates(const CostVector& a, const CostVector& b, double eps);
+
+/// A Pareto-optimal path with its cost vector.
+struct SkylinePath {
+  Path path;  ///< path.cost holds the scalarization used internally
+  CostVector costs;
+};
+
+struct SkylineOptions {
+  /// Relative epsilon-dominance used to bound the frontier size.
+  double epsilon = 0.01;
+  /// Per-vertex cap on stored labels.
+  size_t max_labels_per_vertex = 24;
+  /// Global label budget; exceeded searches return what they found so far
+  /// (flagged in the result).
+  size_t max_total_labels = 2'000'000;
+};
+
+/// Multi-objective (DI, TT, FC) label-correcting skyline search — the
+/// stochastic-skyline substrate the Dom baseline [26] routes with.
+/// Deliberately expensive relative to single-objective Dijkstra; the
+/// paper's Fig. 12 depends on that cost profile.
+class SkylineSearch {
+ public:
+  explicit SkylineSearch(const RoadNetwork& net);
+
+  struct RouteOutput {
+    std::vector<SkylinePath> paths;  ///< Pareto front at the destination
+    bool truncated = false;          ///< label budget was exhausted
+    size_t labels_created = 0;
+  };
+
+  Result<RouteOutput> Route(VertexId s, VertexId t, const WeightSet& ws,
+                            const SkylineOptions& opts = {});
+
+ private:
+  const RoadNetwork& net_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_ROUTING_SKYLINE_H_

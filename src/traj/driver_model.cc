@@ -1,0 +1,158 @@
+#include "traj/driver_model.h"
+
+#include "common/rng.h"
+
+namespace l2r {
+
+namespace {
+
+/// Base subjective multiplier for (district, road type), off-peak. < 1 =
+/// locals like using this road class here; > 1 = they avoid it.
+double BaseFactor(DistrictType d, RoadType rt) {
+  switch (d) {
+    case DistrictType::kCityCenter:
+    case DistrictType::kBusiness:
+      switch (rt) {
+        case RoadType::kMotorway:
+        case RoadType::kTrunk:
+          return 0.95;
+        case RoadType::kPrimary:
+          return 0.70;
+        case RoadType::kSecondary:
+          return 0.90;
+        case RoadType::kTertiary:
+          return 1.15;
+        case RoadType::kResidential:
+          return 1.60;  // no cut-throughs downtown
+      }
+      break;
+    case DistrictType::kResidential:
+    case DistrictType::kSuburb:
+      switch (rt) {
+        case RoadType::kMotorway:
+        case RoadType::kTrunk:
+          return 1.00;
+        case RoadType::kPrimary:
+          return 1.35;  // locals skip the crowded mains
+        case RoadType::kSecondary:
+          return 1.00;
+        case RoadType::kTertiary:
+          return 0.80;
+        case RoadType::kResidential:
+          return 0.62;  // quiet direct streets
+      }
+      break;
+    case DistrictType::kIndustrial:
+      switch (rt) {
+        case RoadType::kMotorway:
+          return 0.95;
+        case RoadType::kTrunk:
+          return 0.90;
+        case RoadType::kPrimary:
+          return 1.00;
+        case RoadType::kSecondary:
+          return 0.72;  // freight corridors
+        case RoadType::kTertiary:
+          return 0.95;
+        case RoadType::kResidential:
+          return 1.25;
+      }
+      break;
+    case DistrictType::kRural:
+      switch (rt) {
+        case RoadType::kMotorway:
+          return 0.92;
+        case RoadType::kTrunk:
+          return 0.90;
+        case RoadType::kPrimary:
+          return 0.90;
+        case RoadType::kSecondary:
+          return 0.78;
+        case RoadType::kTertiary:
+          return 1.00;
+        case RoadType::kResidential:
+          return 1.15;
+      }
+      break;
+  }
+  return 1.0;
+}
+
+/// Peak-hour adjustment on top of the base factor: downtown mains jam so
+/// locals rat-run; quiet streets fill with school traffic.
+double PeakAdjust(DistrictType d, RoadType rt) {
+  const bool commercial =
+      d == DistrictType::kCityCenter || d == DistrictType::kBusiness;
+  if (commercial && rt == RoadType::kPrimary) return 1.30;
+  if (commercial && rt == RoadType::kResidential) return 0.75;
+  const bool quiet =
+      d == DistrictType::kResidential || d == DistrictType::kSuburb;
+  if (quiet && rt == RoadType::kResidential) return 1.15;
+  if (quiet && rt == RoadType::kSecondary) return 0.90;
+  return 1.0;
+}
+
+}  // namespace
+
+DriverModel::DriverModel(const GeneratedNetwork* world, uint64_t seed)
+    : world_(world) {
+  Rng rng(seed);
+  for (int p = 0; p < kNumTimePeriods; ++p) {
+    for (int d = 0; d < kNumDistrictTypes; ++d) {
+      for (int rt = 0; rt < kNumRoadTypes; ++rt) {
+        double f = BaseFactor(static_cast<DistrictType>(d),
+                              static_cast<RoadType>(rt));
+        if (p == static_cast<int>(TimePeriod::kPeak)) {
+          f *= PeakAdjust(static_cast<DistrictType>(d),
+                          static_cast<RoadType>(rt));
+        }
+        // Seeded per-cell jitter keeps the landscape from being exactly
+        // rule-shaped (the learner faces genuine variety).
+        f *= rng.Uniform(0.94, 1.06);
+        factors_[p][d][rt] = f;
+      }
+    }
+  }
+
+  const RoadNetwork& net = world->net;
+  for (int p = 0; p < kNumTimePeriods; ++p) {
+    std::vector<double> values(net.NumEdges());
+    for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+      const DistrictType d = world->vertex_district[net.edge(e).from];
+      const RoadType rt = net.EdgeRoadType(e);
+      values[e] = net.EdgeTravelTimeS(e, static_cast<TimePeriod>(p)) *
+                  factors_[p][static_cast<int>(d)][static_cast<int>(rt)];
+    }
+    subjective_[p] = EdgeWeights::FromValues(std::move(values));
+  }
+}
+
+LatentPreference DriverModel::ReferencePreference(DistrictType d,
+                                                  TimePeriod period) {
+  LatentPreference pref;
+  switch (d) {
+    case DistrictType::kCityCenter:
+    case DistrictType::kBusiness:
+      pref.master = CostFeature::kTravelTime;
+      pref.slave = period == TimePeriod::kOffPeak
+                       ? RoadTypeBit(RoadType::kPrimary)
+                       : static_cast<RoadTypeMask>(0);
+      break;
+    case DistrictType::kResidential:
+    case DistrictType::kSuburb:
+      pref.master = CostFeature::kDistance;
+      pref.slave = RoadTypeBit(RoadType::kResidential);
+      break;
+    case DistrictType::kIndustrial:
+      pref.master = CostFeature::kFuel;
+      pref.slave = RoadTypeBit(RoadType::kSecondary);
+      break;
+    case DistrictType::kRural:
+      pref.master = CostFeature::kTravelTime;
+      pref.slave = RoadTypeBit(RoadType::kSecondary);
+      break;
+  }
+  return pref;
+}
+
+}  // namespace l2r

@@ -1,0 +1,259 @@
+#include "traj/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "routing/dijkstra.h"
+
+namespace l2r {
+
+namespace {
+
+/// District attractiveness for OD demand (gravity-model weights).
+double DistrictAttractiveness(DistrictType d) {
+  switch (d) {
+    case DistrictType::kCityCenter:
+      return 3.0;
+    case DistrictType::kBusiness:
+      return 2.5;
+    case DistrictType::kResidential:
+      return 2.0;
+    case DistrictType::kIndustrial:
+      return 1.0;
+    case DistrictType::kSuburb:
+      return 1.2;
+    case DistrictType::kRural:
+      return 0.25;
+  }
+  return 1.0;
+}
+
+double SamplePeakTimeOfDay(Rng& rng) {
+  const bool morning = rng.Bernoulli(0.5);
+  const double base = morning ? 7 * 3600.0 : 15 * 3600.0;
+  return base + rng.Uniform(0, 2 * 3600.0);
+}
+
+double SampleOffPeakTimeOfDay(Rng& rng) {
+  while (true) {
+    const double tod = rng.Uniform(0, kSecondsPerDay);
+    const bool morning = tod >= 7 * 3600 && tod < 9 * 3600;
+    const bool afternoon = tod >= 15 * 3600 && tod < 17 * 3600;
+    if (!morning && !afternoon) return tod;
+  }
+}
+
+}  // namespace
+
+TrajectoryGenerator::TrajectoryGenerator(const GeneratedNetwork* world,
+                                         const DriverModel* model)
+    : world_(world), model_(model) {}
+
+Result<TrajectoryDataset> TrajectoryGenerator::Generate(
+    const TrajectoryGenConfig& config) const {
+  const RoadNetwork& net = world_->net;
+  if (net.NumVertices() == 0) {
+    return Status::FailedPrecondition("empty network");
+  }
+  if (config.num_trajectories == 0) {
+    return Status::InvalidArgument("num_trajectories must be positive");
+  }
+
+  // Demand model setup (deterministic in seed).
+  Rng setup_rng(config.seed);
+  std::vector<double> district_weights(kNumDistrictTypes, 0);
+  for (int d = 0; d < kNumDistrictTypes; ++d) {
+    if (!world_->vertices_by_district[d].empty()) {
+      district_weights[d] =
+          DistrictAttractiveness(static_cast<DistrictType>(d)) *
+          std::sqrt(
+              static_cast<double>(world_->vertices_by_district[d].size()));
+    }
+  }
+
+  auto sample_district_vertex = [&](Rng& rng) -> VertexId {
+    const size_t d = rng.PickWeighted(district_weights);
+    const auto& list = world_->vertices_by_district[d];
+    return list[rng.Index(list.size())];
+  };
+
+  // Hotspots: popular destinations drawn with Zipf weights.
+  std::vector<VertexId> hotspots;
+  const int nh = std::max(1, config.num_hotspots);
+  hotspots.reserve(nh);
+  for (int i = 0; i < nh; ++i) {
+    hotspots.push_back(sample_district_vertex(setup_rng));
+  }
+
+  // Precompute period travel-time weights (for the pref-noise fastest
+  // fallback) once.
+  const WeightSet weights_offpeak(net, TimePeriod::kOffPeak);
+  const WeightSet weights_peak(net, TimePeriod::kPeak);
+
+
+  TrajectoryDataset out;
+  out.matched.resize(config.num_trajectories);
+  if (config.emit_gps) out.gps.resize(config.num_trajectories);
+
+  const uint64_t base_seed = setup_rng.NextU64();
+
+  auto generate_one = [&](DijkstraSearch& search, size_t i) {
+    Rng rng(base_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    MatchedTrajectory& mt = out.matched[i];
+    mt.driver_id = static_cast<uint32_t>(
+        rng.UniformInt(0, std::max<int64_t>(0, config.num_drivers - 1)));
+
+    // Departure time.
+    const int64_t day = rng.UniformInt(0, std::max(0, config.num_days - 1));
+    const double tod = rng.Bernoulli(config.peak_fraction)
+                           ? SamplePeakTimeOfDay(rng)
+                           : SampleOffPeakTimeOfDay(rng);
+    mt.departure_time = day * kSecondsPerDay + tod;
+    const TimePeriod period = PeriodOf(mt.departure_time);
+    const WeightSet& ws =
+        period == TimePeriod::kPeak ? weights_peak : weights_offpeak;
+
+    // OD pair: skewed source, destination with gravity distance decay
+    // (choose among candidates, nearer ones more likely).
+    auto sample_endpoint = [&]() {
+      return rng.Bernoulli(config.hotspot_fraction)
+                 ? hotspots[rng.Zipf(hotspots.size(), config.zipf_exponent)]
+                 : sample_district_vertex(rng);
+    };
+    VertexId s = kInvalidVertex;
+    VertexId d = kInvalidVertex;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      s = sample_endpoint();
+      if (config.od_distance_decay_m > 0) {
+        constexpr int kCandidates = 6;
+        std::vector<VertexId> cands(kCandidates);
+        std::vector<double> weights(kCandidates);
+        for (int c = 0; c < kCandidates; ++c) {
+          cands[c] = sample_endpoint();
+          weights[c] = std::exp(-Dist(net.VertexPos(s),
+                                      net.VertexPos(cands[c])) /
+                                config.od_distance_decay_m) +
+                       1e-9;
+        }
+        d = cands[rng.PickWeighted(weights)];
+      } else {
+        d = sample_endpoint();
+      }
+      if (s != d &&
+          Dist(net.VertexPos(s), net.VertexPos(d)) >=
+              config.min_trip_euclid_m) {
+        break;
+      }
+      s = kInvalidVertex;
+    }
+    if (s == kInvalidVertex) return;  // leave this slot empty; filtered below
+
+    // Path choice: local drivers minimize the shared subjective cost
+    // landscape (see DriverModel); with probability pref_noise a driver
+    // just takes the plain fastest path instead (behavioural noise).
+    const EdgeWeights& choice_weights =
+        rng.Bernoulli(config.pref_noise) ? ws.time
+                                         : model_->SubjectiveWeights(period);
+    auto routed = search.ShortestPath(s, d, choice_weights);
+    if (!routed.ok()) return;
+    mt.path = std::move(routed->vertices);
+
+    // Per-driver speed profile: a stable multiplier per road type (the
+    // personal-speed signal TRIP learns). Derived from the driver id only,
+    // so all of a driver's trips share it.
+    Rng driver_rng(base_seed ^ (0xda942042e4dd58b5ULL * (mt.driver_id + 1)));
+    std::array<double, kNumRoadTypes> speed_factor;
+    for (int rt = 0; rt < kNumRoadTypes; ++rt) {
+      speed_factor[rt] =
+          std::clamp(driver_rng.Gaussian(1.0, 0.07), 0.8, 1.25);
+    }
+    auto edge_time = [&](EdgeId e) {
+      const int rt = static_cast<int>(net.EdgeRoadType(e));
+      return net.EdgeTravelTimeS(e, period) / speed_factor[rt];
+    };
+
+    // Observed duration under the personal speed profile.
+    {
+      double dur = 0;
+      for (size_t k = 0; k + 1 < mt.path.size(); ++k) {
+        const EdgeId e = net.FindEdge(mt.path[k], mt.path[k + 1]);
+        L2R_DCHECK(e != kInvalidEdge);
+        dur += edge_time(e);
+      }
+      mt.duration_s = dur;
+    }
+
+    // GPS emission.
+    if (!config.emit_gps) return;
+    Trajectory& traj = out.gps[i];
+    traj.driver_id = mt.driver_id;
+    // Build cumulative times along the path at the driver's speeds.
+    const std::vector<VertexId>& walk = mt.path;
+    std::vector<Point> pts;
+    std::vector<double> times;
+    pts.reserve(walk.size());
+    times.reserve(walk.size());
+    double t = mt.departure_time;
+    pts.push_back(net.VertexPos(walk[0]));
+    times.push_back(t);
+    for (size_t k = 0; k + 1 < walk.size(); ++k) {
+      const EdgeId e = net.FindEdge(walk[k], walk[k + 1]);
+      L2R_DCHECK(e != kInvalidEdge);
+      t += edge_time(e);
+      pts.push_back(net.VertexPos(walk[k + 1]));
+      times.push_back(t);
+    }
+    // Sample at the configured rate.
+    size_t seg = 0;
+    for (double ts = times.front();; ts += config.sample_interval_s) {
+      if (ts >= times.back()) {
+        GpsRecord rec;
+        rec.t = times.back();
+        rec.pos = pts.back();
+        rec.pos.x += rng.Gaussian(0, config.gps_noise_sigma_m);
+        rec.pos.y += rng.Gaussian(0, config.gps_noise_sigma_m);
+        traj.points.push_back(rec);
+        break;
+      }
+      while (seg + 1 < times.size() && times[seg + 1] < ts) ++seg;
+      const double t0 = times[seg];
+      const double t1 = times[seg + 1];
+      const double frac = t1 > t0 ? (ts - t0) / (t1 - t0) : 0.0;
+      GpsRecord rec;
+      rec.t = ts;
+      rec.pos = pts[seg] + (pts[seg + 1] - pts[seg]) * frac;
+      rec.pos.x += rng.Gaussian(0, config.gps_noise_sigma_m);
+      rec.pos.y += rng.Gaussian(0, config.gps_noise_sigma_m);
+      traj.points.push_back(rec);
+      if (config.max_records_per_traj > 0 &&
+          traj.points.size() >= config.max_records_per_traj) {
+        break;
+      }
+    }
+  };
+
+  ParallelForWorker(
+      config.num_trajectories,
+      [&net]() { return DijkstraSearch(net); },
+      [&](DijkstraSearch& search, size_t i) { generate_one(search, i); },
+      config.num_threads);
+
+  // Drop failed slots, keeping gps/matched aligned.
+  TrajectoryDataset filtered;
+  filtered.matched.reserve(out.matched.size());
+  if (config.emit_gps) filtered.gps.reserve(out.gps.size());
+  for (size_t i = 0; i < out.matched.size(); ++i) {
+    if (out.matched[i].path.size() < 2) continue;
+    filtered.matched.push_back(std::move(out.matched[i]));
+    if (config.emit_gps) filtered.gps.push_back(std::move(out.gps[i]));
+  }
+  if (filtered.matched.empty()) {
+    return Status::Internal("no trajectory could be generated");
+  }
+  return filtered;
+}
+
+}  // namespace l2r

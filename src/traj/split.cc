@@ -1,0 +1,40 @@
+#include "traj/split.h"
+
+#include <algorithm>
+
+namespace l2r {
+
+TrajectorySplit SplitByTime(const std::vector<MatchedTrajectory>& all,
+                            double train_fraction) {
+  TrajectorySplit out;
+  if (all.empty()) return out;
+  double lo = all.front().departure_time;
+  double hi = lo;
+  for (const auto& t : all) {
+    lo = std::min(lo, t.departure_time);
+    hi = std::max(hi, t.departure_time);
+  }
+  const double cut = lo + (hi - lo) * train_fraction;
+  for (const auto& t : all) {
+    if (t.departure_time <= cut) {
+      out.train.push_back(t);
+    } else {
+      out.test.push_back(t);
+    }
+  }
+  return out;
+}
+
+PeriodPartition PartitionByPeriod(const std::vector<MatchedTrajectory>& all) {
+  PeriodPartition out;
+  for (const auto& t : all) {
+    if (PeriodOf(t.departure_time) == TimePeriod::kPeak) {
+      out.peak.push_back(t);
+    } else {
+      out.offpeak.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace l2r

@@ -1,0 +1,32 @@
+#ifndef L2R_TRAJ_SPLIT_H_
+#define L2R_TRAJ_SPLIT_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace l2r {
+
+/// Temporal train/test split (the paper trains on the first 18 months of
+/// D1 / 21 days of D2 and tests on the rest). `train_fraction` applies to
+/// the departure-time range, not the trajectory count.
+struct TrajectorySplit {
+  std::vector<MatchedTrajectory> train;
+  std::vector<MatchedTrajectory> test;
+};
+
+TrajectorySplit SplitByTime(const std::vector<MatchedTrajectory>& all,
+                            double train_fraction);
+
+/// Partitions trajectories by departure period, as the paper does when
+/// building the peak and off-peak region graphs.
+struct PeriodPartition {
+  std::vector<MatchedTrajectory> offpeak;
+  std::vector<MatchedTrajectory> peak;
+};
+
+PeriodPartition PartitionByPeriod(const std::vector<MatchedTrajectory>& all);
+
+}  // namespace l2r
+
+#endif  // L2R_TRAJ_SPLIT_H_

@@ -1,0 +1,60 @@
+#ifndef L2R_TRAJ_TRAJECTORY_H_
+#define L2R_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geo.h"
+#include "roadnet/road_network.h"
+
+namespace l2r {
+
+/// One GPS fix: absolute time (seconds on the synthetic timeline) and a
+/// planar position.
+struct GpsRecord {
+  double t = 0;
+  Point pos;
+};
+
+/// A raw trajectory: a time-ordered GPS record sequence from one driver.
+struct Trajectory {
+  uint32_t driver_id = 0;
+  std::vector<GpsRecord> points;
+
+  double departure_time() const {
+    return points.empty() ? 0 : points.front().t;
+  }
+};
+
+/// A map-matched trajectory: the road-network path the vehicle traversed
+/// (paper Sec. III), with driver id, departure time, and observed travel
+/// duration preserved.
+struct MatchedTrajectory {
+  uint32_t driver_id = 0;
+  double departure_time = 0;
+  /// Observed door-to-door travel time; reflects the driver's personal
+  /// speed profile, so it can deviate from the network expectation (the
+  /// signal TRIP [27] learns from).
+  double duration_s = 0;
+  std::vector<VertexId> path;
+};
+
+/// Synthetic timeline helpers. A day has 86400 s; peak periods follow the
+/// conventional morning/afternoon rush (07:00-09:00 and 15:00-17:00).
+inline constexpr double kSecondsPerDay = 86400.0;
+
+inline double TimeOfDay(double t) {
+  const double tod = t - kSecondsPerDay * static_cast<int64_t>(t / kSecondsPerDay);
+  return tod < 0 ? tod + kSecondsPerDay : tod;
+}
+
+inline TimePeriod PeriodOf(double t) {
+  const double tod = TimeOfDay(t);
+  const bool morning = tod >= 7 * 3600 && tod < 9 * 3600;
+  const bool afternoon = tod >= 15 * 3600 && tod < 17 * 3600;
+  return (morning || afternoon) ? TimePeriod::kPeak : TimePeriod::kOffPeak;
+}
+
+}  // namespace l2r
+
+#endif  // L2R_TRAJ_TRAJECTORY_H_

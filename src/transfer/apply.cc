@@ -1,0 +1,78 @@
+#include "transfer/apply.h"
+
+#include <atomic>
+
+#include "common/parallel.h"
+#include "routing/preference_dijkstra.h"
+
+namespace l2r {
+
+Result<ApplyStats> ApplyTransferredPreferences(
+    RegionGraph* graph, const RoadNetwork& net, const WeightSet& weights,
+    const PreferenceFeatureSpace& space,
+    const std::vector<std::optional<RoutingPreference>>& preferences,
+    const ApplyOptions& options) {
+  if (graph == nullptr) return Status::InvalidArgument("graph is null");
+  if (preferences.size() != graph->NumEdges()) {
+    return Status::InvalidArgument("preferences size mismatch");
+  }
+
+  // Collect B-edge ids once; work item i handles b_edge_ids[i].
+  std::vector<uint32_t> b_edge_ids;
+  for (uint32_t e = 0; e < graph->NumEdges(); ++e) {
+    if (!graph->edge(e).is_t_edge) b_edge_ids.push_back(e);
+  }
+
+  std::atomic<size_t> with_paths{0};
+  std::atomic<size_t> fallback{0};
+  std::atomic<size_t> total_paths{0};
+  std::atomic<size_t> slave_fallbacks{0};
+
+  ParallelForWorker(
+      b_edge_ids.size(), [&net]() { return PreferenceDijkstra(net); },
+      [&](PreferenceDijkstra& search, size_t i) {
+        const uint32_t eid = b_edge_ids[i];
+        RegionEdge& edge = graph->mutable_edge(eid);
+        const RegionInfo& from = graph->region(edge.from);
+        const RegionInfo& to = graph->region(edge.to);
+
+        CostFeature master = CostFeature::kTravelTime;
+        RoadTypeMask slave = 0;
+        const auto& pref = preferences[eid];
+        if (pref.has_value()) {
+          master = pref->master;
+          slave = space.slave_mask(pref->slave_index);
+        } else {
+          ++fallback;  // null preference: fastest paths (Sec. VII-B)
+        }
+        const EdgeWeights& master_w = weights.Get(master);
+
+        size_t pairs = 0;
+        for (const VertexId a : from.transfer_centers) {
+          for (const VertexId b : to.transfer_centers) {
+            if (pairs >= options.max_center_pairs) break;
+            if (a == b) continue;
+            auto routed = search.Route(a, b, master_w, slave);
+            if (!routed.ok()) continue;
+            ++pairs;
+            if (routed->fell_back_to_unfiltered) ++slave_fallbacks;
+            edge.b_paths.push_back(std::move(routed->path.vertices));
+          }
+          if (pairs >= options.max_center_pairs) break;
+        }
+        if (!edge.b_paths.empty()) {
+          ++with_paths;
+          total_paths += edge.b_paths.size();
+        }
+      },
+      options.num_threads);
+
+  ApplyStats stats;
+  stats.b_edges_with_paths = with_paths;
+  stats.b_edges_fastest_fallback = fallback;
+  stats.total_paths = total_paths;
+  stats.slave_fallbacks = slave_fallbacks;
+  return stats;
+}
+
+}  // namespace l2r

@@ -1,0 +1,36 @@
+#ifndef L2R_TRANSFER_APPLY_H_
+#define L2R_TRANSFER_APPLY_H_
+
+#include "common/result.h"
+#include "region/region_graph.h"
+#include "transfer/transfer.h"
+
+namespace l2r {
+
+struct ApplyOptions {
+  /// Cap on transfer-center pairs per B-edge (the paper identifies one
+  /// path per pair; this bounds the number of searches).
+  size_t max_center_pairs = 9;
+  unsigned num_threads = 0;
+};
+
+struct ApplyStats {
+  size_t b_edges_with_paths = 0;
+  size_t b_edges_fastest_fallback = 0;  ///< null-preference B-edges
+  size_t total_paths = 0;
+  size_t slave_fallbacks = 0;  ///< Algorithm 2 slave filter disconnections
+};
+
+/// Step 3 (Sec. V-C): for every B-edge, identify paths between transfer
+/// centers of its two regions with the transferred preference, using the
+/// modified Dijkstra of Algorithm 2. B-edges with null preferences get
+/// fastest paths (Sec. VII-B). Fills RegionEdge::b_paths in place.
+Result<ApplyStats> ApplyTransferredPreferences(
+    RegionGraph* graph, const RoadNetwork& net, const WeightSet& weights,
+    const PreferenceFeatureSpace& space,
+    const std::vector<std::optional<RoutingPreference>>& preferences,
+    const ApplyOptions& options = {});
+
+}  // namespace l2r
+
+#endif  // L2R_TRANSFER_APPLY_H_

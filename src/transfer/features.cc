@@ -1,0 +1,55 @@
+#include "transfer/features.h"
+
+#include <bit>
+
+namespace l2r {
+
+RegionEdgeFeatures ComputeRegionEdgeFeatures(const RegionGraph& graph,
+                                             const RegionEdge& edge,
+                                             int top_k) {
+  RegionEdgeFeatures out;
+  const RegionInfo& a = graph.region(edge.from);
+  const RegionInfo& b = graph.region(edge.to);
+  out.dis = Dist(a.centroid, b.centroid);
+  const RoadTypeMask ma = a.TopRoadTypes(top_k);
+  const RoadTypeMask mb = b.TopRoadTypes(top_k);
+  for (int ta = 0; ta < kNumRoadTypes; ++ta) {
+    if (!MaskContains(ma, static_cast<RoadType>(ta))) continue;
+    for (int tb = 0; tb < kNumRoadTypes; ++tb) {
+      if (!MaskContains(mb, static_cast<RoadType>(tb))) continue;
+      out.f_mask |= RoadTypePairBit(ta, tb);
+    }
+  }
+  return out;
+}
+
+std::vector<RegionEdgeFeatures> ComputeAllRegionEdgeFeatures(
+    const RegionGraph& graph, int top_k) {
+  std::vector<RegionEdgeFeatures> out;
+  out.reserve(graph.NumEdges());
+  for (const RegionEdge& e : graph.edges()) {
+    out.push_back(ComputeRegionEdgeFeatures(graph, e, top_k));
+  }
+  return out;
+}
+
+double RegionEdgeSimilarity(const RegionEdgeFeatures& a,
+                            const RegionEdgeFeatures& b) {
+  double dis_sim;
+  if (a.dis <= 0 && b.dis <= 0) {
+    dis_sim = 1;  // two zero-length edges are maximally distance-similar
+  } else if (a.dis <= 0 || b.dis <= 0) {
+    dis_sim = 0;
+  } else {
+    dis_sim = a.dis < b.dis ? a.dis / b.dis : b.dis / a.dis;
+  }
+  const uint64_t inter = a.f_mask & b.f_mask;
+  const uint64_t uni = a.f_mask | b.f_mask;
+  const double jac =
+      uni == 0 ? 0
+               : static_cast<double>(std::popcount(inter)) /
+                     static_cast<double>(std::popcount(uni));
+  return dis_sim + jac;
+}
+
+}  // namespace l2r

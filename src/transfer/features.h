@@ -1,0 +1,42 @@
+#ifndef L2R_TRANSFER_FEATURES_H_
+#define L2R_TRANSFER_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "region/region_graph.h"
+
+namespace l2r {
+
+/// Feature description of one region edge (Sec. V-B): the centroid distance
+/// `dis` of its two regions, and the functionality feature F — the
+/// Cartesian product of the two regions' top-k road-type sets — packed as a
+/// 36-bit mask over (type_a, type_b) pairs so Jaccard similarity is two
+/// popcounts.
+struct RegionEdgeFeatures {
+  double dis = 0;
+  uint64_t f_mask = 0;
+};
+
+/// Bit for the ordered road-type pair (ta, tb).
+inline constexpr uint64_t RoadTypePairBit(int ta, int tb) {
+  return 1ULL << (ta * kNumRoadTypes + tb);
+}
+
+/// Computes features for a region edge of `graph`.
+RegionEdgeFeatures ComputeRegionEdgeFeatures(const RegionGraph& graph,
+                                             const RegionEdge& edge,
+                                             int top_k);
+
+/// Features for all edges of `graph`, index-aligned with graph.edges().
+std::vector<RegionEdgeFeatures> ComputeAllRegionEdgeFeatures(
+    const RegionGraph& graph, int top_k);
+
+/// The paper's region-edge similarity:
+///   reSim(a, b) = min(dis)/max(dis) + Jaccard(F_a, F_b), in [0, 2].
+double RegionEdgeSimilarity(const RegionEdgeFeatures& a,
+                            const RegionEdgeFeatures& b);
+
+}  // namespace l2r
+
+#endif  // L2R_TRANSFER_FEATURES_H_

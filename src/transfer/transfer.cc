@@ -1,0 +1,177 @@
+#include "transfer/transfer.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+
+namespace l2r {
+
+Result<TransferResult> TransferPreferences(
+    const std::vector<RegionEdgeFeatures>& features,
+    const std::vector<std::optional<RoutingPreference>>& labeled,
+    const PreferenceFeatureSpace& space, const TransferOptions& options) {
+  const size_t n = features.size();
+  if (labeled.size() != n) {
+    return Status::InvalidArgument("features/labeled size mismatch");
+  }
+  if (options.amr < 0 || options.amr > 2) {
+    return Status::InvalidArgument("amr must be in [0, 2]");
+  }
+
+  TransferResult result;
+  result.preferences.assign(n, std::nullopt);
+  for (size_t i = 0; i < n; ++i) {
+    if (labeled[i].has_value()) {
+      ++result.num_labeled;
+    } else {
+      ++result.num_unlabeled;
+    }
+  }
+  if (n == 0) return result;
+  if (result.num_labeled == 0) {
+    return Status::FailedPrecondition("no labeled region edges to transfer from");
+  }
+
+  Timer build_timer;
+
+  // --- Adjacency M (thresholded, row-capped), built row-parallel and then
+  // symmetrized by intersection (an entry survives only if both rows kept
+  // it, so M stays symmetric under the cap).
+  struct Neighbor {
+    uint32_t j;
+    double sim;
+  };
+  const size_t cap = options.max_neighbors_per_edge == 0
+                         ? n
+                         : options.max_neighbors_per_edge;
+  std::vector<std::vector<Neighbor>> adj(n);
+  ParallelFor(
+      n,
+      [&](size_t i) {
+        auto& row = adj[i];
+        for (size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const double sim =
+              RegionEdgeSimilarity(features[i], features[j]);
+          if (sim <= options.amr) continue;
+          if (row.size() < cap) {
+            row.push_back({static_cast<uint32_t>(j), sim});
+          } else {
+            size_t weakest = 0;
+            for (size_t k = 1; k < row.size(); ++k) {
+              if (row[k].sim < row[weakest].sim) weakest = k;
+            }
+            if (sim > row[weakest].sim) {
+              row[weakest] = {static_cast<uint32_t>(j), sim};
+            }
+          }
+        }
+        std::sort(row.begin(), row.end(),
+                  [](const Neighbor& a, const Neighbor& b) {
+                    return a.j < b.j;
+                  });
+      },
+      options.num_threads);
+  {
+    auto contains = [&](size_t row, uint32_t j) {
+      const auto& r = adj[row];
+      auto it = std::lower_bound(
+          r.begin(), r.end(), j,
+          [](const Neighbor& a, uint32_t v) { return a.j < v; });
+      return it != r.end() && it->j == j;
+    };
+    std::vector<std::vector<Neighbor>> kept(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (const Neighbor& nb : adj[i]) {
+        if (nb.j > i && contains(nb.j, static_cast<uint32_t>(i))) {
+          kept[i].push_back(nb);
+          kept[nb.j].push_back({static_cast<uint32_t>(i), nb.sim});
+        }
+      }
+    }
+    adj.swap(kept);
+  }
+
+  // --- System matrix A = S + mu1 (D - M) + mu2 I.
+  std::vector<Triplet> triplets;
+  std::vector<double> degree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : adj[i]) {
+      degree[i] += nb.sim;
+      triplets.push_back(
+          {static_cast<uint32_t>(i), nb.j, -options.mu1 * nb.sim});
+      ++result.adjacency_nnz;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double s_ii = labeled[i].has_value() ? 1.0 : 0.0;
+    triplets.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(i),
+                        s_ii + options.mu1 * degree[i] + options.mu2});
+  }
+  const SparseMatrix a = SparseMatrix::FromTriplets(n, std::move(triplets));
+  result.build_seconds = build_timer.ElapsedSeconds();
+
+  // --- Solve per feature column: b = S Y_x (1 only on labeled rows whose
+  // preference has feature x).
+  const int p = space.num_features();
+  std::vector<std::vector<double>> yhat(p);
+  Timer solve_timer;
+  for (int x = 0; x < p; ++x) {
+    std::vector<double> b(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (!labeled[i].has_value()) continue;
+      const RoutingPreference& pref = *labeled[i];
+      const bool is_master_col =
+          x < space.num_master() && static_cast<int>(pref.master) == x;
+      const bool is_slave_col =
+          x >= space.num_master() &&
+          pref.slave_index == x - space.num_master();
+      if (is_master_col || is_slave_col) b[i] = 1.0;
+    }
+    Result<SolveStats> solved =
+        options.solver == TransferSolver::kJacobi
+            ? JacobiSolve(a, b, &yhat[x], options.solver_options)
+            : ConjugateGradient(a, b, &yhat[x], options.solver_options);
+    if (!solved.ok()) return solved.status();
+    result.max_solver_iterations =
+        std::max(result.max_solver_iterations, solved->iterations);
+    if (!solved->converged) result.all_converged = false;
+  }
+  result.solve_seconds = solve_timer.ElapsedSeconds();
+
+  // --- Extract preferences: argmax over master columns and over slave
+  // columns (Sec. V-B, Fig. 7).
+  for (size_t i = 0; i < n; ++i) {
+    if (labeled[i].has_value()) {
+      result.preferences[i] = labeled[i];  // T-edges keep learned prefs
+      continue;
+    }
+    int best_master = 0;
+    for (int x = 1; x < space.num_master(); ++x) {
+      if (yhat[x][i] > yhat[best_master][i]) best_master = x;
+    }
+    if (yhat[best_master][i] <= options.null_threshold) {
+      ++result.num_null;
+      continue;
+    }
+    int best_slave = 0;
+    for (int sx = 1; sx < space.num_slave(); ++sx) {
+      if (yhat[space.num_master() + sx][i] >
+          yhat[space.num_master() + best_slave][i]) {
+        best_slave = sx;
+      }
+    }
+    RoutingPreference pref;
+    pref.master = static_cast<CostFeature>(best_master);
+    pref.slave_index = best_slave;
+    result.preferences[i] = pref;
+  }
+  result.null_rate =
+      result.num_unlabeled > 0
+          ? static_cast<double>(result.num_null) / result.num_unlabeled
+          : 0;
+  return result;
+}
+
+}  // namespace l2r

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "baselines/band_match.h"
+#include "baselines/dom.h"
+#include "baselines/simple_routers.h"
+#include "baselines/trip.h"
+#include "baselines/web_router.h"
+#include "eval/datasets.h"
+#include "pref/similarity.h"
+#include "test_util.h"
+
+namespace l2r {
+namespace {
+
+using testing::MakeGrid;
+using testing::MakeLine;
+using testing::MakeTraj;
+
+TEST(SimpleRoutersTest, ShortestMinimizesDistance) {
+  const RoadNetwork net = MakeGrid(5, 5, 100);
+  ShortestRouter router(net);
+  auto path = router.Route(0, 24, 0, 0);
+  ASSERT_TRUE(path.ok());
+  EXPECT_NEAR(path->cost, 800, 1e-6);  // 4+4 hops of 100 m
+  EXPECT_EQ(router.name(), "Shortest");
+}
+
+TEST(SimpleRoutersTest, FastestUsesPeriodWeights) {
+  // Two parallel corridors: short-slow and long-fast; congestion at peak
+  // flips which one is fastest.
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({1000, 0});
+  b.AddVertex({500, 300});
+  b.AddEdge(0, 1, RoadType::kResidential, 42, 40, 1000);   // direct
+  b.AddEdge(0, 2, RoadType::kMotorway, 100, 30, 600);
+  b.AddEdge(2, 1, RoadType::kMotorway, 100, 30, 600);      // via motorway
+  auto net = b.Build();
+  ASSERT_TRUE(net.ok());
+  FastestRouter router(*net);
+  auto off = router.Route(0, 1, /*12:00*/ 12 * 3600, 0);
+  auto peak = router.Route(0, 1, /*08:00*/ 8 * 3600, 0);
+  ASSERT_TRUE(off.ok() && peak.ok());
+  EXPECT_EQ(off->vertices.size(), 3u);   // motorway detour off-peak
+  EXPECT_EQ(peak->vertices.size(), 2u);  // direct at peak
+}
+
+// ---------- Dom ----------
+
+/// Direct route: shortest and most fuel-efficient (40 km/h is near the
+/// fuel sweet spot); detour: much faster but thirstier and longer. So
+/// distance/fuel weights pick the direct edge and time weights pick the
+/// detour — the detour is uniquely explained by travel time.
+RoadNetwork DomTwoRouteNetwork() {
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({1400, 0});
+  b.AddVertex({700, 500});
+  b.AddEdge(0, 1, RoadType::kResidential, 40, 35, 1400);
+  b.AddEdge(0, 2, RoadType::kMotorway, 110, 100, 900);
+  b.AddEdge(2, 1, RoadType::kMotorway, 110, 100, 900);
+  auto net = b.Build();
+  L2R_CHECK(net.ok());
+  return std::move(net).value();
+}
+
+TEST(DomTest, LearnsDriverWeightDirection) {
+  // Driver 1 always drives the direct route (distance/fuel-like), driver 2
+  // the fast detour (time-like).
+  const RoadNetwork net = DomTwoRouteNetwork();
+  std::vector<MatchedTrajectory> training;
+  for (int k = 0; k < 3; ++k) {
+    training.push_back(MakeTraj({0, 1}, k * 1000.0, /*driver=*/1));
+    training.push_back(MakeTraj({0, 2, 1}, k * 1000.0, /*driver=*/2));
+  }
+  auto dom = DomRouter::Train(&net, training);
+  ASSERT_TRUE(dom.ok());
+  const auto w1 = (*dom)->DriverWeights(1);
+  const auto w2 = (*dom)->DriverWeights(2);
+  // Driver 1's behaviour is explained without travel time; driver 2's
+  // requires it.
+  EXPECT_LT(w1.tt, 0.2);
+  EXPECT_GT(w2.tt, 0.2);
+  // Unknown drivers get defaults.
+  const auto w9 = (*dom)->DriverWeights(999);
+  EXPECT_NEAR(w9.di, 1.0 / 3, 1e-9);
+}
+
+TEST(DomTest, RoutesPersonalized) {
+  const RoadNetwork net = DomTwoRouteNetwork();
+  std::vector<MatchedTrajectory> training;
+  for (int k = 0; k < 3; ++k) {
+    training.push_back(MakeTraj({0, 1}, k * 1000.0, 1));
+    training.push_back(MakeTraj({0, 2, 1}, k * 1000.0, 2));
+  }
+  auto dom = DomRouter::Train(&net, training);
+  ASSERT_TRUE(dom.ok());
+  auto p1 = (*dom)->Route(0, 1, 0, 1);
+  auto p2 = (*dom)->Route(0, 1, 0, 2);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1->vertices.size(), 2u);  // driver 1: direct
+  EXPECT_EQ(p2->vertices.size(), 3u);  // driver 2: fast detour
+}
+
+// ---------- TRIP ----------
+
+TEST(TripTest, LearnsGlobalSlowdownRatio) {
+  const RoadNetwork net = MakeLine(10, 200, RoadType::kPrimary, 72);
+  // Expected time per edge: 200 m at 72 km/h = 10 s; 9 edges = 90 s.
+  // The driver consistently needs 20% longer.
+  std::vector<MatchedTrajectory> training;
+  for (int k = 0; k < 5; ++k) {
+    MatchedTrajectory t = MakeTraj({0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+                                   12 * 3600.0 + k, /*driver=*/7);
+    t.duration_s = 90 * 1.2;
+    training.push_back(t);
+  }
+  auto trip = TripRouter::Train(&net, training);
+  ASSERT_TRUE(trip.ok());
+  const auto ratios = (*trip)->DriverRatios(7);
+  EXPECT_NEAR(ratios[static_cast<int>(RoadType::kPrimary)], 1.2, 0.05);
+  // Unseen driver: neutral ratios.
+  const auto none = (*trip)->DriverRatios(99);
+  EXPECT_DOUBLE_EQ(none[0], 1.0);
+}
+
+TEST(TripTest, PerTypeRatiosChangeRouteChoice) {
+  // Two corridors with different types and near-equal expected times; a
+  // driver who is slow on residential should be routed via primary.
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({500, 0});
+  b.AddVertex({1000, 0});
+  b.AddVertex({500, 200});
+  b.AddTwoWayEdge(0, 1, RoadType::kResidential, 50, 45, 500);
+  b.AddTwoWayEdge(1, 2, RoadType::kResidential, 50, 45, 500);
+  b.AddTwoWayEdge(0, 3, RoadType::kPrimary, 49, 45, 510);
+  b.AddTwoWayEdge(3, 2, RoadType::kPrimary, 49, 45, 510);
+  auto net = b.Build();
+  ASSERT_TRUE(net.ok());
+  // Training: driver 5 does residential trips 40% slower than expected,
+  // primary trips on time.
+  std::vector<MatchedTrajectory> training;
+  for (int k = 0; k < 4; ++k) {
+    MatchedTrajectory res = MakeTraj({0, 1, 2}, 12 * 3600.0 + k, 5);
+    res.duration_s = (1000.0 / (50 / 3.6)) * 1.4;
+    training.push_back(res);
+    MatchedTrajectory prim = MakeTraj({0, 3, 2}, 12 * 3600.0 + k, 5);
+    prim.duration_s = 1020.0 / (49 / 3.6);
+    training.push_back(prim);
+  }
+  auto trip = TripRouter::Train(&*net, training);
+  ASSERT_TRUE(trip.ok());
+  auto route = (*trip)->Route(0, 2, 12 * 3600, 5);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->vertices, (std::vector<VertexId>{0, 3, 2}));
+  // A neutral driver takes the nominally-faster residential corridor.
+  auto neutral = (*trip)->Route(0, 2, 12 * 3600, 42);
+  ASSERT_TRUE(neutral.ok());
+  EXPECT_EQ(neutral->vertices, (std::vector<VertexId>{0, 1, 2}));
+}
+
+// ---------- WebRouter + band matching ----------
+
+TEST(WebRouterTest, ReturnsWaypointPolyline) {
+  const RoadNetwork net = MakeGrid(8, 8, 150);
+  WebRouter router(net);
+  auto route = router.Route(0, 63);
+  ASSERT_TRUE(route.ok());
+  ASSERT_GE(route->polyline.size(), 2u);
+  // Endpoints near the query vertices.
+  EXPECT_LT(Dist(route->polyline.points().front(), net.VertexPos(0)), 1);
+  EXPECT_LT(Dist(route->polyline.points().back(), net.VertexPos(63)), 1);
+  // Waypoints are spaced roughly at the configured distance.
+  const auto& pts = route->polyline.points();
+  for (size_t i = 0; i + 2 < pts.size(); ++i) {
+    EXPECT_LE(Dist(pts[i], pts[i + 1]), 210);
+  }
+}
+
+TEST(BandMatchTest, PerfectMatchIsOne) {
+  const RoadNetwork net = MakeLine(6, 100);
+  const std::vector<VertexId> gt = {0, 1, 2, 3, 4, 5};
+  std::vector<Point> pts;
+  for (const VertexId v : gt) pts.push_back(net.VertexPos(v));
+  EXPECT_NEAR(PolylineBandSimilarity(net, gt, Polyline(pts), 10), 1.0, 1e-9);
+}
+
+TEST(BandMatchTest, FarPolylineIsZero) {
+  const RoadNetwork net = MakeLine(6, 100);
+  const std::vector<VertexId> gt = {0, 1, 2, 3, 4, 5};
+  const Polyline far({{0, 500}, {500, 500}});
+  EXPECT_DOUBLE_EQ(PolylineBandSimilarity(net, gt, far, 10), 0.0);
+}
+
+TEST(BandMatchTest, PartialOverlapCountsCoveredEdges) {
+  // Waypoints hug the first half of the GT path, then veer off.
+  const RoadNetwork net = MakeLine(11, 100);
+  std::vector<VertexId> gt;
+  for (VertexId v = 0; v <= 10; ++v) gt.push_back(v);
+  std::vector<Point> pts;
+  for (int i = 0; i <= 5; ++i) pts.push_back({i * 100.0, 3.0});
+  pts.push_back({600, 400});
+  pts.push_back({800, 400});
+  const double sim = PolylineBandSimilarity(net, gt, Polyline(pts), 10);
+  EXPECT_NEAR(sim, 0.5, 0.05);  // ~5 of 10 edges covered
+}
+
+TEST(BandMatchTest, WaypointsOutsideBandBreakCoverage) {
+  // Alternate near/far waypoints: no two consecutive matched waypoints.
+  const RoadNetwork net = MakeLine(6, 100);
+  const std::vector<VertexId> gt = {0, 1, 2, 3, 4, 5};
+  std::vector<Point> pts = {
+      {0, 0}, {100, 300}, {200, 0}, {300, 300}, {400, 0}};
+  EXPECT_DOUBLE_EQ(PolylineBandSimilarity(net, gt, Polyline(pts), 10), 0.0);
+}
+
+TEST(BandMatchTest, DegenerateInputs) {
+  const RoadNetwork net = MakeLine(4, 100);
+  EXPECT_DOUBLE_EQ(PolylineBandSimilarity(net, {0}, Polyline({{0, 0}, {1, 1}}), 10),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      PolylineBandSimilarity(net, {0, 1}, Polyline({{0, 0}}), 10), 0.0);
+}
+
+TEST(WebRouterEndToEndTest, BandSimilarityAgainstOwnGroundTruth) {
+  // The web router's own path polyline band-matches the fastest path
+  // reasonably (they share free-flow weights up to the major-road bias).
+  const RoadNetwork net = MakeGrid(10, 10, 150);
+  WebRouter router(net);
+  DijkstraSearch dijkstra(net);
+  const EdgeWeights tt(net, CostFeature::kTravelTime, TimePeriod::kOffPeak);
+  auto web = router.Route(0, 99);
+  auto fast = dijkstra.ShortestPath(0, 99, tt);
+  ASSERT_TRUE(web.ok() && fast.ok());
+  const double sim =
+      PolylineBandSimilarity(net, fast->vertices, web->polyline, 10);
+  EXPECT_GT(sim, 0.4);
+  EXPECT_LE(sim, 1.0);
+}
+
+}  // namespace
+}  // namespace l2r

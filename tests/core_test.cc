@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "core/l2r.h"
+#include "eval/datasets.h"
+#include "pref/similarity.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace l2r {
+namespace {
+
+/// Shared small world: built once for the whole suite (building the full
+/// pipeline is the expensive part).
+class L2REndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec = CityDataset(/*traj_scale=*/0.5);  // ~5000 trajs
+    spec.network.city_width_m = 16000;
+    spec.network.city_height_m = 12000;
+    auto built = BuildDataset(spec);
+    L2R_CHECK(built.ok());
+    dataset_ = new BuiltDataset(std::move(built).value());
+    L2ROptions options;
+    auto router = L2RRouter::Build(&dataset_->world.net,
+                                   dataset_->split.train, options);
+    L2R_CHECK(router.ok());
+    router_ = router->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete router_;
+    router_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  const RoadNetwork& net() const { return dataset_->world.net; }
+
+  static BuiltDataset* dataset_;
+  static L2RRouter* router_;
+};
+
+BuiltDataset* L2REndToEndTest::dataset_ = nullptr;
+L2RRouter* L2REndToEndTest::router_ = nullptr;
+
+TEST_F(L2REndToEndTest, BuildReportIsPopulated) {
+  const L2RBuildReport& report = router_->build_report();
+  EXPECT_GT(report.total_seconds, 0);
+  for (int p = 0; p < kNumTimePeriods; ++p) {
+    const auto& rep = report.period[p];
+    EXPECT_GT(rep.trajectories, 0u);
+    EXPECT_GT(rep.num_regions, 0u);
+    EXPECT_GT(rep.num_t_edges, 0u);
+  }
+}
+
+TEST_F(L2REndToEndTest, RoutesAreValidPaths) {
+  L2RQueryContext ctx = router_->MakeContext();
+  size_t routed = 0;
+  for (size_t i = 0; i < dataset_->split.test.size() && routed < 60; ++i) {
+    const MatchedTrajectory& t = dataset_->split.test[i];
+    if (t.path.size() < 3) continue;
+    auto r = router_->Route(&ctx, t.path.front(), t.path.back(),
+                            t.departure_time);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ++routed;
+    ASSERT_GE(r->path.vertices.size(), 2u);
+    EXPECT_EQ(r->path.vertices.front(), t.path.front());
+    EXPECT_EQ(r->path.vertices.back(), t.path.back());
+    EXPECT_TRUE(PathIsConnected(net(), r->path.vertices));
+    EXPECT_GT(r->path.cost, 0);  // travel time annotated
+  }
+  EXPECT_GT(routed, 30u);
+}
+
+TEST_F(L2REndToEndTest, BeatsFastestOnDriverSimilarity) {
+  L2RQueryContext ctx = router_->MakeContext();
+  DijkstraSearch fastest(net());
+  const EdgeWeights tt_off(net(), CostFeature::kTravelTime,
+                           TimePeriod::kOffPeak);
+  const EdgeWeights tt_peak(net(), CostFeature::kTravelTime,
+                            TimePeriod::kPeak);
+  double sum_l2r = 0;
+  double sum_fast = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < dataset_->split.test.size() && n < 150; ++i) {
+    const MatchedTrajectory& t = dataset_->split.test[i];
+    if (t.path.size() < 5) continue;
+    auto r = router_->Route(&ctx, t.path.front(), t.path.back(),
+                            t.departure_time);
+    const EdgeWeights& tt =
+        PeriodOf(t.departure_time) == TimePeriod::kPeak ? tt_peak : tt_off;
+    auto f = fastest.ShortestPath(t.path.front(), t.path.back(), tt);
+    if (!r.ok() || !f.ok()) continue;
+    sum_l2r += PathSimilarity(net(), t.path, r->path.vertices);
+    sum_fast += PathSimilarity(net(), t.path, f->vertices);
+    ++n;
+  }
+  ASSERT_GT(n, 50u);
+  // The headline property: trajectory-based routing matches local drivers
+  // better than cost-centric routing (paper Fig. 10).
+  EXPECT_GT(sum_l2r / n, sum_fast / n);
+}
+
+TEST_F(L2REndToEndTest, SameRegionQueriesUseInnerPathsOrFastest) {
+  L2RQueryContext ctx = router_->MakeContext();
+  const RegionGraph& g = router_->region_graph(TimePeriod::kOffPeak);
+  size_t tried = 0;
+  for (RegionId r = 0; r < g.NumRegions() && tried < 20; ++r) {
+    const RegionInfo& info = g.region(r);
+    if (info.members.size() < 4) continue;
+    const VertexId s = info.members.front();
+    const VertexId d = info.members.back();
+    if (s == d) continue;
+    auto routed = router_->Route(&ctx, s, d, /*departure=*/12 * 3600);
+    if (!routed.ok()) continue;
+    ++tried;
+    EXPECT_TRUE(routed->method == RouteMethod::kInnerRegionPopular ||
+                routed->method == RouteMethod::kFastestFallback);
+    EXPECT_EQ(routed->source_region, routed->dest_region);
+  }
+  EXPECT_GT(tried, 5u);
+}
+
+TEST_F(L2REndToEndTest, DepartureTimeSelectsPeriodGraph) {
+  // The same query at peak vs off-peak may route differently, but both
+  // must be valid; region ids refer to different graphs.
+  L2RQueryContext ctx = router_->MakeContext();
+  const MatchedTrajectory& t = dataset_->split.test.front();
+  auto off = router_->Route(&ctx, t.path.front(), t.path.back(), 12 * 3600);
+  auto peak = router_->Route(&ctx, t.path.front(), t.path.back(), 8 * 3600);
+  ASSERT_TRUE(off.ok() && peak.ok());
+  EXPECT_TRUE(PathIsConnected(net(), off->path.vertices));
+  EXPECT_TRUE(PathIsConnected(net(), peak->path.vertices));
+}
+
+TEST_F(L2REndToEndTest, InvalidQueriesRejected) {
+  L2RQueryContext ctx = router_->MakeContext();
+  EXPECT_FALSE(router_->Route(&ctx, 0, 0, 0).ok());
+  EXPECT_FALSE(
+      router_->Route(&ctx, 0, static_cast<VertexId>(net().NumVertices()), 0)
+          .ok());
+  EXPECT_FALSE(router_->Route(nullptr, 0, 1, 0).ok());
+}
+
+TEST_F(L2REndToEndTest, EdgePreferencesExposed) {
+  const auto& prefs = router_->edge_preferences(TimePeriod::kOffPeak);
+  const RegionGraph& g = router_->region_graph(TimePeriod::kOffPeak);
+  EXPECT_EQ(prefs.size(), g.NumEdges());
+  size_t with_pref = 0;
+  for (const auto& p : prefs) with_pref += p.has_value();
+  EXPECT_GT(with_pref, g.NumEdges() / 2);
+}
+
+TEST(L2RBuildTest, RejectsBadInputs) {
+  L2ROptions options;
+  EXPECT_FALSE(L2RRouter::Build(nullptr, {}, options).ok());
+  const RoadNetwork net = testing::MakeGrid(3, 3, 100);
+  EXPECT_FALSE(L2RRouter::Build(&net, {}, options).ok());
+}
+
+TEST(L2RBuildTest, NonTimeDependentBuildsSingleGraph) {
+  DatasetSpec spec = CityDataset(0.04);
+  spec.network.city_width_m = 7000;
+  spec.network.city_height_m = 6000;
+  auto built = BuildDataset(spec);
+  ASSERT_TRUE(built.ok());
+  L2ROptions options;
+  options.time_dependent = false;
+  auto router =
+      L2RRouter::Build(&built->world.net, built->split.train, options);
+  ASSERT_TRUE(router.ok());
+  // Peak queries are served by the off-peak graph without error.
+  L2RQueryContext ctx = (*router)->MakeContext();
+  const MatchedTrajectory& t = built->split.test.front();
+  auto r = (*router)->Route(&ctx, t.path.front(), t.path.back(), 8 * 3600);
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace l2r

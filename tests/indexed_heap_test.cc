@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/indexed_heap.h"
+#include "common/rng.h"
+
+namespace l2r {
+namespace {
+
+TEST(IndexedHeapTest, MinHeapPopsInOrder) {
+  IndexedMinHeap<double> h(10);
+  h.Push(3, 5.0);
+  h.Push(1, 2.0);
+  h.Push(7, 9.0);
+  h.Push(2, 1.0);
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.Pop(), (std::pair<uint32_t, double>{2, 1.0}));
+  EXPECT_EQ(h.Pop(), (std::pair<uint32_t, double>{1, 2.0}));
+  EXPECT_EQ(h.Pop(), (std::pair<uint32_t, double>{3, 5.0}));
+  EXPECT_EQ(h.Pop(), (std::pair<uint32_t, double>{7, 9.0}));
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedHeapTest, MaxHeapPopsInOrder) {
+  IndexedMaxHeap<uint64_t> h(5);
+  h.Push(0, 10);
+  h.Push(1, 30);
+  h.Push(2, 20);
+  EXPECT_EQ(h.Pop().first, 1u);
+  EXPECT_EQ(h.Pop().first, 2u);
+  EXPECT_EQ(h.Pop().first, 0u);
+}
+
+TEST(IndexedHeapTest, UpdateDecrease) {
+  IndexedMinHeap<double> h(5);
+  h.Push(0, 10);
+  h.Push(1, 20);
+  h.Update(1, 5);
+  EXPECT_EQ(h.Pop().first, 1u);
+}
+
+TEST(IndexedHeapTest, UpdateIncrease) {
+  IndexedMinHeap<double> h(5);
+  h.Push(0, 10);
+  h.Push(1, 5);
+  h.Update(1, 50);
+  EXPECT_EQ(h.Pop().first, 0u);
+  EXPECT_DOUBLE_EQ(h.PriorityOf(1), 50);
+}
+
+TEST(IndexedHeapTest, PushOrUpdate) {
+  IndexedMinHeap<double> h(5);
+  h.PushOrUpdate(2, 7);
+  EXPECT_TRUE(h.Contains(2));
+  h.PushOrUpdate(2, 3);
+  EXPECT_DOUBLE_EQ(h.PriorityOf(2), 3);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(IndexedHeapTest, RemoveMiddle) {
+  IndexedMinHeap<double> h(10);
+  for (uint32_t i = 0; i < 8; ++i) h.Push(i, 8.0 - i);
+  EXPECT_TRUE(h.Remove(4));
+  EXPECT_FALSE(h.Remove(4));
+  EXPECT_FALSE(h.Contains(4));
+  std::vector<uint32_t> order;
+  while (!h.empty()) order.push_back(h.Pop().first);
+  EXPECT_EQ(order, (std::vector<uint32_t>{7, 6, 5, 3, 2, 1, 0}));
+}
+
+TEST(IndexedHeapTest, ClearKeepsCapacity) {
+  IndexedMinHeap<double> h(4);
+  h.Push(0, 1);
+  h.Push(3, 2);
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.Contains(0));
+  h.Push(0, 5);  // reusable after clear
+  EXPECT_EQ(h.Pop().first, 0u);
+}
+
+TEST(IndexedHeapTest, ReserveGrowsIdSpace) {
+  IndexedMinHeap<double> h(2);
+  h.Reserve(100);
+  h.Push(99, 1.0);
+  EXPECT_TRUE(h.Contains(99));
+}
+
+TEST(IndexedHeapTest, TopDoesNotRemove) {
+  IndexedMinHeap<double> h(3);
+  h.Push(1, 4);
+  h.Push(2, 2);
+  EXPECT_EQ(h.Top().first, 2u);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+/// Property test: random operations against a std::multiset oracle.
+TEST(IndexedHeapTest, MatchesOracleUnderRandomOps) {
+  Rng rng(41);
+  constexpr uint32_t kIds = 200;
+  IndexedMinHeap<double> h(kIds);
+  std::set<std::pair<double, uint32_t>> oracle;  // (pri, id)
+  std::vector<double> pri_of(kIds, -1);
+
+  for (int step = 0; step < 20000; ++step) {
+    const int op = static_cast<int>(rng.Index(4));
+    const uint32_t id = static_cast<uint32_t>(rng.Index(kIds));
+    if (op == 0) {  // push or update
+      const double pri = rng.Uniform(0, 1000);
+      if (h.Contains(id)) {
+        oracle.erase({pri_of[id], id});
+      }
+      h.PushOrUpdate(id, pri);
+      oracle.insert({pri, id});
+      pri_of[id] = pri;
+    } else if (op == 1 && !h.empty()) {  // pop
+      const auto [hid, hpri] = h.Pop();
+      const auto top = *oracle.begin();
+      EXPECT_DOUBLE_EQ(hpri, top.first);
+      oracle.erase({hpri, hid});
+      pri_of[hid] = -1;
+    } else if (op == 2) {  // remove
+      const bool had = h.Contains(id);
+      EXPECT_EQ(h.Remove(id), had);
+      if (had) {
+        oracle.erase({pri_of[id], id});
+        pri_of[id] = -1;
+      }
+    } else {  // invariants
+      EXPECT_EQ(h.size(), oracle.size());
+      if (!oracle.empty()) {
+        EXPECT_DOUBLE_EQ(h.Top().second, oracle.begin()->first);
+      }
+    }
+  }
+  // Drain fully in sorted order.
+  double last = -1;
+  while (!h.empty()) {
+    const double p = h.Pop().second;
+    EXPECT_GE(p, last);
+    last = p;
+  }
+}
+
+}  // namespace
+}  // namespace l2r

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "mapmatch/hmm_matcher.h"
+#include "pref/similarity.h"
+#include "roadnet/generator.h"
+#include "traj/driver_model.h"
+#include "traj/generator.h"
+#include "test_util.h"
+
+namespace l2r {
+namespace {
+
+using testing::MakeGrid;
+
+class MapMatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    NetworkGenConfig config;
+    config.city_width_m = 5000;
+    config.city_height_m = 4000;
+    config.block_spacing_m = 400;
+    config.seed = 3;
+    auto gen = GenerateNetwork(config);
+    ASSERT_TRUE(gen.ok());
+    world_ = std::move(gen).value();
+    grid_ = std::make_unique<SpatialGrid>(world_.net, 250);
+    model_ = std::make_unique<DriverModel>(&world_, 5);
+  }
+
+  TrajectoryDataset MakeData(double interval_s, double noise_m, size_t n) {
+    TrajectoryGenConfig config;
+    config.num_trajectories = n;
+    config.seed = 17;
+    config.sample_interval_s = interval_s;
+    config.gps_noise_sigma_m = noise_m;
+    config.emit_gps = true;
+    config.min_trip_euclid_m = 900;
+    const TrajectoryGenerator gen(&world_, model_.get());
+    auto data = gen.Generate(config);
+    L2R_CHECK(data.ok());
+    return std::move(data).value();
+  }
+
+  GeneratedNetwork world_;
+  std::unique_ptr<SpatialGrid> grid_;
+  std::unique_ptr<DriverModel> model_;
+};
+
+TEST_F(MapMatchTest, RecoversCleanHighFrequencyTrajectories) {
+  const TrajectoryDataset data = MakeData(2.0, 0.5, 20);
+  HmmMatchOptions options;
+  options.emission_sigma_m = 5;
+  const HmmMapMatcher matcher(world_.net, *grid_, options);
+  double total_sim = 0;
+  size_t matched = 0;
+  for (size_t i = 0; i < data.gps.size(); ++i) {
+    auto result = matcher.Match(data.gps[i]);
+    if (!result.ok()) continue;
+    ++matched;
+    total_sim += PathSimilarity(world_.net, data.matched[i].path,
+                                result->path);
+  }
+  ASSERT_GT(matched, data.gps.size() * 3 / 4);
+  EXPECT_GT(total_sim / matched, 0.93);
+}
+
+TEST_F(MapMatchTest, RobustToGpsNoise) {
+  const TrajectoryDataset data = MakeData(2.0, 12.0, 20);
+  HmmMatchOptions options;
+  options.emission_sigma_m = 15;
+  options.candidate_radius_m = 60;
+  const HmmMapMatcher matcher(world_.net, *grid_, options);
+  double total_sim = 0;
+  size_t matched = 0;
+  for (size_t i = 0; i < data.gps.size(); ++i) {
+    auto result = matcher.Match(data.gps[i]);
+    if (!result.ok()) continue;
+    ++matched;
+    total_sim += PathSimilarity(world_.net, data.matched[i].path,
+                                result->path);
+  }
+  ASSERT_GT(matched, data.gps.size() / 2);
+  EXPECT_GT(total_sim / matched, 0.75);
+}
+
+TEST_F(MapMatchTest, LowFrequencyStillUsable) {
+  const TrajectoryDataset data = MakeData(20.0, 10.0, 20);
+  HmmMatchOptions options;
+  options.emission_sigma_m = 15;
+  options.route_dist_factor = 6;
+  options.route_dist_slack_m = 800;
+  const HmmMapMatcher matcher(world_.net, *grid_, options);
+  double total_sim = 0;
+  size_t matched = 0;
+  for (size_t i = 0; i < data.gps.size(); ++i) {
+    auto result = matcher.Match(data.gps[i]);
+    if (!result.ok()) continue;
+    ++matched;
+    total_sim += PathSimilarity(world_.net, data.matched[i].path,
+                                result->path);
+  }
+  ASSERT_GT(matched, data.gps.size() / 2);
+  EXPECT_GT(total_sim / matched, 0.6);
+}
+
+TEST_F(MapMatchTest, MatchedPathIsConnected) {
+  const TrajectoryDataset data = MakeData(5.0, 8.0, 10);
+  const HmmMapMatcher matcher(world_.net, *grid_);
+  for (const Trajectory& traj : data.gps) {
+    auto result = matcher.Match(traj);
+    if (!result.ok()) continue;
+    for (size_t i = 0; i + 1 < result->path.size(); ++i) {
+      EXPECT_NE(world_.net.FindEdge(result->path[i], result->path[i + 1]),
+                kInvalidEdge);
+    }
+  }
+}
+
+TEST_F(MapMatchTest, RejectsTooShortTrajectory) {
+  const HmmMapMatcher matcher(world_.net, *grid_);
+  Trajectory traj;
+  traj.points.push_back({0, {0, 0}});
+  EXPECT_EQ(matcher.Match(traj).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MapMatchTest, NoCandidatesIsNotFound) {
+  const HmmMapMatcher matcher(world_.net, *grid_);
+  Trajectory traj;
+  traj.points.push_back({0, {1e7, 1e7}});
+  traj.points.push_back({1, {1e7 + 10, 1e7}});
+  EXPECT_EQ(matcher.Match(traj).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MapMatchTest, SplitsOnLargeGaps) {
+  // Two separate runs joined by a big jump: matcher should still produce
+  // one connected path and report 2 segments.
+  const TrajectoryDataset data = MakeData(2.0, 1.0, 4);
+  const Trajectory& a = data.gps[0];
+  const Trajectory& b = data.gps[1];
+  Trajectory stitched;
+  stitched.driver_id = 0;
+  stitched.points = a.points;
+  for (GpsRecord r : b.points) {
+    r.t += 1e6;
+    stitched.points.push_back(r);
+  }
+  HmmMatchOptions options;
+  options.break_gap_m = 1500;
+  const HmmMapMatcher matcher(world_.net, *grid_, options);
+  auto result = matcher.Match(stitched);
+  if (result.ok()) {
+    EXPECT_GE(result->segments, 1u);
+    for (size_t i = 0; i + 1 < result->path.size(); ++i) {
+      EXPECT_NE(world_.net.FindEdge(result->path[i], result->path[i + 1]),
+                kInvalidEdge);
+    }
+  }
+}
+
+TEST_F(MapMatchTest, ThinningReducesFixesUsed) {
+  const TrajectoryDataset data = MakeData(1.0, 2.0, 2);
+  HmmMatchOptions dense;
+  const HmmMapMatcher matcher_dense(world_.net, *grid_, dense);
+  HmmMatchOptions thin = dense;
+  thin.min_fix_spacing_m = 50;
+  const HmmMapMatcher matcher_thin(world_.net, *grid_, thin);
+  auto a = matcher_dense.Match(data.gps[0]);
+  auto b = matcher_thin.Match(data.gps[0]);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(b->fixes_used, a->fixes_used);
+}
+
+}  // namespace
+}  // namespace l2r

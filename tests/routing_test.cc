@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "routing/astar.h"
+#include "routing/bidirectional.h"
+#include "routing/dijkstra.h"
+#include "routing/preference_dijkstra.h"
+#include "routing/skyline.h"
+#include "test_util.h"
+
+namespace l2r {
+namespace {
+
+using testing::MakeGrid;
+using testing::MakeLine;
+
+/// Bellman-Ford oracle for shortest-path costs.
+std::vector<double> BellmanFord(const RoadNetwork& net, VertexId s,
+                                const EdgeWeights& w) {
+  std::vector<double> dist(net.NumVertices(), kInfCost);
+  dist[s] = 0;
+  for (size_t round = 0; round + 1 < net.NumVertices(); ++round) {
+    bool changed = false;
+    for (EdgeId e = 0; e < net.NumEdges(); ++e) {
+      const auto& rec = net.edge(e);
+      if (dist[rec.from] + w[e] < dist[rec.to] - 1e-12) {
+        dist[rec.to] = dist[rec.from] + w[e];
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+/// A random strongly-connected-ish network for property tests.
+RoadNetwork RandomNetwork(uint64_t seed, int n) {
+  Rng rng(seed);
+  RoadNetworkBuilder b;
+  for (int i = 0; i < n; ++i) {
+    b.AddVertex({rng.Uniform(0, 5000), rng.Uniform(0, 5000)});
+  }
+  // Ring for connectivity + random chords.
+  for (int i = 0; i < n; ++i) {
+    b.AddTwoWayEdge(i, (i + 1) % n,
+                    static_cast<RoadType>(rng.Index(kNumRoadTypes)),
+                    rng.Uniform(30, 100), rng.Uniform(20, 60));
+  }
+  for (int k = 0; k < 3 * n; ++k) {
+    const VertexId u = static_cast<VertexId>(rng.Index(n));
+    const VertexId v = static_cast<VertexId>(rng.Index(n));
+    if (u == v) continue;
+    b.AddEdge(u, v, static_cast<RoadType>(rng.Index(kNumRoadTypes)),
+              rng.Uniform(30, 100), rng.Uniform(20, 60));
+  }
+  auto net = b.Build();
+  L2R_CHECK(net.ok());
+  return std::move(net).value();
+}
+
+TEST(DijkstraTest, LinePathCostAndVertices) {
+  const RoadNetwork net = MakeLine(6, 100);
+  DijkstraSearch search(net);
+  const EdgeWeights w(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  auto path = search.ShortestPath(0, 5, w);
+  ASSERT_TRUE(path.ok());
+  EXPECT_NEAR(path->cost, 500, 1e-6);
+  EXPECT_EQ(path->vertices, (std::vector<VertexId>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(DijkstraTest, SourceEqualsTarget) {
+  const RoadNetwork net = MakeLine(3);
+  DijkstraSearch search(net);
+  const EdgeWeights w(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  auto path = search.ShortestPath(1, 1, w);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->cost, 0);
+  EXPECT_EQ(path->vertices.size(), 1u);
+}
+
+TEST(DijkstraTest, UnreachableIsNotFound) {
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({100, 0});
+  b.AddVertex({200, 0});
+  b.AddEdge(0, 1, RoadType::kPrimary, 50, 40);  // one-way; 2 isolated
+  auto net = b.Build();
+  ASSERT_TRUE(net.ok());
+  DijkstraSearch search(*net);
+  const EdgeWeights w(*net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  EXPECT_EQ(search.ShortestPath(0, 2, w).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(search.ShortestPath(1, 0, w).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DijkstraTest, OutOfRangeIdsRejected) {
+  const RoadNetwork net = MakeLine(3);
+  DijkstraSearch search(net);
+  const EdgeWeights w(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  EXPECT_EQ(search.ShortestPath(0, 99, w).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DijkstraTest, WorkspaceReuseAcrossQueries) {
+  const RoadNetwork net = MakeGrid(8, 8, 100);
+  DijkstraSearch search(net);
+  const EdgeWeights w(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  Rng rng(3);
+  for (int q = 0; q < 50; ++q) {
+    const VertexId s = static_cast<VertexId>(rng.Index(net.NumVertices()));
+    const VertexId t = static_cast<VertexId>(rng.Index(net.NumVertices()));
+    auto path = search.ShortestPath(s, t, w);
+    ASSERT_TRUE(path.ok());
+    // Manhattan distance on a grid.
+    const double manhattan = std::abs(net.VertexPos(s).x - net.VertexPos(t).x) +
+                             std::abs(net.VertexPos(s).y - net.VertexPos(t).y);
+    EXPECT_NEAR(path->cost, manhattan, 1e-6);
+  }
+}
+
+TEST(DijkstraTest, MatchesBellmanFordOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const RoadNetwork net = RandomNetwork(seed, 60);
+    const EdgeWeights w(net, CostFeature::kTravelTime, TimePeriod::kOffPeak);
+    const auto oracle = BellmanFord(net, 0, w);
+    DijkstraSearch search(net);
+    search.RunBounded(0, w, kInfCost);
+    for (VertexId v = 0; v < net.NumVertices(); ++v) {
+      EXPECT_NEAR(search.DistTo(v), oracle[v], 1e-6)
+          << "seed " << seed << " v " << v;
+    }
+  }
+}
+
+TEST(DijkstraTest, RunUntilStopsAtPredicate) {
+  const RoadNetwork net = MakeLine(10, 100);
+  DijkstraSearch search(net);
+  const EdgeWeights w(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  const VertexId hit =
+      search.RunUntil(0, w, [](VertexId v) { return v >= 4; });
+  EXPECT_EQ(hit, 4u);
+  EXPECT_TRUE(search.Reached(4));
+  EXPECT_FALSE(search.Reached(9));
+}
+
+TEST(DijkstraTest, RunBoundedRespectsBudget) {
+  const RoadNetwork net = MakeLine(10, 100);
+  DijkstraSearch search(net);
+  const EdgeWeights w(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  search.RunBounded(0, w, 350);
+  EXPECT_TRUE(search.Reached(3));
+  EXPECT_FALSE(search.Reached(5));
+}
+
+TEST(DijkstraTest, ReverseSearchFindsForwardPath) {
+  const RoadNetwork net = MakeGrid(6, 6, 100);
+  DijkstraSearch search(net);
+  const EdgeWeights w(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  const VertexId hit =
+      search.RunUntilReverse(35, w, [](VertexId v) { return v == 0; });
+  ASSERT_EQ(hit, 0u);
+  const Path path = search.ExtractReversePath(0);
+  EXPECT_EQ(path.vertices.front(), 0u);
+  EXPECT_EQ(path.vertices.back(), 35u);
+  EXPECT_TRUE(PathIsConnected(net, path.vertices));
+  EXPECT_NEAR(path.cost, 1000, 1e-6);  // 5+5 grid hops of 100 m
+}
+
+// ---------- A* ----------
+
+TEST(AStarTest, HeuristicScaleBounds) {
+  const RoadNetwork net = MakeLine(5, 100, RoadType::kPrimary, 60);
+  const EdgeWeights di(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  EXPECT_NEAR(HeuristicScaleFor(net, di), 1.0, 1e-6);
+  const EdgeWeights tt(net, CostFeature::kTravelTime, TimePeriod::kOffPeak);
+  EXPECT_NEAR(HeuristicScaleFor(net, tt), 1.0 / (60 / 3.6), 1e-6);
+}
+
+TEST(AStarTest, MatchesDijkstraOnRandomGraphs) {
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    const RoadNetwork net = RandomNetwork(seed, 80);
+    const EdgeWeights w(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+    const double scale = HeuristicScaleFor(net, w);
+    DijkstraSearch dijkstra(net);
+    AStarSearch astar(net);
+    Rng rng(seed * 7);
+    for (int q = 0; q < 25; ++q) {
+      const VertexId s = static_cast<VertexId>(rng.Index(net.NumVertices()));
+      const VertexId t = static_cast<VertexId>(rng.Index(net.NumVertices()));
+      auto want = dijkstra.ShortestPath(s, t, w);
+      auto got = astar.ShortestPath(s, t, w, scale);
+      ASSERT_EQ(want.ok(), got.ok());
+      if (want.ok()) {
+        EXPECT_NEAR(got->cost, want->cost, 1e-6) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(AStarTest, ExpandsFewerVerticesThanDijkstra) {
+  const RoadNetwork net = MakeGrid(20, 20, 100);
+  const EdgeWeights w(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  DijkstraSearch dijkstra(net);
+  AStarSearch astar(net);
+  ASSERT_TRUE(dijkstra.ShortestPath(0, 399, w).ok());
+  ASSERT_TRUE(astar.ShortestPath(0, 399, w, HeuristicScaleFor(net, w)).ok());
+  EXPECT_LT(astar.LastSettledCount(), dijkstra.LastSettledCount());
+}
+
+// ---------- bidirectional ----------
+
+TEST(BidirectionalTest, MatchesDijkstraOnRandomGraphs) {
+  for (uint64_t seed = 21; seed <= 24; ++seed) {
+    const RoadNetwork net = RandomNetwork(seed, 80);
+    const EdgeWeights w(net, CostFeature::kTravelTime, TimePeriod::kOffPeak);
+    DijkstraSearch dijkstra(net);
+    BidirectionalSearch bidi(net);
+    Rng rng(seed * 13);
+    for (int q = 0; q < 25; ++q) {
+      const VertexId s = static_cast<VertexId>(rng.Index(net.NumVertices()));
+      const VertexId t = static_cast<VertexId>(rng.Index(net.NumVertices()));
+      if (s == t) continue;
+      auto want = dijkstra.ShortestPath(s, t, w);
+      auto got = bidi.ShortestPath(s, t, w);
+      ASSERT_EQ(want.ok(), got.ok());
+      if (want.ok()) {
+        EXPECT_NEAR(got->cost, want->cost, 1e-6) << "seed " << seed;
+        EXPECT_TRUE(PathIsConnected(net, got->vertices));
+        EXPECT_EQ(got->vertices.front(), s);
+        EXPECT_EQ(got->vertices.back(), t);
+      }
+    }
+  }
+}
+
+// ---------- preference Dijkstra (Algorithm 2) ----------
+
+/// Two routes from 0 to 3: the direct primary row and a residential
+/// detour row; slave preference steers between them.
+RoadNetwork TwoCorridorNetwork() {
+  RoadNetworkBuilder b;
+  // Row 0 (primary): 0 - 1 - 2 - 3 at y=0.
+  // Row 1 (residential): 4 - 5 at y=100, connected via 0 and 3.
+  b.AddVertex({0, 0});
+  b.AddVertex({100, 0});
+  b.AddVertex({200, 0});
+  b.AddVertex({300, 0});
+  b.AddVertex({100, 100});
+  b.AddVertex({200, 100});
+  b.AddTwoWayEdge(0, 1, RoadType::kPrimary, 60, 50);
+  b.AddTwoWayEdge(1, 2, RoadType::kPrimary, 60, 50);
+  b.AddTwoWayEdge(2, 3, RoadType::kPrimary, 60, 50);
+  b.AddTwoWayEdge(0, 4, RoadType::kResidential, 30, 25);
+  b.AddTwoWayEdge(4, 5, RoadType::kResidential, 30, 25);
+  b.AddTwoWayEdge(5, 3, RoadType::kResidential, 30, 25);
+  auto net = b.Build();
+  L2R_CHECK(net.ok());
+  return std::move(net).value();
+}
+
+TEST(PreferenceDijkstraTest, NoSlaveEqualsPlainDijkstra) {
+  const RoadNetwork net = TwoCorridorNetwork();
+  const EdgeWeights di(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  PreferenceDijkstra pref(net);
+  DijkstraSearch plain(net);
+  auto a = pref.Route(0, 3, di, 0);
+  auto b = plain.ShortestPath(0, 3, di);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->path.vertices, b->vertices);
+  EXPECT_FALSE(a->fell_back_to_unfiltered);
+}
+
+TEST(PreferenceDijkstraTest, SlaveSteersOntoPreferredType) {
+  const RoadNetwork net = TwoCorridorNetwork();
+  const EdgeWeights di(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  PreferenceDijkstra pref(net);
+  auto res = pref.Route(0, 3, di, RoadTypeBit(RoadType::kResidential));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->path.vertices, (std::vector<VertexId>{0, 4, 5, 3}));
+  auto prim = pref.Route(0, 3, di, RoadTypeBit(RoadType::kPrimary));
+  ASSERT_TRUE(prim.ok());
+  EXPECT_EQ(prim->path.vertices, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(PreferenceDijkstraTest, NoneSatExploresAllEdges) {
+  // Middle of the residential detour has no primary edges; with a primary
+  // slave the search must still get through (noneSat rule).
+  const RoadNetwork net = TwoCorridorNetwork();
+  const EdgeWeights di(net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  PreferenceDijkstra pref(net);
+  auto res = pref.Route(4, 5, di, RoadTypeBit(RoadType::kPrimary));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->path.vertices.front(), 4u);
+  EXPECT_EQ(res->path.vertices.back(), 5u);
+}
+
+TEST(PreferenceDijkstraTest, FallsBackWhenFilterDisconnects) {
+  // Line: 0 -p- 1 -p- 2 -r- 3. From 0, slave=residential filters nothing
+  // at 0/1 (noneSat) but a mixed setup can disconnect; construct one:
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({100, 0});
+  b.AddVertex({200, 0});
+  b.AddVertex({100, 100});
+  b.AddEdge(0, 1, RoadType::kResidential, 30, 25);  // one-way res
+  b.AddEdge(0, 3, RoadType::kPrimary, 60, 50);      // one-way primary
+  b.AddEdge(3, 2, RoadType::kPrimary, 60, 50);
+  auto net = b.Build();
+  ASSERT_TRUE(net.ok());
+  const EdgeWeights di(*net, CostFeature::kDistance, TimePeriod::kOffPeak);
+  PreferenceDijkstra pref(*net);
+  // With slave=residential, vertex 0 explores only 0->1 (dead end for
+  // reaching 2); Algorithm 2 leaves this unspecified and we fall back.
+  auto res = pref.Route(0, 2, di, RoadTypeBit(RoadType::kResidential));
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->fell_back_to_unfiltered);
+  EXPECT_EQ(res->path.vertices, (std::vector<VertexId>{0, 3, 2}));
+}
+
+// ---------- skyline ----------
+
+TEST(SkylineTest, DominanceRules) {
+  EXPECT_TRUE(Dominates({1, 1, 1}, {2, 2, 2}, 0));
+  EXPECT_FALSE(Dominates({2, 2, 2}, {1, 1, 1}, 0));
+  EXPECT_FALSE(Dominates({1, 3, 1}, {2, 2, 2}, 0));
+  EXPECT_FALSE(Dominates({1, 1, 1}, {1, 1, 1}, 0));  // ties don't dominate
+  EXPECT_TRUE(Dominates({1, 1, 1.005}, {1, 1, 1}, 0.01));  // eps slack
+}
+
+TEST(SkylineTest, FindsBothExtremePaths) {
+  // Fast-but-long motorway vs short-but-slow residential.
+  RoadNetworkBuilder b;
+  b.AddVertex({0, 0});
+  b.AddVertex({1000, 0});
+  b.AddVertex({500, 400});
+  b.AddEdge(0, 1, RoadType::kResidential, 30, 25, 1000);  // direct, slow
+  b.AddEdge(0, 2, RoadType::kMotorway, 110, 100, 900);
+  b.AddEdge(2, 1, RoadType::kMotorway, 110, 100, 900);    // long, fast
+  auto net = b.Build();
+  ASSERT_TRUE(net.ok());
+  const WeightSet ws(*net, TimePeriod::kOffPeak);
+  SkylineSearch search(*net);
+  auto out = search.Route(0, 1, ws);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->paths.size(), 2u);  // both are Pareto-optimal
+}
+
+TEST(SkylineTest, ParetoFrontIsMutuallyNonDominated) {
+  const RoadNetwork net = RandomNetwork(77, 40);
+  const WeightSet ws(net, TimePeriod::kOffPeak);
+  SkylineSearch search(net);
+  SkylineOptions opts;
+  opts.epsilon = 0;
+  auto out = search.Route(0, 20, ws, opts);
+  ASSERT_TRUE(out.ok());
+  ASSERT_FALSE(out->paths.empty());
+  for (size_t i = 0; i < out->paths.size(); ++i) {
+    EXPECT_TRUE(PathIsConnected(net, out->paths[i].path.vertices));
+    for (size_t j = 0; j < out->paths.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(
+          Dominates(out->paths[i].costs, out->paths[j].costs, 0.0));
+    }
+  }
+}
+
+TEST(SkylineTest, CostVectorsMatchPathWeights) {
+  const RoadNetwork net = RandomNetwork(78, 30);
+  const WeightSet ws(net, TimePeriod::kOffPeak);
+  SkylineSearch search(net);
+  auto out = search.Route(0, 15, ws);
+  ASSERT_TRUE(out.ok());
+  for (const SkylinePath& sp : out->paths) {
+    double di = 0;
+    double tt = 0;
+    for (size_t i = 0; i + 1 < sp.path.vertices.size(); ++i) {
+      const EdgeId e =
+          net.FindEdge(sp.path.vertices[i], sp.path.vertices[i + 1]);
+      ASSERT_NE(e, kInvalidEdge);
+      // Parallel edges can make the recomputed cost differ; accept min.
+      di += ws.distance[e];
+      tt += ws.time[e];
+    }
+    // The skyline's recorded costs are consistent within tolerance
+    // (parallel-edge choice can only make the recomputed sum smaller).
+    EXPECT_LE(sp.costs.di, di + 1e-6);
+    EXPECT_LE(sp.costs.tt, tt + 1e-6);
+  }
+}
+
+TEST(SkylineTest, DominatedRouteNeverReturned) {
+  const RoadNetwork net = MakeLine(5, 100);
+  const WeightSet ws(net, TimePeriod::kOffPeak);
+  SkylineSearch search(net);
+  auto out = search.Route(0, 4, ws);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->paths.size(), 1u);  // single corridor -> single optimum
+}
+
+// ---------- path utils ----------
+
+TEST(PathTest, AppendPathMergesJoint) {
+  Path base;
+  base.vertices = {1, 2, 3};
+  base.cost = 5;
+  Path suffix;
+  suffix.vertices = {3, 4};
+  suffix.cost = 2;
+  AppendPath(&base, suffix);
+  EXPECT_EQ(base.vertices, (std::vector<VertexId>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(base.cost, 7);
+}
+
+TEST(PathTest, PathIsConnected) {
+  const RoadNetwork net = MakeLine(4);
+  EXPECT_TRUE(PathIsConnected(net, {0, 1, 2, 3}));
+  EXPECT_FALSE(PathIsConnected(net, {0, 2}));
+  EXPECT_TRUE(PathIsConnected(net, {2}));
+}
+
+}  // namespace
+}  // namespace l2r

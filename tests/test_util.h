@@ -1,0 +1,71 @@
+#ifndef L2R_TESTS_TEST_UTIL_H_
+#define L2R_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace l2r {
+namespace testing {
+
+/// Builds an nx-by-ny grid with `spacing` meters between neighbours, all
+/// edges two-way of `type` at `speed` km/h. Vertex (i, j) has id
+/// j * nx + i.
+inline RoadNetwork MakeGrid(int nx, int ny, double spacing = 100,
+                            RoadType type = RoadType::kResidential,
+                            double speed = 50, double peak_speed = 40) {
+  RoadNetworkBuilder b;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      b.AddVertex(Point(i * spacing, j * spacing));
+    }
+  }
+  auto id = [nx](int i, int j) {
+    return static_cast<VertexId>(j * nx + i);
+  };
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (i + 1 < nx) {
+        b.AddTwoWayEdge(id(i, j), id(i + 1, j), type, speed, peak_speed);
+      }
+      if (j + 1 < ny) {
+        b.AddTwoWayEdge(id(i, j), id(i, j + 1), type, speed, peak_speed);
+      }
+    }
+  }
+  auto built = b.Build();
+  L2R_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+/// Builds a line network 0-1-2-...-(n-1), two-way.
+inline RoadNetwork MakeLine(int n, double spacing = 100,
+                            RoadType type = RoadType::kResidential,
+                            double speed = 50) {
+  RoadNetworkBuilder b;
+  for (int i = 0; i < n; ++i) b.AddVertex(Point(i * spacing, 0));
+  for (int i = 0; i + 1 < n; ++i) {
+    b.AddTwoWayEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1),
+                    type, speed, speed * 0.8);
+  }
+  auto built = b.Build();
+  L2R_CHECK(built.ok());
+  return std::move(built).value();
+}
+
+/// A matched trajectory along `path` at time `t0` from `driver`.
+inline MatchedTrajectory MakeTraj(std::vector<VertexId> path, double t0 = 0,
+                                  uint32_t driver = 0) {
+  MatchedTrajectory t;
+  t.driver_id = driver;
+  t.departure_time = t0;
+  t.path = std::move(path);
+  return t;
+}
+
+}  // namespace testing
+}  // namespace l2r
+
+#endif  // L2R_TESTS_TEST_UTIL_H_

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "roadnet/generator.h"
+#include "traj/driver_model.h"
+#include "traj/generator.h"
+#include "traj/split.h"
+#include "traj/trajectory.h"
+
+namespace l2r {
+namespace {
+
+GeneratedNetwork SmallWorld(uint64_t seed = 7) {
+  NetworkGenConfig config;
+  config.city_width_m = 6000;
+  config.city_height_m = 5000;
+  config.block_spacing_m = 400;
+  config.seed = seed;
+  auto gen = GenerateNetwork(config);
+  L2R_CHECK(gen.ok());
+  return std::move(gen).value();
+}
+
+TEST(TimeTest, PeriodOfPeakWindows) {
+  EXPECT_EQ(PeriodOf(7.5 * 3600), TimePeriod::kPeak);
+  EXPECT_EQ(PeriodOf(8.99 * 3600), TimePeriod::kPeak);
+  EXPECT_EQ(PeriodOf(9.0 * 3600), TimePeriod::kOffPeak);
+  EXPECT_EQ(PeriodOf(16 * 3600), TimePeriod::kPeak);
+  EXPECT_EQ(PeriodOf(3 * 3600), TimePeriod::kOffPeak);
+  // Same time of day on a later day.
+  EXPECT_EQ(PeriodOf(5 * kSecondsPerDay + 7.5 * 3600), TimePeriod::kPeak);
+}
+
+TEST(DriverModelTest, SubjectiveWeightsPositiveAndPeriodDependent) {
+  const GeneratedNetwork world = SmallWorld();
+  const DriverModel model(&world, 11);
+  const EdgeWeights& off = model.SubjectiveWeights(TimePeriod::kOffPeak);
+  const EdgeWeights& peak = model.SubjectiveWeights(TimePeriod::kPeak);
+  ASSERT_EQ(off.size(), world.net.NumEdges());
+  int differs = 0;
+  for (EdgeId e = 0; e < world.net.NumEdges(); ++e) {
+    EXPECT_GT(off[e], 0);
+    EXPECT_GT(peak[e], 0);
+    if (std::abs(off[e] - peak[e]) > 1e-9) ++differs;
+  }
+  EXPECT_GT(differs, 0);  // peak landscape is genuinely different
+}
+
+TEST(DriverModelTest, FactorsFavorLocalClasses) {
+  const GeneratedNetwork world = SmallWorld();
+  const DriverModel model(&world, 11);
+  // Quiet districts like residential streets, business districts don't.
+  EXPECT_LT(model.Factor(DistrictType::kResidential,
+                         RoadType::kResidential, TimePeriod::kOffPeak),
+            model.Factor(DistrictType::kBusiness, RoadType::kResidential,
+                         TimePeriod::kOffPeak));
+  // Business districts like primaries off-peak.
+  EXPECT_LT(model.Factor(DistrictType::kBusiness, RoadType::kPrimary,
+                         TimePeriod::kOffPeak),
+            1.0);
+}
+
+TEST(DriverModelTest, DeterministicInSeed) {
+  const GeneratedNetwork world = SmallWorld();
+  const DriverModel a(&world, 42);
+  const DriverModel b(&world, 42);
+  const DriverModel c(&world, 43);
+  int diff_c = 0;
+  for (int d = 0; d < kNumDistrictTypes; ++d) {
+    for (int rt = 0; rt < kNumRoadTypes; ++rt) {
+      EXPECT_DOUBLE_EQ(
+          a.Factor(static_cast<DistrictType>(d), static_cast<RoadType>(rt),
+                   TimePeriod::kPeak),
+          b.Factor(static_cast<DistrictType>(d), static_cast<RoadType>(rt),
+                   TimePeriod::kPeak));
+      diff_c += a.Factor(static_cast<DistrictType>(d),
+                         static_cast<RoadType>(rt), TimePeriod::kPeak) !=
+                c.Factor(static_cast<DistrictType>(d),
+                         static_cast<RoadType>(rt), TimePeriod::kPeak);
+    }
+  }
+  EXPECT_GT(diff_c, 0);
+}
+
+class TrajectoryGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = SmallWorld();
+    model_ = std::make_unique<DriverModel>(&world_, 13);
+    config_.num_trajectories = 300;
+    config_.seed = 99;
+    config_.emit_gps = true;
+    config_.sample_interval_s = 5;
+    config_.min_trip_euclid_m = 500;
+  }
+
+  GeneratedNetwork world_;
+  std::unique_ptr<DriverModel> model_;
+  TrajectoryGenConfig config_;
+};
+
+TEST_F(TrajectoryGeneratorTest, PathsAreConnectedRoadPaths) {
+  const TrajectoryGenerator gen(&world_, model_.get());
+  auto data = gen.Generate(config_);
+  ASSERT_TRUE(data.ok());
+  EXPECT_GT(data->matched.size(), 200u);
+  for (const MatchedTrajectory& t : data->matched) {
+    ASSERT_GE(t.path.size(), 2u);
+    for (size_t i = 0; i + 1 < t.path.size(); ++i) {
+      EXPECT_NE(world_.net.FindEdge(t.path[i], t.path[i + 1]), kInvalidEdge);
+    }
+    EXPECT_GT(t.duration_s, 0);
+  }
+}
+
+TEST_F(TrajectoryGeneratorTest, GpsAlignedWithMatched) {
+  const TrajectoryGenerator gen(&world_, model_.get());
+  auto data = gen.Generate(config_);
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->gps.size(), data->matched.size());
+  for (size_t i = 0; i < data->gps.size(); ++i) {
+    const Trajectory& traj = data->gps[i];
+    const MatchedTrajectory& mt = data->matched[i];
+    ASSERT_GE(traj.points.size(), 2u);
+    EXPECT_EQ(traj.driver_id, mt.driver_id);
+    EXPECT_NEAR(traj.departure_time(), mt.departure_time, 1e-9);
+    // Timestamps strictly non-decreasing at the sampling interval.
+    for (size_t k = 1; k < traj.points.size(); ++k) {
+      EXPECT_GE(traj.points[k].t, traj.points[k - 1].t - 1e-9);
+    }
+    // First GPS fix is near the source vertex (noise-bounded).
+    const double d0 =
+        Dist(traj.points.front().pos, world_.net.VertexPos(mt.path.front()));
+    EXPECT_LT(d0, 6 * config_.gps_noise_sigma_m + 1);
+  }
+}
+
+TEST_F(TrajectoryGeneratorTest, DeterministicInSeed) {
+  const TrajectoryGenerator gen(&world_, model_.get());
+  config_.emit_gps = false;
+  auto a = gen.Generate(config_);
+  auto b = gen.Generate(config_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->matched.size(), b->matched.size());
+  for (size_t i = 0; i < a->matched.size(); ++i) {
+    EXPECT_EQ(a->matched[i].path, b->matched[i].path);
+    EXPECT_EQ(a->matched[i].driver_id, b->matched[i].driver_id);
+  }
+}
+
+TEST_F(TrajectoryGeneratorTest, DeterministicAcrossThreadCounts) {
+  const TrajectoryGenerator gen(&world_, model_.get());
+  config_.emit_gps = false;
+  config_.num_threads = 1;
+  auto a = gen.Generate(config_);
+  config_.num_threads = 8;
+  auto b = gen.Generate(config_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->matched.size(), b->matched.size());
+  for (size_t i = 0; i < a->matched.size(); i += 7) {
+    EXPECT_EQ(a->matched[i].path, b->matched[i].path);
+  }
+}
+
+TEST_F(TrajectoryGeneratorTest, RespectsMinTripDistance) {
+  const TrajectoryGenerator gen(&world_, model_.get());
+  config_.min_trip_euclid_m = 1500;
+  config_.emit_gps = false;
+  auto data = gen.Generate(config_);
+  ASSERT_TRUE(data.ok());
+  for (const MatchedTrajectory& t : data->matched) {
+    EXPECT_GE(Dist(world_.net.VertexPos(t.path.front()),
+                   world_.net.VertexPos(t.path.back())),
+              1500);
+  }
+}
+
+TEST_F(TrajectoryGeneratorTest, PeakFractionRoughlyHonored) {
+  const TrajectoryGenerator gen(&world_, model_.get());
+  config_.num_trajectories = 1000;
+  config_.peak_fraction = 0.45;
+  config_.emit_gps = false;
+  auto data = gen.Generate(config_);
+  ASSERT_TRUE(data.ok());
+  size_t peak = 0;
+  for (const MatchedTrajectory& t : data->matched) {
+    peak += PeriodOf(t.departure_time) == TimePeriod::kPeak;
+  }
+  EXPECT_NEAR(static_cast<double>(peak) / data->matched.size(), 0.45, 0.06);
+}
+
+TEST_F(TrajectoryGeneratorTest, HotspotsCreateSkew) {
+  const TrajectoryGenerator gen(&world_, model_.get());
+  config_.num_trajectories = 1000;
+  config_.hotspot_fraction = 0.8;
+  config_.emit_gps = false;
+  auto data = gen.Generate(config_);
+  ASSERT_TRUE(data.ok());
+  std::map<VertexId, int> source_counts;
+  for (const MatchedTrajectory& t : data->matched) {
+    ++source_counts[t.path.front()];
+  }
+  int top = 0;
+  for (const auto& [v, c] : source_counts) top = std::max(top, c);
+  // With strong hotspot skew, the hottest source dominates.
+  EXPECT_GT(top, static_cast<int>(data->matched.size() / 50));
+}
+
+TEST_F(TrajectoryGeneratorTest, RejectsZeroTrajectories) {
+  const TrajectoryGenerator gen(&world_, model_.get());
+  config_.num_trajectories = 0;
+  EXPECT_FALSE(gen.Generate(config_).ok());
+}
+
+TEST_F(TrajectoryGeneratorTest, MaxRecordsCapHonored) {
+  const TrajectoryGenerator gen(&world_, model_.get());
+  config_.sample_interval_s = 1;
+  config_.max_records_per_traj = 50;
+  auto data = gen.Generate(config_);
+  ASSERT_TRUE(data.ok());
+  for (const Trajectory& t : data->gps) {
+    EXPECT_LE(t.points.size(), 50u);
+  }
+}
+
+// ---------- split ----------
+
+TEST(SplitTest, SplitByTimeFractions) {
+  std::vector<MatchedTrajectory> all;
+  for (int i = 0; i < 100; ++i) {
+    MatchedTrajectory t;
+    t.departure_time = i * 1000.0;
+    t.path = {0, 1};
+    all.push_back(t);
+  }
+  const TrajectorySplit split = SplitByTime(all, 0.75);
+  EXPECT_EQ(split.train.size() + split.test.size(), 100u);
+  EXPECT_NEAR(split.train.size(), 75u, 2);
+  for (const auto& tr : split.train) {
+    for (const auto& te : split.test) {
+      EXPECT_LT(tr.departure_time, te.departure_time);
+    }
+  }
+}
+
+TEST(SplitTest, EmptyInput) {
+  const TrajectorySplit split = SplitByTime({}, 0.5);
+  EXPECT_TRUE(split.train.empty());
+  EXPECT_TRUE(split.test.empty());
+}
+
+TEST(SplitTest, PartitionByPeriod) {
+  std::vector<MatchedTrajectory> all;
+  MatchedTrajectory peak;
+  peak.departure_time = 8 * 3600;
+  MatchedTrajectory off;
+  off.departure_time = 12 * 3600;
+  all = {peak, off, peak, off, off};
+  const PeriodPartition parts = PartitionByPeriod(all);
+  EXPECT_EQ(parts.peak.size(), 2u);
+  EXPECT_EQ(parts.offpeak.size(), 3u);
+}
+
+}  // namespace
+}  // namespace l2r

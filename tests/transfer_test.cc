@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include "linalg/solvers.h"
+#include "routing/path.h"
+#include "region/clustering.h"
+#include "region/region_graph.h"
+#include "region/trajectory_graph.h"
+#include "transfer/apply.h"
+#include "transfer/features.h"
+#include "transfer/transfer.h"
+#include "test_util.h"
+
+namespace l2r {
+namespace {
+
+using testing::MakeGrid;
+using testing::MakeTraj;
+
+// ---------- region-edge features / reSim ----------
+
+TEST(FeaturesTest, SimilarityOfIdenticalFeaturesIsTwo) {
+  RegionEdgeFeatures f;
+  f.dis = 1000;
+  f.f_mask = RoadTypePairBit(0, 1) | RoadTypePairBit(2, 3);
+  EXPECT_DOUBLE_EQ(RegionEdgeSimilarity(f, f), 2.0);
+}
+
+TEST(FeaturesTest, DistanceRatioTerm) {
+  RegionEdgeFeatures a;
+  a.dis = 1000;
+  a.f_mask = RoadTypePairBit(0, 0);
+  RegionEdgeFeatures b = a;
+  b.dis = 2000;
+  // min/max = 0.5, Jaccard = 1.
+  EXPECT_DOUBLE_EQ(RegionEdgeSimilarity(a, b), 1.5);
+}
+
+TEST(FeaturesTest, JaccardTerm) {
+  RegionEdgeFeatures a;
+  a.dis = 1000;
+  a.f_mask = RoadTypePairBit(0, 0) | RoadTypePairBit(1, 1);
+  RegionEdgeFeatures b;
+  b.dis = 1000;
+  b.f_mask = RoadTypePairBit(1, 1) | RoadTypePairBit(2, 2);
+  // ratio 1 + jaccard 1/3.
+  EXPECT_NEAR(RegionEdgeSimilarity(a, b), 1.0 + 1.0 / 3, 1e-12);
+}
+
+TEST(FeaturesTest, ZeroDistanceEdges) {
+  RegionEdgeFeatures a;
+  a.dis = 0;
+  RegionEdgeFeatures b;
+  b.dis = 0;
+  EXPECT_DOUBLE_EQ(RegionEdgeSimilarity(a, b), 1.0);  // ratio=1, jac=0
+  b.dis = 100;
+  EXPECT_DOUBLE_EQ(RegionEdgeSimilarity(a, b), 0.0);
+}
+
+TEST(FeaturesTest, SymmetricFunction) {
+  RegionEdgeFeatures a;
+  a.dis = 700;
+  a.f_mask = RoadTypePairBit(1, 2);
+  RegionEdgeFeatures b;
+  b.dis = 1300;
+  b.f_mask = RoadTypePairBit(1, 2) | RoadTypePairBit(3, 3);
+  EXPECT_DOUBLE_EQ(RegionEdgeSimilarity(a, b), RegionEdgeSimilarity(b, a));
+}
+
+// ---------- the paper's Fig. 7 worked example, at the Eq. 3 level ----------
+
+TEST(TransferMathTest, PaperFig7System) {
+  // M from Fig. 7: sim(re1,re3)=0.9, sim(re1,re4)=0.7, sim(re2,re4)=0.8,
+  // sim(re3,re4)=0.7; re1,re2 are T-edges. The paper's D and L follow.
+  const int n = 4;
+  const double mu1 = 1.0;
+  const double mu2 = 0.01;
+  const double m[4][4] = {{0, 0, 0.9, 0.7},
+                          {0, 0, 0, 0.8},
+                          {0.9, 0, 0, 0.7},
+                          {0.7, 0.8, 0.7, 0}};
+  // Check the paper's stated D and L values.
+  double deg[4] = {0, 0, 0, 0};
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) deg[i] += m[i][j];
+  }
+  EXPECT_NEAR(deg[0], 1.6, 1e-12);
+  EXPECT_NEAR(deg[1], 0.8, 1e-12);
+  EXPECT_NEAR(deg[2], 1.6, 1e-12);
+  EXPECT_NEAR(deg[3], 2.2, 1e-12);
+
+  // A = S + mu1 (D - M) + mu2 I, with S = diag(1,1,0,0).
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) a[i][j] = -mu1 * m[i][j];
+    a[i][i] = (i < 2 ? 1.0 : 0.0) + mu1 * deg[i] + mu2;
+  }
+  // Y columns: DI, TT, TP1, TP2, TP1+2; re1=<DI,TP1>, re2=<TT,TP2>.
+  const std::vector<std::vector<double>> y = {
+      {1, 0, 0, 0}, {0, 1, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 0, 0}};
+  std::vector<std::vector<double>> yhat;
+  for (const auto& col : y) {
+    std::vector<double> b = col;  // S*y: zero rows for B-edges anyway
+    b[2] = 0;
+    b[3] = 0;
+    auto x = SolveDense(a, b);
+    ASSERT_TRUE(x.ok());
+    yhat.push_back(*x);
+  }
+  // re3: DI > TT and TP1 > TP2/TP1+2 (as in the paper's figure).
+  EXPECT_GT(yhat[0][2], yhat[1][2]);
+  EXPECT_GT(yhat[2][2], yhat[3][2]);
+  EXPECT_GT(yhat[2][2], yhat[4][2]);
+  // re4: the figure annotates <TT, TP2>, but with the figure's own M the
+  // DI channel reaches re4 through two paths (re1 directly, and re1 via
+  // re3) against TT's single 0.8 link, so the unnormalized-Laplacian math
+  // puts DI slightly ahead. We assert the mathematical outcome; the
+  // discrepancy with the figure's annotation is recorded in
+  // EXPERIMENTS.md.
+  EXPECT_GT(yhat[0][3], yhat[1][3]);
+  // Both preference channels reach re4 with substantial probability.
+  EXPECT_GT(yhat[1][3], 0.3);
+  EXPECT_GT(yhat[3][3], 0.3);
+}
+
+// ---------- TransferPreferences end to end ----------
+
+class TransferTest : public ::testing::Test {
+ protected:
+  TransferTest() : space_(PreferenceFeatureSpace::Default()) {}
+
+  /// Builds Fig. 7-like features: two pairs of near-identical edges.
+  std::vector<RegionEdgeFeatures> Fig7Features() {
+    RegionEdgeFeatures re1;
+    re1.dis = 1000;
+    re1.f_mask = RoadTypePairBit(2, 2);  // primary-primary
+    RegionEdgeFeatures re2;
+    re2.dis = 4000;
+    re2.f_mask = RoadTypePairBit(5, 5);  // residential pair
+    RegionEdgeFeatures re3 = re1;        // like re1
+    re3.dis = 1100;
+    RegionEdgeFeatures re4 = re2;        // like re2
+    re4.dis = 3800;
+    return {re1, re2, re3, re4};
+  }
+
+  PreferenceFeatureSpace space_;
+};
+
+TEST_F(TransferTest, TransfersToMostSimilarEdges) {
+  const auto features = Fig7Features();
+  std::vector<std::optional<RoutingPreference>> labeled(4);
+  labeled[0] = RoutingPreference{CostFeature::kDistance, 3};   // <DI, primary>
+  labeled[1] = RoutingPreference{CostFeature::kTravelTime, 6}; // <TT, res.>
+  auto result = TransferPreferences(features, labeled, space_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_labeled, 2u);
+  EXPECT_EQ(result->num_unlabeled, 2u);
+  ASSERT_TRUE(result->preferences[2].has_value());
+  ASSERT_TRUE(result->preferences[3].has_value());
+  EXPECT_EQ(*result->preferences[2], *labeled[0]);
+  EXPECT_EQ(*result->preferences[3], *labeled[1]);
+  // T-edges keep their learned preferences.
+  EXPECT_EQ(*result->preferences[0], *labeled[0]);
+  EXPECT_EQ(*result->preferences[1], *labeled[1]);
+  EXPECT_EQ(result->num_null, 0u);
+}
+
+TEST_F(TransferTest, JacobiSolverAgrees) {
+  const auto features = Fig7Features();
+  std::vector<std::optional<RoutingPreference>> labeled(4);
+  labeled[0] = RoutingPreference{CostFeature::kDistance, 3};
+  labeled[1] = RoutingPreference{CostFeature::kTravelTime, 6};
+  TransferOptions options;
+  options.solver = TransferSolver::kJacobi;
+  options.solver_options.max_iterations = 5000;
+  auto result = TransferPreferences(features, labeled, space_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->preferences[2],
+            (RoutingPreference{CostFeature::kDistance, 3}));
+  EXPECT_EQ(*result->preferences[3],
+            (RoutingPreference{CostFeature::kTravelTime, 6}));
+}
+
+TEST_F(TransferTest, HighAmrDisconnectsAndYieldsNulls) {
+  auto features = Fig7Features();
+  // Make even the similar pairs less similar than amr=1.9.
+  features[2].dis = 2000;
+  features[3].dis = 8000;
+  std::vector<std::optional<RoutingPreference>> labeled(4);
+  labeled[0] = RoutingPreference{CostFeature::kDistance, 3};
+  labeled[1] = RoutingPreference{CostFeature::kTravelTime, 6};
+  TransferOptions options;
+  options.amr = 1.9;
+  auto result = TransferPreferences(features, labeled, space_, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_null, 2u);
+  EXPECT_DOUBLE_EQ(result->null_rate, 1.0);
+  EXPECT_FALSE(result->preferences[2].has_value());
+}
+
+TEST_F(TransferTest, AmrControlsAdjacencyDensity) {
+  const auto features = Fig7Features();
+  std::vector<std::optional<RoutingPreference>> labeled(4);
+  labeled[0] = RoutingPreference{CostFeature::kDistance, 3};
+  labeled[1] = RoutingPreference{CostFeature::kTravelTime, 6};
+  TransferOptions loose;
+  loose.amr = 0.1;
+  TransferOptions tight;
+  tight.amr = 1.5;
+  auto a = TransferPreferences(features, labeled, space_, loose);
+  auto b = TransferPreferences(features, labeled, space_, tight);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(a->adjacency_nnz, b->adjacency_nnz);
+}
+
+TEST_F(TransferTest, RejectsBadInputs) {
+  const auto features = Fig7Features();
+  std::vector<std::optional<RoutingPreference>> labeled(3);  // size mismatch
+  EXPECT_FALSE(TransferPreferences(features, labeled, space_).ok());
+  std::vector<std::optional<RoutingPreference>> none(4);  // nothing labeled
+  EXPECT_FALSE(TransferPreferences(features, none, space_).ok());
+  std::vector<std::optional<RoutingPreference>> ok_labels(4);
+  ok_labels[0] = RoutingPreference{};
+  TransferOptions bad;
+  bad.amr = 7;
+  EXPECT_FALSE(TransferPreferences(features, ok_labels, space_, bad).ok());
+}
+
+TEST_F(TransferTest, EmptyInputIsEmptyResult) {
+  auto result = TransferPreferences({}, {}, space_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->preferences.empty());
+}
+
+TEST_F(TransferTest, ManyEdgesPlantedClusters) {
+  // Two feature clusters, each with one labeled edge; every unlabeled
+  // edge must inherit its own cluster's preference.
+  std::vector<RegionEdgeFeatures> features;
+  std::vector<std::optional<RoutingPreference>> labeled;
+  for (int i = 0; i < 30; ++i) {
+    RegionEdgeFeatures f;
+    const bool cluster_a = i % 2 == 0;
+    f.dis = cluster_a ? 1000 + i : 5000 + i;
+    f.f_mask = cluster_a ? RoadTypePairBit(2, 2) : RoadTypePairBit(5, 5);
+    features.push_back(f);
+    labeled.emplace_back();
+  }
+  labeled[0] = RoutingPreference{CostFeature::kDistance, 3};
+  labeled[1] = RoutingPreference{CostFeature::kFuel, 4};
+  auto result = TransferPreferences(features, labeled, space_);
+  ASSERT_TRUE(result.ok());
+  for (int i = 2; i < 30; ++i) {
+    ASSERT_TRUE(result->preferences[i].has_value()) << i;
+    EXPECT_EQ(*result->preferences[i], *labeled[i % 2 == 0 ? 0 : 1]) << i;
+  }
+}
+
+// ---------- ApplyTransferredPreferences ----------
+
+TEST(ApplyTest, AttachesBEdgePaths) {
+  // Two trajectory corridors far apart; BFS creates B-edges between their
+  // regions; applying preferences must attach connected paths.
+  const RoadNetwork net = MakeGrid(10, 10, 100);
+  std::vector<MatchedTrajectory> trajs;
+  std::vector<VertexId> row0;
+  std::vector<VertexId> row9;
+  for (int i = 0; i < 10; ++i) {
+    row0.push_back(i);
+    row9.push_back(90 + i);
+  }
+  for (int k = 0; k < 6; ++k) {
+    trajs.push_back(MakeTraj(row0));
+    trajs.push_back(MakeTraj(row9));
+  }
+  auto tg = TrajectoryGraph::Build(net, trajs);
+  ASSERT_TRUE(tg.ok());
+  auto clusters = BottomUpClustering(*tg, net.NumVertices());
+  ASSERT_TRUE(clusters.ok());
+  auto graph = BuildRegionGraph(net, *clusters, &trajs);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_GT(graph->NumBEdges(), 0u);
+
+  const WeightSet ws(net, TimePeriod::kOffPeak);
+  const auto space = PreferenceFeatureSpace::Default();
+  std::vector<std::optional<RoutingPreference>> prefs(graph->NumEdges());
+  for (uint32_t e = 0; e < graph->NumEdges(); ++e) {
+    prefs[e] = RoutingPreference{CostFeature::kDistance, 0};
+  }
+  auto stats = ApplyTransferredPreferences(&*graph, net, ws, space, prefs);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->b_edges_with_paths, 0u);
+  for (uint32_t e = 0; e < graph->NumEdges(); ++e) {
+    const RegionEdge& edge = graph->edge(e);
+    if (edge.is_t_edge) continue;
+    for (const auto& path : edge.b_paths) {
+      ASSERT_GE(path.size(), 2u);
+      EXPECT_TRUE(PathIsConnected(net, path));
+      EXPECT_EQ(graph->RegionOf(path.front()), edge.from);
+      EXPECT_EQ(graph->RegionOf(path.back()), edge.to);
+    }
+  }
+}
+
+TEST(ApplyTest, NullPreferencesFallBackToFastest) {
+  const RoadNetwork net = MakeGrid(6, 6, 100);
+  std::vector<MatchedTrajectory> trajs;
+  for (int k = 0; k < 4; ++k) {
+    trajs.push_back(MakeTraj({0, 1, 2}));
+    trajs.push_back(MakeTraj({33, 34, 35}));
+  }
+  auto tg = TrajectoryGraph::Build(net, trajs);
+  auto clusters = BottomUpClustering(*tg, net.NumVertices());
+  auto graph = BuildRegionGraph(net, *clusters, &trajs);
+  ASSERT_TRUE(graph.ok());
+  const WeightSet ws(net, TimePeriod::kOffPeak);
+  const auto space = PreferenceFeatureSpace::Default();
+  // All-null preferences: everything falls back to fastest paths.
+  std::vector<std::optional<RoutingPreference>> prefs(graph->NumEdges());
+  auto stats = ApplyTransferredPreferences(&*graph, net, ws, space, prefs);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->b_edges_fastest_fallback, graph->NumBEdges());
+}
+
+}  // namespace
+}  // namespace l2r
