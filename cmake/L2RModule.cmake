@@ -1,0 +1,48 @@
+# Helpers shared by every per-directory CMakeLists.txt.
+
+# l2r_add_module(<name> SOURCES <files...> [DEPS <libs...>])
+#
+# Defines one static library per module with the repo-wide conventions:
+# headers are included as "module/header.h" relative to src/, deps are
+# PUBLIC so transitive includes resolve, and the warning set is PRIVATE
+# so it never leaks to embedders.
+function(l2r_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(${name} STATIC ${ARG_SOURCES})
+  add_library(l2r::${name} ALIAS ${name})
+  target_include_directories(${name} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  if(ARG_DEPS)
+    target_link_libraries(${name} PUBLIC ${ARG_DEPS})
+  endif()
+  target_link_libraries(${name} PRIVATE l2r_build_flags)
+endfunction()
+
+# l2r_add_test(<name> SOURCES <files...> DEPS <libs...>
+#              [LABELS <labels...>] [DEFINES <defs...>])
+#
+# One gtest binary per suite, registered with CTest. Suites carrying the
+# "slow" label are excluded from the fast feedback loop
+# (`ctest -LE slow`); everything else must stay fast.
+function(l2r_add_test name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS;LABELS;DEFINES" ${ARGN})
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name} PRIVATE
+    ${ARG_DEPS} GTest::gtest_main l2r_build_flags)
+  target_include_directories(${name} PRIVATE ${PROJECT_SOURCE_DIR}/tests)
+  if(ARG_DEFINES)
+    target_compile_definitions(${name} PRIVATE ${ARG_DEFINES})
+  endif()
+  add_test(NAME ${name} COMMAND ${name})
+  if(ARG_LABELS)
+    set_tests_properties(${name} PROPERTIES LABELS "${ARG_LABELS}")
+  endif()
+endfunction()
+
+# l2r_add_binary(<name> SOURCES <files...> DEPS <libs...>)
+#
+# A benchmark or example executable; not registered with CTest.
+function(l2r_add_binary name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name} PRIVATE ${ARG_DEPS} l2r_build_flags)
+endfunction()

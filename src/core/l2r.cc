@@ -289,7 +289,7 @@ std::optional<std::vector<VertexId>> L2RRouter::BestEdgePath(
 }
 
 std::optional<RoutingPreference> L2RRouter::PairPreference(
-    int period_index, const RegionGraph& graph,
+    int period_index, const RegionGraph& /*graph*/,
     const std::vector<uint32_t>& region_edges) const {
   if (region_edges.empty()) return std::nullopt;
   const auto& prefs = preferences_[period_index];

@@ -299,7 +299,8 @@ TEST(StatsTest, PercentileInterpolates) {
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  // Plain assignment: compound assignment to volatile is deprecated in C++20.
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());  // ms >= s numerically
 }
@@ -309,7 +310,7 @@ TEST(TimerTest, ScopedTimerAccumulates) {
   {
     ScopedTimer st(&sink);
     volatile int x = 0;
-    for (int i = 0; i < 1000; ++i) x += i;
+    for (int i = 0; i < 1000; ++i) x = x + i;
   }
   EXPECT_GE(sink, 0.0);
 }

@@ -9,14 +9,37 @@
 namespace l2r {
 namespace {
 
+// The end-to-end suite ships in two sizes built from the same source
+// (tests/CMakeLists.txt): the default `core_test` binary runs a
+// scaled-down world so the whole suite stays in the fast ctest subset,
+// while `core_test_full` (compiled with L2R_CORE_TEST_FULL, ctest label
+// `slow`) keeps the original paper-sized configuration.
+#ifdef L2R_CORE_TEST_FULL
+constexpr double kTrajScale = 0.5;  // ~5000 trajs
+constexpr double kCityWidthM = 16000;
+constexpr double kCityHeightM = 12000;
+constexpr size_t kRouteCap = 60;  // RoutesAreValidPaths query budget
+constexpr size_t kRouteMin = 30;  // ... and how many must succeed
+constexpr size_t kSimCap = 150;   // BeatsFastest... sample budget
+constexpr size_t kSimMin = 50;    // ... and minimum usable sample
+#else
+constexpr double kTrajScale = 0.35;  // ~3500 trajs
+constexpr double kCityWidthM = 12000;
+constexpr double kCityHeightM = 9000;
+constexpr size_t kRouteCap = 40;
+constexpr size_t kRouteMin = 20;
+constexpr size_t kSimCap = 100;
+constexpr size_t kSimMin = 30;
+#endif
+
 /// Shared small world: built once for the whole suite (building the full
 /// pipeline is the expensive part).
 class L2REndToEndTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    DatasetSpec spec = CityDataset(/*traj_scale=*/0.5);  // ~5000 trajs
-    spec.network.city_width_m = 16000;
-    spec.network.city_height_m = 12000;
+    DatasetSpec spec = CityDataset(kTrajScale);
+    spec.network.city_width_m = kCityWidthM;
+    spec.network.city_height_m = kCityHeightM;
     auto built = BuildDataset(spec);
     L2R_CHECK(built.ok());
     dataset_ = new BuiltDataset(std::move(built).value());
@@ -57,7 +80,8 @@ TEST_F(L2REndToEndTest, BuildReportIsPopulated) {
 TEST_F(L2REndToEndTest, RoutesAreValidPaths) {
   L2RQueryContext ctx = router_->MakeContext();
   size_t routed = 0;
-  for (size_t i = 0; i < dataset_->split.test.size() && routed < 60; ++i) {
+  for (size_t i = 0; i < dataset_->split.test.size() && routed < kRouteCap;
+       ++i) {
     const MatchedTrajectory& t = dataset_->split.test[i];
     if (t.path.size() < 3) continue;
     auto r = router_->Route(&ctx, t.path.front(), t.path.back(),
@@ -70,7 +94,7 @@ TEST_F(L2REndToEndTest, RoutesAreValidPaths) {
     EXPECT_TRUE(PathIsConnected(net(), r->path.vertices));
     EXPECT_GT(r->path.cost, 0);  // travel time annotated
   }
-  EXPECT_GT(routed, 30u);
+  EXPECT_GT(routed, kRouteMin);
 }
 
 TEST_F(L2REndToEndTest, BeatsFastestOnDriverSimilarity) {
@@ -83,7 +107,7 @@ TEST_F(L2REndToEndTest, BeatsFastestOnDriverSimilarity) {
   double sum_l2r = 0;
   double sum_fast = 0;
   size_t n = 0;
-  for (size_t i = 0; i < dataset_->split.test.size() && n < 150; ++i) {
+  for (size_t i = 0; i < dataset_->split.test.size() && n < kSimCap; ++i) {
     const MatchedTrajectory& t = dataset_->split.test[i];
     if (t.path.size() < 5) continue;
     auto r = router_->Route(&ctx, t.path.front(), t.path.back(),
@@ -96,7 +120,7 @@ TEST_F(L2REndToEndTest, BeatsFastestOnDriverSimilarity) {
     sum_fast += PathSimilarity(net(), t.path, f->vertices);
     ++n;
   }
-  ASSERT_GT(n, 50u);
+  ASSERT_GT(n, kSimMin);
   // The headline property: trajectory-based routing matches local drivers
   // better than cost-centric routing (paper Fig. 10).
   EXPECT_GT(sum_l2r / n, sum_fast / n);

@@ -1,0 +1,76 @@
+// Build-integrity smoke test (the `l2r_smoke` ctest entry): links against
+// every module library explicitly and touches a symbol from each while
+// running one end-to-end L2R build + route. If a module's link
+// dependencies regress, this binary fails to link even when no unit
+// suite exercises the broken pairing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/simple_routers.h"
+#include "common/stats.h"
+#include "core/l2r.h"
+#include "eval/datasets.h"
+#include "linalg/sparse_matrix.h"
+#include "mapmatch/hmm_matcher.h"
+#include "pref/similarity.h"
+#include "roadnet/spatial_grid.h"
+#include "traj/trajectory.h"
+
+namespace l2r {
+namespace {
+
+TEST(L2RSmokeTest, EndToEndBuildAndRoute) {
+  // eval (+ roadnet/traj generators): a tiny world and workload.
+  DatasetSpec spec = CityDataset(/*traj_scale=*/0.04);
+  spec.network.city_width_m = 7000;
+  spec.network.city_height_m = 6000;
+  spec.traj.emit_gps = true;  // presets skip GPS emission; mapmatch needs it
+  auto built = BuildDataset(spec);
+  ASSERT_TRUE(built.ok()) << built.status();
+  ASSERT_FALSE(built->split.test.empty());
+  const RoadNetwork& net = built->world.net;
+
+  // core (and region/pref/transfer underneath): full pipeline build plus
+  // one routed query.
+  L2ROptions options;
+  auto router = L2RRouter::Build(&net, built->split.train, options);
+  ASSERT_TRUE(router.ok()) << router.status();
+  L2RQueryContext ctx = (*router)->MakeContext();
+  const MatchedTrajectory& probe = built->split.test.front();
+  auto routed = (*router)->Route(&ctx, probe.path.front(), probe.path.back(),
+                                 probe.departure_time);
+  ASSERT_TRUE(routed.ok()) << routed.status();
+  ASSERT_GE(routed->path.vertices.size(), 2u);
+
+  // baselines (+ routing): the fastest baseline answers the same query.
+  FastestRouter fastest(net);
+  auto base = fastest.Route(probe.path.front(), probe.path.back(),
+                            probe.departure_time, probe.driver_id);
+  ASSERT_TRUE(base.ok()) << base.status();
+
+  // pref + common: both answers compared against the observed path.
+  RunningStats sim;
+  sim.Add(PathSimilarity(net, probe.path, routed->path.vertices));
+  sim.Add(PathSimilarity(net, probe.path, base->vertices));
+  EXPECT_GE(sim.mean(), 0.0);
+  EXPECT_LE(sim.mean(), 1.0);
+
+  // mapmatch + roadnet: snap one raw GPS trace back onto the network.
+  SpatialGrid grid(net, /*cell_size_m=*/250);
+  HmmMapMatcher matcher(net, grid);
+  ASSERT_FALSE(built->data.gps.empty());
+  auto match = matcher.Match(built->data.gps.front());
+  EXPECT_TRUE(match.ok()) << match.status();
+
+  // linalg: assemble and apply a small sparse system.
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, {{0, 0, 2.0}, {1, 1, 3.0}, {0, 1, 1.0}});
+  std::vector<double> y;
+  m.Multiply({1.0, 1.0}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+}  // namespace
+}  // namespace l2r
