@@ -1,0 +1,217 @@
+// Online serving throughput of the batch query engine: drives BatchRouter
+// on the generated city with a mixed workload (intra-region, cross-region
+// and fallback queries), reports QPS plus per-query latency percentiles,
+// and writes BENCH_query_throughput.json so the perf trajectory
+// accumulates across PRs (see README "Benchmarking" for the schema).
+//
+// Environment knobs: L2R_BENCH_SCALE (default 0.3), L2R_BENCH_QUERIES
+// (default 1200), L2R_BENCH_OUT (default BENCH_query_throughput.json).
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/batch_router.h"
+
+using namespace l2r;
+
+namespace {
+
+size_t ThroughputQueries() {
+  const char* env = std::getenv("L2R_BENCH_QUERIES");
+  return env != nullptr ? static_cast<size_t>(std::atoll(env)) : 1200;
+}
+
+std::string OutPath() {
+  const char* env = std::getenv("L2R_BENCH_OUT");
+  return env != nullptr ? env : "BENCH_query_throughput.json";
+}
+
+/// True when the two result slots are byte-equivalent routing outcomes.
+bool SameResult(const Result<RouteResult>& a, const Result<RouteResult>& b) {
+  if (a.ok() != b.ok()) return false;
+  if (!a.ok()) return a.status().code() == b.status().code();
+  return *a == *b;
+}
+
+struct RunStats {
+  unsigned threads = 0;
+  double qps = 0;
+  double best_batch_seconds = 0;
+};
+
+}  // namespace
+
+int main() {
+  const double scale = bench::BenchScale();
+  const size_t want_queries = ThroughputQueries();
+  std::printf("=== Query throughput (scale %.2f, %zu queries) ===\n", scale,
+              want_queries);
+
+  DatasetSpec spec = CityDataset(scale);
+  auto built = BuildDataset(spec);
+  if (!built.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const RoadNetwork& net = built->world.net;
+  std::printf("[world] %zu vertices, %zu edges, %zu train / %zu test\n",
+              net.NumVertices(), net.NumEdges(), built->split.train.size(),
+              built->split.test.size());
+
+  L2ROptions options;
+  auto router = L2RRouter::Build(&net, built->split.train, options);
+  if (!router.ok()) {
+    std::fprintf(stderr, "build: %s\n", router.status().ToString().c_str());
+    return 1;
+  }
+  const L2RRouter& l2r = **router;
+
+  // --- Workload: held-out trajectory queries (mostly region-covered)
+  // topped up with uniform random pairs (fallback / out-region coverage).
+  std::vector<BatchQuery> queries;
+  std::vector<QueryCase> cases =
+      BuildQueries(net, built->split.test, want_queries);
+  size_t mix[kNumRegionCategories] = {0, 0, 0};
+  for (const QueryCase& q : cases) {
+    queries.push_back(BatchQuery{q.s, q.d, q.departure_time});
+    ++mix[static_cast<int>(CategorizeQuery(l2r, q))];
+  }
+  Rng rng(127);
+  while (queries.size() < want_queries) {
+    const VertexId s = static_cast<VertexId>(rng.Index(net.NumVertices()));
+    const VertexId d = static_cast<VertexId>(rng.Index(net.NumVertices()));
+    if (s == d) continue;
+    const double departure = rng.Bernoulli(0.5) ? 8 * 3600 : 13 * 3600;
+    QueryCase q;
+    q.s = s;
+    q.d = d;
+    q.departure_time = departure;
+    ++mix[static_cast<int>(CategorizeQuery(l2r, q))];
+    queries.push_back(BatchQuery{s, d, departure});
+  }
+  std::printf("[mix] in-region %zu, in/out %zu, out-region %zu\n", mix[0],
+              mix[1], mix[2]);
+
+  // --- Per-query latency: sequential pass, one reused context.
+  std::vector<double> latency_us(queries.size());
+  size_t failures = 0;
+  size_t method_counts[4] = {0, 0, 0, 0};
+  {
+    L2RQueryContext ctx = l2r.MakeContext();
+    // Warm-up pass so first-touch page faults don't skew percentiles.
+    for (size_t i = 0; i < queries.size() && i < 64; ++i) {
+      (void)l2r.Route(&ctx, queries[i].s, queries[i].d,
+                      queries[i].departure_time);
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Timer t;
+      auto r = l2r.Route(&ctx, queries[i].s, queries[i].d,
+                         queries[i].departure_time);
+      latency_us[i] = t.ElapsedSeconds() * 1e6;
+      if (r.ok()) {
+        ++method_counts[static_cast<int>(r->method)];
+      } else {
+        ++failures;
+      }
+    }
+  }
+  const double p50 = Percentile(latency_us, 0.50);
+  const double p95 = Percentile(latency_us, 0.95);
+  const double p99 = Percentile(latency_us, 0.99);
+  RunningStats lat;
+  for (const double v : latency_us) lat.Add(v);
+  std::printf(
+      "[latency] mean %.1f us, p50 %.1f us, p95 %.1f us, p99 %.1f us "
+      "(%zu failures)\n",
+      lat.mean(), p50, p95, p99, failures);
+
+  // --- Batch throughput across thread counts; the {1, 4} pair also
+  // checks the determinism contract.
+  const unsigned kThreadCounts[] = {1, 4};
+  std::vector<RunStats> runs;
+  std::vector<Result<RouteResult>> reference;
+  bool deterministic = true;
+  for (const unsigned threads : kThreadCounts) {
+    BatchRouter batch(&l2r, threads);
+    auto warm = batch.RouteAll(queries);  // contexts created here
+    double best = kInfCost;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer t;
+      auto out = batch.RouteAll(queries);
+      best = std::min(best, t.ElapsedSeconds());
+      if (reference.empty()) {
+        reference = std::move(out);
+      } else {
+        for (size_t i = 0; i < out.size(); ++i) {
+          if (!SameResult(reference[i], out[i])) {
+            deterministic = false;
+            break;
+          }
+        }
+      }
+    }
+    RunStats rs;
+    rs.threads = threads;
+    rs.best_batch_seconds = best;
+    rs.qps = static_cast<double>(queries.size()) / best;
+    runs.push_back(rs);
+    std::printf(
+        "[batch t=%u] %.0f qps (best of 3, %.3f s/batch, %zu contexts)\n",
+        threads, rs.qps, best, batch.ContextsCreated());
+    (void)warm;
+  }
+  std::printf("[determinism] results across thread counts: %s\n",
+              deterministic ? "identical" : "DIVERGED");
+
+  // --- JSON artifact.
+  const std::string out_path = OutPath();
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"query_throughput\",\n");
+  std::fprintf(f, "  \"unix_time\": %lld,\n",
+               static_cast<long long>(std::time(nullptr)));
+  std::fprintf(f, "  \"dataset\": \"%s\",\n", spec.name.c_str());
+  std::fprintf(f, "  \"scale\": %.3f,\n", scale);
+  std::fprintf(f, "  \"num_vertices\": %zu,\n", net.NumVertices());
+  std::fprintf(f, "  \"num_edges\": %zu,\n", net.NumEdges());
+  std::fprintf(f, "  \"num_queries\": %zu,\n", queries.size());
+  std::fprintf(f, "  \"failures\": %zu,\n", failures);
+  std::fprintf(f,
+               "  \"mix\": {\"in_region\": %zu, \"in_out_region\": %zu, "
+               "\"out_region\": %zu},\n",
+               mix[0], mix[1], mix[2]);
+  std::fprintf(f,
+               "  \"methods\": {\"inner_popular\": %zu, \"region_graph\": "
+               "%zu, \"preference\": %zu, \"fastest_fallback\": %zu},\n",
+               method_counts[0], method_counts[1], method_counts[2],
+               method_counts[3]);
+  std::fprintf(f,
+               "  \"latency_us\": {\"mean\": %.2f, \"p50\": %.2f, "
+               "\"p95\": %.2f, \"p99\": %.2f},\n",
+               lat.mean(), p50, p95, p99);
+  std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"threads\": %u, \"qps\": %.1f, "
+                 "\"best_batch_seconds\": %.4f}%s\n",
+                 runs[i].threads, runs[i].qps, runs[i].best_batch_seconds,
+                 i + 1 == runs.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", out_path.c_str());
+  return deterministic ? 0 : 2;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Perf-trajectory entry point: builds Release (benchmarks only, in its
+# own build tree) and runs the serving-path throughput bench, leaving
+# BENCH_query_throughput.json in the repo root.
+#
+# Usage: scripts/bench.sh [build-dir]          (default: build-bench)
+# Knobs: L2R_BENCH_SCALE   workload scale      (default 0.3)
+#        L2R_BENCH_QUERIES query count         (default 1200)
+#        L2R_BENCH_OUT     output JSON path    (default BENCH_query_throughput.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DL2R_BUILD_TESTS=OFF -DL2R_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target query_throughput
+"$BUILD_DIR/bench/query_throughput"

@@ -117,12 +117,11 @@ Result<Path> TripRouter::Route(VertexId s, VertexId d, double departure_time,
   const EdgeWeights& tw =
       period == TimePeriod::kPeak ? peak_time_ : offpeak_time_;
   const std::array<double, kNumRoadTypes> ratios = DriverRatios(driver_id);
-  std::vector<double> values(net_->NumEdges());
-  for (EdgeId e = 0; e < net_->NumEdges(); ++e) {
-    values[e] = tw[e] * ratios[static_cast<int>(net_->EdgeRoadType(e))];
-  }
-  const EdgeWeights personalized = EdgeWeights::FromValues(std::move(values));
-  return search_.ShortestPath(s, d, personalized);
+  // Personalized weights are derived on the fly in the search kernel
+  // instead of materializing a per-query EdgeWeights array.
+  return search_.ShortestPathW(s, d, [&](EdgeId e) {
+    return tw[e] * ratios[static_cast<int>(net_->EdgeRoadType(e))];
+  });
 }
 
 }  // namespace l2r

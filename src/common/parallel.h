@@ -5,7 +5,8 @@
 #include <cstddef>
 #include <functional>
 #include <thread>
-#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace l2r {
 
@@ -17,7 +18,8 @@ inline unsigned DefaultThreadCount() {
   return hw > 16 ? 16 : hw;
 }
 
-/// Runs fn(i) for i in [0, n) on up to `num_threads` threads. Work items
+/// Runs fn(i) for i in [0, n) on up to `num_threads` threads from the
+/// persistent global ThreadPool (no per-call thread spawn). Work items
 /// are claimed via an atomic counter. Determinism contract: fn(i) must
 /// write only to slot i of pre-sized output arrays (and derive any
 /// randomness from i), so results are independent of scheduling.
@@ -30,25 +32,22 @@ inline void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     return;
   }
   std::atomic<size_t> next{0};
-  auto worker = [&]() {
+  const unsigned helpers =
+      static_cast<unsigned>(n < num_threads ? n : num_threads) - 1;
+  ThreadPool::Global().Run(helpers, [&](unsigned /*rank*/) {
     while (true) {
       const size_t i = next.fetch_add(1);
       if (i >= n) break;
       fn(i);
     }
-  };
-  std::vector<std::thread> threads;
-  const unsigned spawn =
-      static_cast<unsigned>(n < num_threads ? n : num_threads) - 1;
-  threads.reserve(spawn);
-  for (unsigned k = 0; k < spawn; ++k) threads.emplace_back(worker);
-  worker();
-  for (auto& th : threads) th.join();
+  });
 }
 
-/// Like ParallelFor, but each thread gets its own worker object created by
-/// `make_worker()` (e.g. a Dijkstra workspace). fn(worker, i) must follow
-/// the same slot-i determinism contract.
+/// Like ParallelFor, but each participating thread gets its own worker
+/// object created by `make_worker()` (e.g. a Dijkstra workspace). The
+/// worker is created only after the thread claims its first item, so
+/// helpers that wake too late to get work cost nothing.
+/// fn(worker, i) must follow the same slot-i determinism contract.
 template <typename MakeWorker, typename Fn>
 void ParallelForWorker(size_t n, MakeWorker make_worker, Fn fn,
                        unsigned num_threads = 0) {
@@ -60,21 +59,17 @@ void ParallelForWorker(size_t n, MakeWorker make_worker, Fn fn,
     return;
   }
   std::atomic<size_t> next{0};
-  auto run = [&]() {
-    auto worker = make_worker();
-    while (true) {
-      const size_t i = next.fetch_add(1);
-      if (i >= n) break;
-      fn(worker, i);
-    }
-  };
-  std::vector<std::thread> threads;
-  const unsigned spawn =
+  const unsigned helpers =
       static_cast<unsigned>(n < num_threads ? n : num_threads) - 1;
-  threads.reserve(spawn);
-  for (unsigned k = 0; k < spawn; ++k) threads.emplace_back(run);
-  run();
-  for (auto& th : threads) th.join();
+  ThreadPool::Global().Run(helpers, [&](unsigned /*rank*/) {
+    size_t i = next.fetch_add(1);
+    if (i >= n) return;
+    auto worker = make_worker();
+    do {
+      fn(worker, i);
+      i = next.fetch_add(1);
+    } while (i < n);
+  });
 }
 
 }  // namespace l2r

@@ -1,0 +1,81 @@
+#ifndef L2R_COMMON_THREAD_POOL_H_
+#define L2R_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace l2r {
+
+/// Persistent worker-thread pool. Workers are spawned lazily on first use
+/// and parked on a condition variable between jobs, so repeated
+/// ParallelFor calls reuse the same threads instead of paying a
+/// spawn/join per invocation (the old behavior).
+///
+/// One process-wide instance serves all ParallelFor/ParallelForWorker
+/// calls (see Global()); independent instances can be created for tests.
+/// A call into Run from inside a pool worker executes the job inline on
+/// the calling thread — nested parallel sections serialize instead of
+/// deadlocking.
+class ThreadPool {
+ public:
+  /// The process-wide pool. Created (empty) on first use; workers appear
+  /// as jobs request them. Destroyed — joining all workers — at exit.
+  static ThreadPool& Global();
+
+  ThreadPool() = default;
+  /// Joins all workers; pending none (Run is synchronous).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs `work(rank)` on up to `helpers` pool workers concurrently with
+  /// the calling thread, which executes work(0); helper ranks are
+  /// 1..helpers. Blocks until every participant returns. The pool grows
+  /// (up to kMaxWorkers) to satisfy `helpers`. Work must not throw — a
+  /// throw terminates the process (matching the old spawn-per-call
+  /// behavior), never corrupts the pool.
+  /// One pool job runs at a time: a Run from a second thread while a job
+  /// is active keeps its parallelism via ephemeral spawn-per-call helper
+  /// threads for that section (never blocks behind the active job); a
+  /// nested Run from inside a job executes inline on the calling thread.
+  void Run(unsigned helpers, const std::function<void(unsigned rank)>& work);
+
+  /// Workers currently alive (grows lazily; never shrinks before
+  /// destruction).
+  size_t NumWorkers() const;
+
+  /// True on a thread currently participating in a pool job (worker or
+  /// caller); Run calls from such a thread execute inline.
+  static bool InParallelSection();
+
+  /// Upper bound on pool size, chosen to bound memory for per-thread
+  /// search workspaces even when callers ask for absurd thread counts.
+  static constexpr unsigned kMaxWorkers = 64;
+
+ private:
+  void WorkerLoop();
+
+  std::mutex admission_mu_;  // serializes whole jobs
+  mutable std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait here for a job
+  std::condition_variable done_cv_;  // Run waits here for helpers
+  std::vector<std::thread> workers_;
+
+  // Current job, valid while accepting_ or helpers are still running.
+  const std::function<void(unsigned)>* job_ = nullptr;
+  uint64_t generation_ = 0;  // bumped per job; wakes parked workers
+  bool accepting_ = false;   // claims allowed for the current job
+  unsigned target_helpers_ = 0;
+  unsigned claimed_ = 0;  // helpers that entered the current job
+  unsigned done_ = 0;     // helpers that finished it
+  bool stopping_ = false;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_COMMON_THREAD_POOL_H_

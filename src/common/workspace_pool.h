@@ -1,0 +1,114 @@
+#ifndef L2R_COMMON_WORKSPACE_POOL_H_
+#define L2R_COMMON_WORKSPACE_POOL_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace l2r {
+
+/// Thread-safe checkout/return pool of per-thread scratch objects (search
+/// workspaces, query contexts, ...). Objects are created by the factory on
+/// demand, handed out as RAII leases, and returned for reuse when the
+/// lease dies — so a server loop allocates each workspace once, at
+/// warm-up, no matter how many queries it serves afterwards.
+template <typename T>
+class WorkspacePool {
+ public:
+  /// RAII checkout; returns the object to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(WorkspacePool* pool, std::unique_ptr<T> obj)
+        : pool_(pool), obj_(std::move(obj)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), obj_(std::move(other.obj_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        obj_ = std::move(other.obj_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    T* get() const { return obj_.get(); }
+    T& operator*() const { return *obj_; }
+    T* operator->() const { return obj_.get(); }
+    explicit operator bool() const { return obj_ != nullptr; }
+
+   private:
+    void Release() {
+      if (pool_ != nullptr && obj_ != nullptr) {
+        pool_->Return(std::move(obj_));
+      }
+      pool_ = nullptr;
+      obj_ = nullptr;
+    }
+
+    WorkspacePool* pool_ = nullptr;
+    std::unique_ptr<T> obj_ = nullptr;
+  };
+
+  explicit WorkspacePool(std::function<std::unique_ptr<T>()> factory)
+      : factory_(std::move(factory)) {
+    L2R_CHECK(factory_ != nullptr);
+  }
+
+  /// Checks out an idle object, creating one if none is free.
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!idle_.empty()) {
+        std::unique_ptr<T> obj = std::move(idle_.back());
+        idle_.pop_back();
+        return Lease(this, std::move(obj));
+      }
+    }
+    // Factory runs outside the lock: workspace construction can be heavy.
+    // Counted only on success so a throwing factory cannot inflate the
+    // high-water accounting.
+    std::unique_ptr<T> obj = factory_();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++created_;
+    }
+    return Lease(this, std::move(obj));
+  }
+
+  /// Objects created so far (== high-water concurrent leases).
+  size_t CreatedCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return created_;
+  }
+  /// Objects currently idle in the pool.
+  size_t IdleCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+  }
+
+ private:
+  void Return(std::unique_ptr<T> obj) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(std::move(obj));
+  }
+
+  std::function<std::unique_ptr<T>()> factory_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<T>> idle_;
+  size_t created_ = 0;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_COMMON_WORKSPACE_POOL_H_

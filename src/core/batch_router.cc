@@ -1,0 +1,33 @@
+#include "core/batch_router.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace l2r {
+
+BatchRouter::BatchRouter(const L2RRouter* router, unsigned num_threads)
+    : router_(router),
+      num_threads_(num_threads == 0 ? DefaultThreadCount() : num_threads),
+      contexts_([router] {
+        return std::make_unique<L2RQueryContext>(router->MakeContext());
+      }) {
+  L2R_CHECK(router != nullptr);
+}
+
+std::vector<Result<RouteResult>> BatchRouter::RouteAll(
+    const std::vector<BatchQuery>& queries) {
+  std::vector<Result<RouteResult>> out(
+      queries.size(), Result<RouteResult>(Status::Internal("not routed")));
+  ParallelForWorker(
+      queries.size(), [this] { return contexts_.Acquire(); },
+      [&](WorkspacePool<L2RQueryContext>::Lease& ctx, size_t i) {
+        const BatchQuery& q = queries[i];
+        out[i] = router_->Route(ctx.get(), q.s, q.d, q.departure_time);
+      },
+      num_threads_);
+  return out;
+}
+
+}  // namespace l2r

@@ -1,0 +1,51 @@
+#ifndef L2R_CORE_BATCH_ROUTER_H_
+#define L2R_CORE_BATCH_ROUTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/workspace_pool.h"
+#include "core/l2r.h"
+
+namespace l2r {
+
+/// One routing request of a batch.
+struct BatchQuery {
+  VertexId s = kInvalidVertex;
+  VertexId d = kInvalidVertex;
+  double departure_time = 0;
+};
+
+/// High-throughput batch front-end for L2RRouter: serves N queries across
+/// the persistent thread pool using pooled L2RQueryContexts. Contexts are
+/// created once at warm-up and reused for every subsequent query and
+/// batch, so steady-state serving does no per-query workspace allocation.
+///
+/// Determinism: result slot i depends only on query i and the immutable
+/// router, so RouteAll output is byte-identical to calling
+/// L2RRouter::Route sequentially, for any thread count.
+class BatchRouter {
+ public:
+  /// `router` must outlive the BatchRouter. `num_threads` 0 means
+  /// DefaultThreadCount().
+  explicit BatchRouter(const L2RRouter* router, unsigned num_threads = 0);
+
+  /// Routes every query; results are index-aligned with `queries`.
+  std::vector<Result<RouteResult>> RouteAll(
+      const std::vector<BatchQuery>& queries);
+
+  /// Query contexts created so far (the warm-up high-water mark; stays
+  /// flat across repeated RouteAll calls).
+  size_t ContextsCreated() const { return contexts_.CreatedCount(); }
+
+  unsigned num_threads() const { return num_threads_; }
+
+ private:
+  const L2RRouter* router_;
+  unsigned num_threads_;
+  WorkspacePool<L2RQueryContext> contexts_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_CORE_BATCH_ROUTER_H_

@@ -396,7 +396,7 @@ Result<RouteResult> L2RRouter::Route(L2RQueryContext* ctx, VertexId s,
   std::vector<VertexId> prefix{s};
   std::vector<VertexId> suffix{d};
   if (rs == kNoRegion) {
-    const VertexId hit = ctx->dijkstra.RunUntil(s, ws.time, [&](VertexId v) {
+    const VertexId hit = ctx->dijkstra.RunUntilT(s, ws.time, [&](VertexId v) {
       return v == d || graph.RegionOf(v) != kNoRegion;
     });
     if (hit == kInvalidVertex) return fastest_fallback();
@@ -409,7 +409,7 @@ Result<RouteResult> L2RRouter::Route(L2RQueryContext* ctx, VertexId s,
   }
   if (rd == kNoRegion) {
     const VertexId hit =
-        ctx->dijkstra.RunUntilReverse(d, ws.time, [&](VertexId v) {
+        ctx->dijkstra.RunUntilReverseT(d, ws.time, [&](VertexId v) {
           return v == s || graph.RegionOf(v) != kNoRegion;
         });
     if (hit == kInvalidVertex || hit == s) return fastest_fallback();

@@ -76,6 +76,8 @@ struct RouteResult {
   RegionId source_region = kNoRegion;
   RegionId dest_region = kNoRegion;
   size_t region_hops = 0;
+
+  bool operator==(const RouteResult&) const = default;
 };
 
 /// Reusable per-thread query workspace (allocation-free routing).

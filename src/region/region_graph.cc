@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
+
+#include "common/flat_map.h"
 
 namespace l2r {
 
@@ -63,8 +64,8 @@ RoadTypeMask RegionInfo::TopRoadTypes(int k) const {
 }
 
 int64_t RegionGraph::FindEdge(RegionId a, RegionId b) const {
-  const auto it = edge_index_.find(DirectedKey(a, b));
-  return it == edge_index_.end() ? -1 : static_cast<int64_t>(it->second);
+  const uint32_t* id = edge_index_.Find(DirectedKey(a, b));
+  return id == nullptr ? -1 : static_cast<int64_t>(*id);
 }
 
 std::vector<VertexId> RegionGraph::ResolvePath(
@@ -111,15 +112,21 @@ Result<RegionGraph> BuildRegionGraph(
     info.hull_diameter_km = HullDiameter(hull) / 1e3;
   }
 
-  // --- T-edges, inner-region paths, transfer centers.
+  // --- T-edges, inner-region paths, transfer centers. All accumulators
+  // are flat: open-addressing FlatMap64 for path/pair dedup (values index
+  // dense side arrays) and raw append vectors for transfer-center hits,
+  // aggregated by a sort at the end — no per-node allocation in the scan.
   struct EdgeAccum {
-    std::unordered_map<uint64_t, size_t> unique;  // path hash -> index
+    explicit EdgeAccum(uint64_t k) : key(k) {}
+    uint64_t key;       // DirectedKey(from, to)
+    FlatMap64 unique;   // path hash -> index into paths
     std::vector<StoredPathRef> paths;
   };
-  std::unordered_map<uint64_t, EdgeAccum> t_accum;  // (from,to) key
-  std::vector<std::unordered_map<uint64_t, size_t>> inner_unique(num_regions);
+  FlatMap64 t_index;  // DirectedKey -> index into t_accums
+  std::vector<EdgeAccum> t_accums;
+  std::vector<FlatMap64> inner_unique(num_regions);
   std::vector<std::vector<StoredPathRef>> inner_paths(num_regions);
-  std::vector<std::map<VertexId, uint32_t>> center_counts(num_regions);
+  std::vector<std::vector<VertexId>> center_hits(num_regions);
 
   for (uint32_t ti = 0; ti < trajs->size(); ++ti) {
     const std::vector<VertexId>& path = (*trajs)[ti].path;
@@ -133,21 +140,21 @@ Result<RegionGraph> BuildRegionGraph(
 
     // Inner-region paths and transfer centers.
     for (const RegionRun& run : runs) {
-      ++center_counts[run.region][path[run.first]];
+      center_hits[run.region].push_back(path[run.first]);
       if (run.last != run.first) {
-        ++center_counts[run.region][path[run.last]];
+        center_hits[run.region].push_back(path[run.last]);
       }
       if (run.last > run.first &&
           inner_paths[run.region].size() <
               options.max_inner_paths_per_region) {
         const uint64_t h = HashSlice(path, run.first, run.last);
-        auto [it, inserted] = inner_unique[run.region].try_emplace(
-            h, inner_paths[run.region].size());
-        if (inserted) {
+        if (uint32_t* idx = inner_unique[run.region].Find(h)) {
+          ++inner_paths[run.region][*idx].count;
+        } else {
+          inner_unique[run.region].Insert(
+              h, static_cast<uint32_t>(inner_paths[run.region].size()));
           inner_paths[run.region].push_back(
               StoredPathRef{ti, run.first, run.last, 1});
-        } else {
-          ++inner_paths[run.region][it->second].count;
         }
       }
     }
@@ -161,16 +168,23 @@ Result<RegionGraph> BuildRegionGraph(
            ++j) {
         if (runs[i].region == runs[j].region) continue;
         ++pairs;
-        EdgeAccum& acc =
-            t_accum[DirectedKey(runs[i].region, runs[j].region)];
+        const uint64_t key = DirectedKey(runs[i].region, runs[j].region);
+        uint32_t ai;
+        if (const uint32_t* found = t_index.Find(key)) {
+          ai = *found;
+        } else {
+          ai = static_cast<uint32_t>(t_accums.size());
+          t_index.Insert(key, ai);
+          t_accums.emplace_back(key);
+        }
+        EdgeAccum& acc = t_accums[ai];
         const uint32_t begin = runs[i].last;
         const uint32_t end = runs[j].first;
         const uint64_t h = HashSlice(path, begin, end);
-        auto it = acc.unique.find(h);
-        if (it != acc.unique.end()) {
-          ++acc.paths[it->second].count;
+        if (uint32_t* idx = acc.unique.Find(h)) {
+          ++acc.paths[*idx].count;
         } else if (acc.paths.size() < options.max_paths_per_t_edge) {
-          acc.unique.emplace(h, acc.paths.size());
+          acc.unique.Insert(h, static_cast<uint32_t>(acc.paths.size()));
           acc.paths.push_back(StoredPathRef{ti, begin, end, 1});
         }
       }
@@ -178,12 +192,12 @@ Result<RegionGraph> BuildRegionGraph(
   }
 
   // Materialize T-edges (sorted keys for determinism).
-  std::vector<uint64_t> keys;
-  keys.reserve(t_accum.size());
-  for (const auto& kv : t_accum) keys.push_back(kv.first);
-  std::sort(keys.begin(), keys.end());
-  for (const uint64_t key : keys) {
-    EdgeAccum& acc = t_accum[key];
+  std::sort(t_accums.begin(), t_accums.end(),
+            [](const EdgeAccum& a, const EdgeAccum& b) {
+              return a.key < b.key;
+            });
+  for (EdgeAccum& acc : t_accums) {
+    const uint64_t key = acc.key;
     RegionEdge e;
     e.from = static_cast<RegionId>(key >> 32);
     e.to = static_cast<RegionId>(key & 0xFFFFFFFFu);
@@ -195,7 +209,7 @@ Result<RegionGraph> BuildRegionGraph(
         });
     e.t_paths = std::move(acc.paths);
     const uint32_t id = static_cast<uint32_t>(g.edges_.size());
-    g.edge_index_.emplace(key, id);
+    g.edge_index_.Insert(key, id);
     g.out_edges_[e.from].push_back(id);
     g.edges_.push_back(std::move(e));
   }
@@ -204,8 +218,18 @@ Result<RegionGraph> BuildRegionGraph(
   // Finish per-region transfer centers and inner paths.
   for (RegionId r = 0; r < num_regions; ++r) {
     RegionInfo& info = g.regions_[r];
-    std::vector<std::pair<VertexId, uint32_t>> centers(
-        center_counts[r].begin(), center_counts[r].end());
+    // Aggregate raw hit appends: sort by vertex id, collapse runs into
+    // (vertex, count), then order by count (ties stay id-ascending —
+    // byte-identical to the old per-vertex ordered-map accumulation).
+    std::vector<VertexId>& hits = center_hits[r];
+    std::sort(hits.begin(), hits.end());
+    std::vector<std::pair<VertexId, uint32_t>> centers;
+    for (size_t i = 0; i < hits.size();) {
+      size_t j = i;
+      while (j < hits.size() && hits[j] == hits[i]) ++j;
+      centers.emplace_back(hits[i], static_cast<uint32_t>(j - i));
+      i = j;
+    }
     std::stable_sort(centers.begin(), centers.end(),
                      [](const auto& a, const auto& b) {
                        return a.second > b.second;
@@ -279,7 +303,7 @@ Result<RegionGraph> BuildRegionGraph(
         e.to = to;
         e.is_t_edge = false;
         const uint32_t id = static_cast<uint32_t>(g.edges_.size());
-        g.edge_index_.emplace(DirectedKey(from, to), id);
+        g.edge_index_.Insert(DirectedKey(from, to), id);
         g.out_edges_[from].push_back(id);
         g.edges_.push_back(std::move(e));
       }

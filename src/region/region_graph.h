@@ -4,9 +4,9 @@
 #include <array>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/hull.h"
 #include "common/result.h"
 #include "region/clustering.h"
@@ -115,7 +115,7 @@ class RegionGraph {
   std::vector<RegionEdge> edges_;
   std::vector<std::vector<uint32_t>> out_edges_;
   std::vector<RegionId> vertex_region_;
-  std::unordered_map<uint64_t, uint32_t> edge_index_;  // (from,to) -> edge
+  FlatMap64 edge_index_;  // (from,to) -> edge
   size_t num_t_edges_ = 0;
   const std::vector<MatchedTrajectory>* trajs_ = nullptr;
 };

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "routing/dijkstra.h"
-
 namespace l2r {
 
 double HeuristicScaleFor(const RoadNetwork& net, const EdgeWeights& w) {
@@ -18,72 +16,27 @@ double HeuristicScaleFor(const RoadNetwork& net, const EdgeWeights& w) {
   return scale == kInfCost ? 0 : scale;
 }
 
-AStarSearch::AStarSearch(const RoadNetwork& net)
-    : net_(net),
-      g_(net.NumVertices(), kInfCost),
-      parent_edge_(net.NumVertices(), kInvalidEdge),
-      stamp_(net.NumVertices(), 0),
-      heap_(net.NumVertices()) {}
-
 Result<Path> AStarSearch::ShortestPath(VertexId s, VertexId t,
                                        const EdgeWeights& w,
                                        double heuristic_scale) {
   if (s >= net_.NumVertices() || t >= net_.NumVertices()) {
     return Status::InvalidArgument("vertex id out of range");
   }
-  ++current_stamp_;
-  if (current_stamp_ == 0) {
-    std::fill(stamp_.begin(), stamp_.end(), 0);
-    current_stamp_ = 1;
-  }
-  heap_.Clear();
-  settled_count_ = 0;
-
   const Point& tp = net_.VertexPos(t);
-  auto h = [&](VertexId v) {
-    return heuristic_scale * Dist(net_.VertexPos(v), tp);
+  const auto key = [&](VertexId v, double g) {
+    return g + heuristic_scale * Dist(net_.VertexPos(v), tp);
   };
-
-  stamp_[s] = current_stamp_;
-  g_[s] = 0;
-  parent_edge_[s] = kInvalidEdge;
-  heap_.Push(s, h(s));
-
-  while (!heap_.empty()) {
-    const auto [u, fu] = heap_.Pop();
-    (void)fu;
-    ++settled_count_;
-    if (u == t) {
-      Path path;
-      path.cost = g_[t];
-      VertexId cur = t;
-      while (true) {
-        path.vertices.push_back(cur);
-        const EdgeId pe = parent_edge_[cur];
-        if (pe == kInvalidEdge) break;
-        cur = net_.edge(pe).from;
-      }
-      std::reverse(path.vertices.begin(), path.vertices.end());
-      return path;
-    }
-    const double gu = g_[u];
-    for (const EdgeId e : net_.OutEdges(u)) {
-      const VertexId x = net_.edge(e).to;
-      const double ng = gu + w[e];
-      if (stamp_[x] != current_stamp_) {
-        stamp_[x] = current_stamp_;
-        g_[x] = ng;
-        parent_edge_[x] = e;
-        heap_.Push(x, ng + h(x));
-      } else if (ng < g_[x]) {
-        g_[x] = ng;
-        parent_edge_[x] = e;
-        heap_.PushOrUpdate(x, ng + h(x));
-      }
-    }
+  const VertexId hit = RunSearchKernel<ForwardExpand>(
+      net_, ws_, s, ArrayWeight{&w}, [t](VertexId v) { return v == t; },
+      kInfCost, key);
+  if (hit != t) {
+    return Status::NotFound("no path " + std::to_string(s) + "->" +
+                            std::to_string(t));
   }
-  return Status::NotFound("no path " + std::to_string(s) + "->" +
-                          std::to_string(t));
+  Path path;
+  path.cost = ws_.dist[t];
+  path.vertices = ExtractForwardVertices(net_, ws_, t);
+  return path;
 }
 
 }  // namespace l2r

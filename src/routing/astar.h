@@ -3,10 +3,10 @@
 
 #include <vector>
 
-#include "common/indexed_heap.h"
 #include "common/result.h"
 #include "roadnet/weights.h"
 #include "routing/path.h"
+#include "routing/search_kernel.h"
 
 namespace l2r {
 
@@ -17,25 +17,23 @@ double HeuristicScaleFor(const RoadNetwork& net, const EdgeWeights& w);
 
 /// A* single-pair search with a Euclidean-scaled admissible heuristic.
 /// Returns exactly the Dijkstra-optimal cost (the heuristic is consistent).
+/// Runs on the shared search kernel: the heuristic is supplied as the heap
+/// key functor, so the relaxation loop stays free of indirect calls.
 class AStarSearch {
  public:
-  explicit AStarSearch(const RoadNetwork& net);
+  explicit AStarSearch(const RoadNetwork& net)
+      : net_(net), ws_(net.NumVertices()) {}
 
   /// `heuristic_scale` must satisfy the bound above; pass the value from
   /// HeuristicScaleFor (or 0 to degrade to plain Dijkstra).
   Result<Path> ShortestPath(VertexId s, VertexId t, const EdgeWeights& w,
                             double heuristic_scale);
 
-  size_t LastSettledCount() const { return settled_count_; }
+  size_t LastSettledCount() const { return ws_.settled_count; }
 
  private:
   const RoadNetwork& net_;
-  std::vector<double> g_;
-  std::vector<EdgeId> parent_edge_;
-  std::vector<uint32_t> stamp_;
-  uint32_t current_stamp_ = 0;
-  IndexedMinHeap<double> heap_;
-  size_t settled_count_ = 0;
+  SearchWorkspace ws_;
 };
 
 }  // namespace l2r

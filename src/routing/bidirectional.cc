@@ -2,30 +2,19 @@
 
 #include <algorithm>
 
-#include "routing/dijkstra.h"
-
 namespace l2r {
-
-BidirectionalSearch::BidirectionalSearch(const RoadNetwork& net)
-    : net_(net), fwd_(net.NumVertices()), bwd_(net.NumVertices()) {}
 
 Result<Path> BidirectionalSearch::ShortestPath(VertexId s, VertexId t,
                                                const EdgeWeights& w) {
   if (s >= net_.NumVertices() || t >= net_.NumVertices()) {
     return Status::InvalidArgument("vertex id out of range");
   }
-  ++current_stamp_;
-  if (current_stamp_ == 0) {
-    std::fill(fwd_.stamp.begin(), fwd_.stamp.end(), 0);
-    std::fill(bwd_.stamp.begin(), bwd_.stamp.end(), 0);
-    current_stamp_ = 1;
-  }
-  fwd_.heap.Clear();
-  bwd_.heap.Clear();
+  fwd_.BeginQuery();
+  bwd_.BeginQuery();
   settled_count_ = 0;
 
-  auto seed = [&](Side& side, VertexId v) {
-    side.stamp[v] = current_stamp_;
+  auto seed = [](SearchWorkspace& side, VertexId v) {
+    side.stamp[v] = side.current_stamp;
     side.dist[v] = 0;
     side.parent_edge[v] = kInvalidEdge;
     side.heap.Push(v, 0);
@@ -36,8 +25,9 @@ Result<Path> BidirectionalSearch::ShortestPath(VertexId s, VertexId t,
   double best_cost = kInfCost;
   VertexId meet = kInvalidVertex;
 
-  auto try_meet = [&](VertexId v) {
-    if (fwd_.Visited(v, current_stamp_) && bwd_.Visited(v, current_stamp_)) {
+  const auto try_meet = [&](VertexId v) {
+    if (fwd_.stamp[v] == fwd_.current_stamp &&
+        bwd_.stamp[v] == bwd_.current_stamp) {
       const double c = fwd_.dist[v] + bwd_.dist[v];
       if (c < best_cost) {
         best_cost = c;
@@ -46,26 +36,13 @@ Result<Path> BidirectionalSearch::ShortestPath(VertexId s, VertexId t,
     }
   };
 
-  auto expand = [&](Side& side, bool forward) {
+  const ArrayWeight weight{&w};
+  ExploreAll explore;
+  auto expand = [&]<typename Expand>(SearchWorkspace& side, Expand) {
     const auto [u, du] = side.heap.Pop();
     ++settled_count_;
-    const auto edges = forward ? net_.OutEdges(u) : net_.InEdges(u);
-    for (const EdgeId e : edges) {
-      const VertexId x = forward ? net_.edge(e).to : net_.edge(e).from;
-      const double nd = du + w[e];
-      if (side.stamp[x] != current_stamp_) {
-        side.stamp[x] = current_stamp_;
-        side.dist[x] = nd;
-        side.parent_edge[x] = e;
-        side.heap.Push(x, nd);
-        try_meet(x);
-      } else if (nd < side.dist[x]) {
-        side.dist[x] = nd;
-        side.parent_edge[x] = e;
-        side.heap.PushOrUpdate(x, nd);
-        try_meet(x);
-      }
-    }
+    RelaxVertex<Expand>(net_, side, u, du, weight, DistanceKey{}, explore,
+                        try_meet);
   };
 
   while (!fwd_.heap.empty() || !bwd_.heap.empty()) {
@@ -75,9 +52,9 @@ Result<Path> BidirectionalSearch::ShortestPath(VertexId s, VertexId t,
         bwd_.heap.empty() ? kInfCost : bwd_.heap.Top().second;
     if (fmin + bmin >= best_cost) break;
     if (fmin <= bmin) {
-      expand(fwd_, /*forward=*/true);
+      expand(fwd_, ForwardExpand{});
     } else {
-      expand(bwd_, /*forward=*/false);
+      expand(bwd_, ReverseExpand{});
     }
   }
 
@@ -88,18 +65,8 @@ Result<Path> BidirectionalSearch::ShortestPath(VertexId s, VertexId t,
 
   Path path;
   path.cost = best_cost;
-  // Forward half: meet -> s, reversed.
-  {
-    VertexId cur = meet;
-    while (true) {
-      path.vertices.push_back(cur);
-      const EdgeId pe = fwd_.parent_edge[cur];
-      if (pe == kInvalidEdge) break;
-      cur = net_.edge(pe).from;
-    }
-    std::reverse(path.vertices.begin(), path.vertices.end());
-  }
-  // Backward half: follow parent edges toward t.
+  // Forward half: s -> meet; backward half continues toward t.
+  path.vertices = ExtractForwardVertices(net_, fwd_, meet);
   {
     VertexId cur = meet;
     while (true) {

@@ -3,41 +3,31 @@
 
 #include <vector>
 
-#include "common/indexed_heap.h"
 #include "common/result.h"
 #include "roadnet/weights.h"
 #include "routing/path.h"
+#include "routing/search_kernel.h"
 
 namespace l2r {
 
 /// Bidirectional Dijkstra: alternates forward (out-edges) and backward
 /// (in-edges) searches, stopping when the frontiers' minima prove the best
-/// meeting point optimal. Returns the same costs as DijkstraSearch.
+/// meeting point optimal. Returns the same costs as DijkstraSearch. Both
+/// frontiers expand through the shared search kernel's RelaxVertex, with
+/// the meet test compiled in as the label hook.
 class BidirectionalSearch {
  public:
-  explicit BidirectionalSearch(const RoadNetwork& net);
+  explicit BidirectionalSearch(const RoadNetwork& net)
+      : net_(net), fwd_(net.NumVertices()), bwd_(net.NumVertices()) {}
 
   Result<Path> ShortestPath(VertexId s, VertexId t, const EdgeWeights& w);
 
   size_t LastSettledCount() const { return settled_count_; }
 
  private:
-  struct Side {
-    std::vector<double> dist;
-    std::vector<EdgeId> parent_edge;
-    std::vector<uint32_t> stamp;
-    IndexedMinHeap<double> heap;
-
-    explicit Side(size_t n)
-        : dist(n, 0), parent_edge(n, kInvalidEdge), stamp(n, 0), heap(n) {}
-
-    bool Visited(VertexId v, uint32_t cur) const { return stamp[v] == cur; }
-  };
-
   const RoadNetwork& net_;
-  Side fwd_;
-  Side bwd_;
-  uint32_t current_stamp_ = 0;
+  SearchWorkspace fwd_;
+  SearchWorkspace bwd_;
   size_t settled_count_ = 0;
 };
 

@@ -1,109 +1,18 @@
 #include "routing/dijkstra.h"
 
-#include <algorithm>
-
 namespace l2r {
-
-DijkstraSearch::DijkstraSearch(const RoadNetwork& net)
-    : net_(net),
-      dist_(net.NumVertices(), kInfCost),
-      parent_edge_(net.NumVertices(), kInvalidEdge),
-      stamp_(net.NumVertices(), 0),
-      heap_(net.NumVertices()) {}
-
-void DijkstraSearch::Reset() {
-  ++current_stamp_;
-  if (current_stamp_ == 0) {  // stamp wrap: hard reset
-    std::fill(stamp_.begin(), stamp_.end(), 0);
-    current_stamp_ = 1;
-  }
-  heap_.Clear();
-  settled_count_ = 0;
-}
-
-void DijkstraSearch::Relax(VertexId u, double du, const EdgeWeights& w) {
-  const auto edges = reverse_ ? net_.InEdges(u) : net_.OutEdges(u);
-  for (const EdgeId e : edges) {
-    const VertexId x = reverse_ ? net_.edge(e).from : net_.edge(e).to;
-    const double nd = du + w[e];
-    if (stamp_[x] != current_stamp_) {
-      stamp_[x] = current_stamp_;
-      dist_[x] = nd;
-      parent_edge_[x] = e;
-      heap_.Push(x, nd);
-    } else if (nd < dist_[x]) {
-      dist_[x] = nd;
-      parent_edge_[x] = e;
-      heap_.PushOrUpdate(x, nd);
-    }
-  }
-}
 
 Result<Path> DijkstraSearch::ShortestPath(VertexId s, VertexId t,
                                           const EdgeWeights& w) {
-  if (s >= net_.NumVertices() || t >= net_.NumVertices()) {
-    return Status::InvalidArgument("vertex id out of range");
-  }
-  const VertexId hit =
-      RunUntil(s, w, [t](VertexId v) { return v == t; });
-  if (hit != t) {
-    return Status::NotFound("no path " + std::to_string(s) + "->" +
-                            std::to_string(t));
-  }
-  return ExtractPath(t);
-}
-
-VertexId DijkstraSearch::RunUntil(VertexId s, const EdgeWeights& w,
-                                  const std::function<bool(VertexId)>& stop,
-                                  double max_cost) {
-  return RunImpl(s, w, stop, max_cost, /*reverse=*/false);
-}
-
-VertexId DijkstraSearch::RunUntilReverse(
-    VertexId d, const EdgeWeights& w,
-    const std::function<bool(VertexId)>& stop, double max_cost) {
-  return RunImpl(d, w, stop, max_cost, /*reverse=*/true);
-}
-
-VertexId DijkstraSearch::RunImpl(VertexId s, const EdgeWeights& w,
-                                 const std::function<bool(VertexId)>& stop,
-                                 double max_cost, bool reverse) {
-  L2R_CHECK(s < net_.NumVertices());
-  Reset();
-  reverse_ = reverse;
-  stamp_[s] = current_stamp_;
-  dist_[s] = 0;
-  parent_edge_[s] = kInvalidEdge;
-  heap_.Push(s, 0);
-  while (!heap_.empty()) {
-    const auto [u, du] = heap_.Pop();
-    if (du > max_cost) return kInvalidVertex;
-    ++settled_count_;
-    if (stop(u)) return u;
-    Relax(u, du, w);
-  }
-  return kInvalidVertex;
-}
-
-void DijkstraSearch::RunBounded(VertexId s, const EdgeWeights& w,
-                                double max_cost) {
-  RunUntil(
-      s, w, [](VertexId) { return false; }, max_cost);
+  return ShortestPathW(s, t, ArrayWeight{&w});
 }
 
 Path DijkstraSearch::ExtractPath(VertexId v) const {
   L2R_CHECK(Reached(v));
   L2R_CHECK(!reverse_);
   Path path;
-  path.cost = dist_[v];
-  VertexId cur = v;
-  while (true) {
-    path.vertices.push_back(cur);
-    const EdgeId pe = parent_edge_[cur];
-    if (pe == kInvalidEdge) break;
-    cur = net_.edge(pe).from;
-  }
-  std::reverse(path.vertices.begin(), path.vertices.end());
+  path.cost = ws_.dist[v];
+  path.vertices = ExtractForwardVertices(net_, ws_, v);
   return path;
 }
 
@@ -111,14 +20,8 @@ Path DijkstraSearch::ExtractReversePath(VertexId v) const {
   L2R_CHECK(Reached(v));
   L2R_CHECK(reverse_);
   Path path;
-  path.cost = dist_[v];
-  VertexId cur = v;
-  while (true) {
-    path.vertices.push_back(cur);
-    const EdgeId pe = parent_edge_[cur];
-    if (pe == kInvalidEdge) break;
-    cur = net_.edge(pe).to;  // reverse runs relax via in-edges
-  }
+  path.cost = ws_.dist[v];
+  path.vertices = ExtractReverseVertices(net_, ws_, v);
   return path;
 }
 

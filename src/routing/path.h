@@ -13,6 +13,8 @@ struct Path {
   std::vector<VertexId> vertices;
   double cost = 0;
 
+  bool operator==(const Path&) const = default;
+
   bool empty() const { return vertices.empty(); }
   size_t NumHops() const {
     return vertices.size() < 2 ? 0 : vertices.size() - 1;

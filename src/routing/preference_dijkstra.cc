@@ -2,83 +2,49 @@
 
 #include <algorithm>
 
-#include "routing/dijkstra.h"
-
 namespace l2r {
 
-PreferenceDijkstra::PreferenceDijkstra(const RoadNetwork& net)
-    : net_(net),
-      dist_(net.NumVertices(), kInfCost),
-      parent_edge_(net.NumVertices(), kInvalidEdge),
-      stamp_(net.NumVertices(), 0),
-      heap_(net.NumVertices()) {}
+namespace {
+
+/// Lines 7-11 of Algorithm 2 as a kernel admission policy: per settled
+/// vertex, explore an edge iff it satisfies the slave preference or no
+/// out-edge does (noneSat). A zero mask admits everything.
+struct SlaveFilter {
+  const RoadNetwork& net;
+  RoadTypeMask mask;
+  bool none_sat = true;
+
+  void BeginVertex(VertexId u) {
+    if (mask == 0) return;
+    none_sat = true;
+    for (const EdgeId e : net.OutEdges(u)) {
+      if (MaskContains(mask, net.edge(e).road_type)) {
+        none_sat = false;
+        break;
+      }
+    }
+  }
+  bool ShouldExplore(EdgeId e) const {
+    if (mask == 0 || none_sat) return true;
+    return MaskContains(mask, net.edge(e).road_type);
+  }
+};
+
+}  // namespace
 
 VertexId PreferenceDijkstra::Run(VertexId s, VertexId t,
                                  const EdgeWeights& master,
                                  RoadTypeMask slave_mask) {
-  ++current_stamp_;
-  if (current_stamp_ == 0) {
-    std::fill(stamp_.begin(), stamp_.end(), 0);
-    current_stamp_ = 1;
-  }
-  heap_.Clear();
-
-  stamp_[s] = current_stamp_;
-  dist_[s] = 0;
-  parent_edge_[s] = kInvalidEdge;
-  heap_.Push(s, 0);
-
-  while (!heap_.empty()) {
-    const auto [u, du] = heap_.Pop();
-    if (u == t) return t;
-
-    // Lines 7-9 of Algorithm 2: does any out-edge satisfy the slave
-    // preference?
-    bool none_sat = true;
-    if (slave_mask != 0) {
-      for (const EdgeId e : net_.OutEdges(u)) {
-        if (MaskContains(slave_mask, net_.edge(e).road_type)) {
-          none_sat = false;
-          break;
-        }
-      }
-    }
-
-    for (const EdgeId e : net_.OutEdges(u)) {
-      const bool satisfies =
-          slave_mask != 0 &&
-          MaskContains(slave_mask, net_.edge(e).road_type);
-      // Line 11: explore e iff it satisfies the slave preference, or no
-      // edge does (noneSat), or there is no slave preference at all.
-      if (slave_mask != 0 && !satisfies && !none_sat) continue;
-      const VertexId x = net_.edge(e).to;
-      const double nd = du + master[e];
-      if (stamp_[x] != current_stamp_) {
-        stamp_[x] = current_stamp_;
-        dist_[x] = nd;
-        parent_edge_[x] = e;
-        heap_.Push(x, nd);
-      } else if (nd < dist_[x]) {
-        dist_[x] = nd;
-        parent_edge_[x] = e;
-        heap_.PushOrUpdate(x, nd);
-      }
-    }
-  }
-  return kInvalidVertex;
+  return RunSearchKernel<ForwardExpand>(
+      net_, ws_, s, ArrayWeight{&master},
+      [t](VertexId v) { return v == t; }, kInfCost, DistanceKey{},
+      SlaveFilter{net_, slave_mask});
 }
 
 Path PreferenceDijkstra::Extract(VertexId t) const {
   Path path;
-  path.cost = dist_[t];
-  VertexId cur = t;
-  while (true) {
-    path.vertices.push_back(cur);
-    const EdgeId pe = parent_edge_[cur];
-    if (pe == kInvalidEdge) break;
-    cur = net_.edge(pe).from;
-  }
-  std::reverse(path.vertices.begin(), path.vertices.end());
+  path.cost = ws_.dist[t];
+  path.vertices = ExtractForwardVertices(net_, ws_, t);
   return path;
 }
 

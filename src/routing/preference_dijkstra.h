@@ -3,10 +3,10 @@
 
 #include <vector>
 
-#include "common/indexed_heap.h"
 #include "common/result.h"
 #include "roadnet/weights.h"
 #include "routing/path.h"
+#include "routing/search_kernel.h"
 
 namespace l2r {
 
@@ -23,10 +23,11 @@ struct PreferencePathResult {
 /// Dijkstra over the master-dimension cost where, from each settled vertex
 /// u, only edges satisfying the slave road-type preference are explored —
 /// unless u has no satisfying out-edge, in which case all of u's edges are
-/// explored.
+/// explored. The slave filter runs as the kernel's edge admission policy.
 class PreferenceDijkstra {
  public:
-  explicit PreferenceDijkstra(const RoadNetwork& net);
+  explicit PreferenceDijkstra(const RoadNetwork& net)
+      : net_(net), ws_(net.NumVertices()) {}
 
   /// `master` is the cost weight array; `slave_mask` the preferred road
   /// types (0 = no slave preference = plain Dijkstra).
@@ -40,11 +41,7 @@ class PreferenceDijkstra {
   Path Extract(VertexId t) const;
 
   const RoadNetwork& net_;
-  std::vector<double> dist_;
-  std::vector<EdgeId> parent_edge_;
-  std::vector<uint32_t> stamp_;
-  uint32_t current_stamp_ = 0;
-  IndexedMinHeap<double> heap_;
+  SearchWorkspace ws_;
 };
 
 }  // namespace l2r

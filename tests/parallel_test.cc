@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/parallel.h"
+#include "common/thread_pool.h"
+#include "common/workspace_pool.h"
+
+namespace l2r {
+namespace {
+
+// ---------- ParallelFor on the persistent pool ----------
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(
+      kN, [&](size_t i) { hits[i].fetch_add(1); }, /*num_threads=*/4);
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, GlobalPoolPersistsAcrossCalls) {
+  auto run = [] {
+    std::vector<int> out(64, 0);
+    ParallelFor(
+        out.size(), [&](size_t i) { out[i] = static_cast<int>(i); },
+        /*num_threads=*/4);
+    for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], (int)i);
+  };
+  run();
+  const size_t workers_after_first = ThreadPool::Global().NumWorkers();
+  EXPECT_GE(workers_after_first, 3u);  // min(n, 4) - 1 helpers
+  run();
+  run();
+  // Reuse, not respawn: the pool did not grow for identical requests.
+  EXPECT_EQ(ThreadPool::Global().NumWorkers(), workers_after_first);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  std::vector<long> sums(3, 0);
+  ParallelFor(
+      sums.size(),
+      [&](size_t outer) {
+        long local = 0;
+        // Nested section: must serialize inline, not deadlock.
+        ParallelFor(
+            100, [&](size_t i) { local += static_cast<long>(i); },
+            /*num_threads=*/4);
+        sums[outer] = local;
+      },
+      /*num_threads=*/4);
+  for (const long s : sums) EXPECT_EQ(s, 100 * 99 / 2);
+}
+
+TEST(ParallelForTest, ConcurrentSectionsFromTwoThreads) {
+  std::vector<int> a(200, 0);
+  std::vector<int> b(200, 0);
+  std::thread other([&] {
+    ParallelFor(
+        b.size(), [&](size_t i) { b[i] = 2; }, /*num_threads=*/4);
+  });
+  ParallelFor(
+      a.size(), [&](size_t i) { a[i] = 1; }, /*num_threads=*/4);
+  other.join();
+  for (const int v : a) EXPECT_EQ(v, 1);
+  for (const int v : b) EXPECT_EQ(v, 2);
+}
+
+TEST(ParallelForWorkerTest, OneWorkerPerParticipant) {
+  std::atomic<int> workers_made{0};
+  std::vector<int> out(256, -1);
+  ParallelForWorker(
+      out.size(),
+      [&] {
+        workers_made.fetch_add(1);
+        return std::make_unique<int>(7);
+      },
+      [&](std::unique_ptr<int>& w, size_t i) { out[i] = *w; },
+      /*num_threads=*/4);
+  EXPECT_GE(workers_made.load(), 1);
+  EXPECT_LE(workers_made.load(), 4);
+  for (const int v : out) EXPECT_EQ(v, 7);
+}
+
+TEST(ThreadPoolTest, LocalPoolShutsDownCleanly) {
+  {
+    ThreadPool pool;
+    std::atomic<int> count{0};
+    pool.Run(2, [&](unsigned) { count.fetch_add(1); });
+    EXPECT_GE(count.load(), 1);   // caller always participates
+    EXPECT_LE(count.load(), 3);   // at most 2 helpers joined
+    EXPECT_EQ(pool.NumWorkers(), 2u);
+  }  // destructor joins workers; hangs here = bug
+  {
+    ThreadPool never_used;  // destruction without any job is also clean
+  }
+}
+
+TEST(ThreadPoolTest, ZeroHelpersRunsInline) {
+  ThreadPool pool;
+  int calls = 0;
+  pool.Run(0, [&](unsigned rank) {
+    EXPECT_EQ(rank, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(pool.NumWorkers(), 0u);  // stays lazy
+}
+
+// ---------- WorkspacePool ----------
+
+TEST(WorkspacePoolTest, ReturnedObjectIsReused) {
+  WorkspacePool<std::vector<int>> pool(
+      [] { return std::make_unique<std::vector<int>>(16, 0); });
+  std::vector<int>* first = nullptr;
+  {
+    auto lease = pool.Acquire();
+    first = lease.get();
+    (*lease)[0] = 42;
+  }
+  EXPECT_EQ(pool.CreatedCount(), 1u);
+  EXPECT_EQ(pool.IdleCount(), 1u);
+  {
+    auto lease = pool.Acquire();
+    EXPECT_EQ(lease.get(), first);  // checkout/return, not re-create
+    EXPECT_EQ((*lease)[0], 42);     // scratch state persists by design
+    EXPECT_EQ(pool.IdleCount(), 0u);
+  }
+  EXPECT_EQ(pool.CreatedCount(), 1u);
+}
+
+TEST(WorkspacePoolTest, ConcurrentLeasesGetDistinctObjects) {
+  WorkspacePool<int> pool([] { return std::make_unique<int>(0); });
+  auto a = pool.Acquire();
+  auto b = pool.Acquire();
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(pool.CreatedCount(), 2u);
+}
+
+TEST(WorkspacePoolTest, LeaseMoveTransfersOwnership) {
+  WorkspacePool<int> pool([] { return std::make_unique<int>(5); });
+  auto a = pool.Acquire();
+  int* raw = a.get();
+  WorkspacePool<int>::Lease b = std::move(a);
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  b = WorkspacePool<int>::Lease();  // releasing returns to pool
+  EXPECT_EQ(pool.IdleCount(), 1u);
+}
+
+TEST(WorkspacePoolTest, StableUnderParallelCheckout) {
+  WorkspacePool<int> pool([] { return std::make_unique<int>(0); });
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> total{0};
+    ParallelForWorker(
+        200, [&] { return pool.Acquire(); },
+        [&](WorkspacePool<int>::Lease& lease, size_t) {
+          *lease += 1;
+          total.fetch_add(1);
+        },
+        /*num_threads=*/4);
+    EXPECT_EQ(total.load(), 200);
+  }
+  // Warm-up high-water mark: never more objects than participants.
+  EXPECT_LE(pool.CreatedCount(), 4u);
+  EXPECT_EQ(pool.IdleCount(), pool.CreatedCount());
+}
+
+// ---------- FlatMap64 ----------
+
+TEST(FlatMap64Test, InsertFindRoundTrip) {
+  FlatMap64 map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+  map.Insert(42, 7);
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), 7u);
+  EXPECT_EQ(map.Find(43), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64Test, GrowthPreservesEntries) {
+  FlatMap64 map;
+  // Bit-packed keys like DirectedKey(a, b) — the mixer must spread them.
+  for (uint64_t a = 0; a < 64; ++a) {
+    for (uint64_t b = 0; b < 16; ++b) {
+      map.Insert((a << 32) | b, static_cast<uint32_t>(a * 16 + b));
+    }
+  }
+  EXPECT_EQ(map.size(), 64u * 16u);
+  for (uint64_t a = 0; a < 64; ++a) {
+    for (uint64_t b = 0; b < 16; ++b) {
+      const uint32_t* v = map.Find((a << 32) | b);
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(*v, a * 16 + b);
+    }
+  }
+  EXPECT_EQ(map.Find(~0ULL), nullptr);
+}
+
+TEST(FlatMap64Test, ValuesAreMutableThroughFind) {
+  FlatMap64 map;
+  map.Insert(9, 1);
+  ++*map.Find(9);
+  EXPECT_EQ(*map.Find(9), 2u);
+}
+
+TEST(FlatMap64Test, ZeroKeyIsAValidKey) {
+  FlatMap64 map;
+  EXPECT_EQ(map.Find(0), nullptr);
+  map.Insert(0, 11);
+  ASSERT_NE(map.Find(0), nullptr);
+  EXPECT_EQ(*map.Find(0), 11u);
+}
+
+}  // namespace
+}  // namespace l2r
