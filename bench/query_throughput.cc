@@ -1,11 +1,16 @@
 // Online serving throughput of the batch query engine: drives BatchRouter
 // on the generated city with a mixed workload (intra-region, cross-region
-// and fallback queries), reports QPS plus per-query latency percentiles,
-// and writes BENCH_query_throughput.json so the perf trajectory
-// accumulates across PRs (see README "Benchmarking" for the schema).
+// and fallback queries), reports QPS plus per-query latency percentiles
+// and multi-core scaling (t = 1, 2, 4, 8), measures the serving-cache
+// layer on a skewed repeated-query workload (cache off vs on, hit rate,
+// evictions, budget degrades), and writes BENCH_query_throughput.json so
+// the perf trajectory accumulates across PRs (see README "Benchmarking"
+// for the schema).
 //
 // Environment knobs: L2R_BENCH_SCALE (default 0.3), L2R_BENCH_QUERIES
-// (default 1200), L2R_BENCH_OUT (default BENCH_query_throughput.json).
+// (default 1200), L2R_BENCH_OUT (default BENCH_query_throughput.json),
+// L2R_BENCH_CACHE (default 1; 0 skips the cache-on serving pass),
+// L2R_BENCH_BUDGET_US (default 25; 0 disables the fallback budget).
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +23,7 @@
 #include "common/stats.h"
 #include "common/timer.h"
 #include "core/batch_router.h"
+#include "serve/serving_router.h"
 
 using namespace l2r;
 
@@ -33,6 +39,16 @@ std::string OutPath() {
   return env != nullptr ? env : "BENCH_query_throughput.json";
 }
 
+bool CacheEnabled() {
+  const char* env = std::getenv("L2R_BENCH_CACHE");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
+double FallbackBudgetUs() {
+  const char* env = std::getenv("L2R_BENCH_BUDGET_US");
+  return env != nullptr ? std::atof(env) : 25.0;
+}
+
 /// True when the two result slots are byte-equivalent routing outcomes.
 bool SameResult(const Result<RouteResult>& a, const Result<RouteResult>& b) {
   if (a.ok() != b.ok()) return false;
@@ -45,6 +61,41 @@ struct RunStats {
   double qps = 0;
   double best_batch_seconds = 0;
 };
+
+struct LatencySummary {
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+LatencySummary Summarize(const std::vector<double>& latency_us) {
+  LatencySummary s;
+  RunningStats acc;
+  for (const double v : latency_us) acc.Add(v);
+  s.mean = acc.mean();
+  s.p50 = Percentile(latency_us, 0.50);
+  s.p95 = Percentile(latency_us, 0.95);
+  s.p99 = Percentile(latency_us, 0.99);
+  return s;
+}
+
+/// Sequential per-query latency of `route(i)` over `order`. No warm-up
+/// pass: the serving comparison measures cold caches by design, and a
+/// warm-up through the serving router would skew its hit/miss counters
+/// away from the declared workload. (The dataset pages are already hot
+/// from the plain latency pass that runs first.)
+template <typename RouteFn>
+LatencySummary MeasureLatency(const std::vector<size_t>& order,
+                              const RouteFn& route) {
+  std::vector<double> latency_us(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    Timer t;
+    (void)route(order[i]);
+    latency_us[i] = t.ElapsedSeconds() * 1e6;
+  }
+  return Summarize(latency_us);
+}
 
 }  // namespace
 
@@ -122,19 +173,90 @@ int main() {
       }
     }
   }
-  const double p50 = Percentile(latency_us, 0.50);
-  const double p95 = Percentile(latency_us, 0.95);
-  const double p99 = Percentile(latency_us, 0.99);
-  RunningStats lat;
-  for (const double v : latency_us) lat.Add(v);
+  const LatencySummary lat = Summarize(latency_us);
   std::printf(
       "[latency] mean %.1f us, p50 %.1f us, p95 %.1f us, p99 %.1f us "
       "(%zu failures)\n",
-      lat.mean(), p50, p95, p99, failures);
+      lat.mean, lat.p50, lat.p95, lat.p99, failures);
 
-  // --- Batch throughput across thread counts; the {1, 4} pair also
-  // checks the determinism contract.
-  const unsigned kThreadCounts[] = {1, 4};
+  // --- Serving layer: a skewed repeated-query workload (popular OD pairs
+  // dominate, as production traffic does), measured without and with the
+  // route cache + stitch memo + fallback budget.
+  const size_t distinct = queries.size();
+  const size_t hot = distinct < 10 ? 1 : distinct / 10;
+  std::vector<size_t> workload;
+  {
+    Rng srng(911);
+    workload.reserve(3 * distinct);
+    for (size_t i = 0; i < 3 * distinct; ++i) {
+      // 80% of traffic lands on the hot 10% of distinct queries.
+      workload.push_back(srng.Bernoulli(0.8) ? srng.Index(hot)
+                                             : srng.Index(distinct));
+    }
+  }
+  const bool cache_enabled = CacheEnabled();
+  const double budget_us = FallbackBudgetUs();
+  // The cache-off baseline runs through a ServingRouter with the cache
+  // and memo disabled but the SAME fallback budget, so the off-vs-on
+  // delta isolates the caching layers instead of conflating them with
+  // budget-degraded (cheaper) routes.
+  LatencySummary serve_off;
+  uint64_t off_degraded = 0;
+  {
+    ServingRouterOptions off_options;
+    off_options.enable_route_cache = false;
+    off_options.enable_stitch_memo = false;
+    off_options.deadline.fallback_budget_us = budget_us;
+    ServingRouter off_serving(&l2r, off_options);
+    L2RQueryContext ctx = l2r.MakeContext();
+    serve_off = MeasureLatency(workload, [&](size_t i) {
+      return off_serving.Route(&ctx, queries[i].s, queries[i].d,
+                               queries[i].departure_time);
+    });
+    off_degraded = off_serving.GetStats().budget_degraded;
+  }
+  std::printf(
+      "[serve cache-off] %zu queries (%zu distinct): mean %.1f us, "
+      "p50 %.1f us, p95 %.1f us, p99 %.1f us, %llu budget degrades\n",
+      workload.size(), distinct, serve_off.mean, serve_off.p50, serve_off.p95,
+      serve_off.p99, static_cast<unsigned long long>(off_degraded));
+
+  LatencySummary serve_on;
+  ServingRouter::Stats serve_stats;
+  double hit_rate = 0;
+  if (cache_enabled) {
+    ServingRouterOptions serving_options;
+    serving_options.deadline.fallback_budget_us = budget_us;
+    ServingRouter serving(&l2r, serving_options);
+    L2RQueryContext ctx = l2r.MakeContext();
+    serve_on = MeasureLatency(workload, [&](size_t i) {
+      return serving.Route(&ctx, queries[i].s, queries[i].d,
+                           queries[i].departure_time);
+    });
+    serve_stats = serving.GetStats();
+    const uint64_t lookups = serve_stats.cache.hits + serve_stats.cache.misses;
+    hit_rate = lookups == 0
+                   ? 0
+                   : static_cast<double>(serve_stats.cache.hits) /
+                         static_cast<double>(lookups);
+    std::printf(
+        "[serve cache-on] mean %.1f us, p50 %.1f us, p95 %.1f us, "
+        "p99 %.1f us; hit rate %.3f (%llu hits / %llu misses), "
+        "%llu evictions, %llu budget degrades (budget %.1f us)\n",
+        serve_on.mean, serve_on.p50, serve_on.p95, serve_on.p99, hit_rate,
+        static_cast<unsigned long long>(serve_stats.cache.hits),
+        static_cast<unsigned long long>(serve_stats.cache.misses),
+        static_cast<unsigned long long>(serve_stats.cache.evictions),
+        static_cast<unsigned long long>(serve_stats.budget_degraded),
+        budget_us);
+  } else {
+    std::printf("[serve cache-on] skipped (L2R_BENCH_CACHE=0)\n");
+  }
+
+  // --- Batch throughput across thread counts (multi-core QPS scaling);
+  // every run is checked against the t=1 reference, so the determinism
+  // contract is verified across the whole ladder.
+  const unsigned kThreadCounts[] = {1, 2, 4, 8};
   std::vector<RunStats> runs;
   std::vector<Result<RouteResult>> reference;
   bool deterministic = true;
@@ -199,7 +321,44 @@ int main() {
   std::fprintf(f,
                "  \"latency_us\": {\"mean\": %.2f, \"p50\": %.2f, "
                "\"p95\": %.2f, \"p99\": %.2f},\n",
-               lat.mean(), p50, p95, p99);
+               lat.mean, lat.p50, lat.p95, lat.p99);
+  std::fprintf(f, "  \"serving\": {\n");
+  std::fprintf(f, "    \"workload_queries\": %zu,\n", workload.size());
+  std::fprintf(f, "    \"distinct_queries\": %zu,\n", distinct);
+  std::fprintf(f, "    \"hot_fraction\": 0.1,\n");
+  std::fprintf(f, "    \"hot_traffic\": 0.8,\n");
+  std::fprintf(f, "    \"budget_us\": %.2f,\n", budget_us);
+  std::fprintf(f,
+               "    \"cache_off\": {\"mean\": %.2f, \"p50\": %.2f, "
+               "\"p95\": %.2f, \"p99\": %.2f, \"budget_degraded\": %llu},\n",
+               serve_off.mean, serve_off.p50, serve_off.p95, serve_off.p99,
+               static_cast<unsigned long long>(off_degraded));
+  if (cache_enabled) {
+    std::fprintf(f,
+                 "    \"cache_on\": {\"mean\": %.2f, \"p50\": %.2f, "
+                 "\"p95\": %.2f, \"p99\": %.2f,\n",
+                 serve_on.mean, serve_on.p50, serve_on.p95, serve_on.p99);
+    std::fprintf(
+        f,
+        "      \"hit_rate\": %.4f, \"hits\": %llu, \"misses\": %llu, "
+        "\"evictions\": %llu, \"cache_entries\": %zu, "
+        "\"cache_bytes\": %zu,\n",
+        hit_rate, static_cast<unsigned long long>(serve_stats.cache.hits),
+        static_cast<unsigned long long>(serve_stats.cache.misses),
+        static_cast<unsigned long long>(serve_stats.cache.evictions),
+        serve_stats.cache.entries, serve_stats.cache.bytes);
+    std::fprintf(
+        f,
+        "      \"memo_edge_hits\": %llu, \"memo_connector_hits\": %llu, "
+        "\"memo_entries\": %zu, \"budget_degraded\": %llu}\n",
+        static_cast<unsigned long long>(serve_stats.memo.edge_hits),
+        static_cast<unsigned long long>(serve_stats.memo.connector_hits),
+        serve_stats.memo.entries,
+        static_cast<unsigned long long>(serve_stats.budget_degraded));
+  } else {
+    std::fprintf(f, "    \"cache_on\": null\n");
+  }
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
                deterministic ? "true" : "false");
   std::fprintf(f, "  \"runs\": [\n");

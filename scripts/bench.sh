@@ -4,9 +4,15 @@
 # BENCH_query_throughput.json in the repo root.
 #
 # Usage: scripts/bench.sh [build-dir]          (default: build-bench)
-# Knobs: L2R_BENCH_SCALE   workload scale      (default 0.3)
-#        L2R_BENCH_QUERIES query count         (default 1200)
-#        L2R_BENCH_OUT     output JSON path    (default BENCH_query_throughput.json)
+# Knobs: L2R_BENCH_SCALE     workload scale      (default 0.3)
+#        L2R_BENCH_QUERIES   query count         (default 1200)
+#        L2R_BENCH_OUT       output JSON path    (default BENCH_query_throughput.json)
+#        L2R_BENCH_CACHE     serving-cache pass  (default 1; 0 = cache-off only)
+#        L2R_BENCH_BUDGET_US fallback budget, us (default 25; 0 = no budget)
+#
+# The bench reports per-query latency percentiles, the serving-cache
+# comparison (cache off vs on over a skewed repeated-query workload),
+# and multi-core batch QPS for t = 1, 2, 4, 8.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

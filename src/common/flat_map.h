@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace l2r {
 
@@ -61,16 +62,7 @@ class FlatMap64 {
     bool used = false;
   };
 
-  /// splitmix64 finalizer: full-avalanche mixing so sequential or
-  /// bit-packed keys spread across the table.
-  static size_t Mix(uint64_t key) {
-    key ^= key >> 30;
-    key *= 0xbf58476d1ce4e5b9ULL;
-    key ^= key >> 27;
-    key *= 0x94d049bb133111ebULL;
-    key ^= key >> 31;
-    return static_cast<size_t>(key);
-  }
+  static size_t Mix(uint64_t key) { return static_cast<size_t>(Mix64(key)); }
 
   void Grow() {
     std::vector<Slot> old = std::move(slots_);

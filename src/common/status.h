@@ -19,6 +19,7 @@ enum class StatusCode : uint8_t {
   kInternal = 6,
   kUnimplemented = 7,
   kIOError = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -55,6 +56,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -16,6 +16,19 @@ namespace l2r {
 /// demand, handed out as RAII leases, and returned for reuse when the
 /// lease dies — so a server loop allocates each workspace once, at
 /// warm-up, no matter how many queries it serves afterwards.
+///
+/// Threading contract:
+///  - A lease may be moved to — and released on — a different thread than
+///    the one that acquired it. The pool mutex taken by Return/Acquire
+///    establishes the happens-before edge, so whatever the releasing
+///    thread wrote into the object is visible to the next acquirer; no
+///    extra synchronization is needed by callers.
+///  - A lease itself is not a synchronization primitive: two threads may
+///    not use one lease's object concurrently.
+///  - The factory may be invoked concurrently from multiple threads (one
+///    call per miss) and must be thread-safe.
+///  - The pool must outlive every lease; releasing a lease after the pool
+///    is destroyed is undefined behavior.
 template <typename T>
 class WorkspacePool {
  public:

@@ -16,6 +16,12 @@ BatchRouter::BatchRouter(const L2RRouter* router, unsigned num_threads)
   L2R_CHECK(router != nullptr);
 }
 
+BatchRouter::BatchRouter(QueryService* service, unsigned num_threads)
+    : BatchRouter(service == nullptr ? nullptr : &service->router(),
+                  num_threads) {
+  service_ = service;
+}
+
 std::vector<Result<RouteResult>> BatchRouter::RouteAll(
     const std::vector<BatchQuery>& queries) {
   std::vector<Result<RouteResult>> out(
@@ -24,7 +30,9 @@ std::vector<Result<RouteResult>> BatchRouter::RouteAll(
       queries.size(), [this] { return contexts_.Acquire(); },
       [&](WorkspacePool<L2RQueryContext>::Lease& ctx, size_t i) {
         const BatchQuery& q = queries[i];
-        out[i] = router_->Route(ctx.get(), q.s, q.d, q.departure_time);
+        out[i] = service_ != nullptr
+                     ? service_->Route(ctx.get(), q.s, q.d, q.departure_time)
+                     : router_->Route(ctx.get(), q.s, q.d, q.departure_time);
       },
       num_threads_);
   return out;

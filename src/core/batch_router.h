@@ -23,12 +23,19 @@ struct BatchQuery {
 ///
 /// Determinism: result slot i depends only on query i and the immutable
 /// router, so RouteAll output is byte-identical to calling
-/// L2RRouter::Route sequentially, for any thread count.
+/// L2RRouter::Route sequentially, for any thread count. Routing through a
+/// QueryService (e.g. serve/ServingRouter) preserves this: the service
+/// contract requires cache/memo hits to be byte-identical to
+/// recomputation, so results stay independent of hit/miss interleaving.
 class BatchRouter {
  public:
   /// `router` must outlive the BatchRouter. `num_threads` 0 means
   /// DefaultThreadCount().
   explicit BatchRouter(const L2RRouter* router, unsigned num_threads = 0);
+
+  /// Routes every query through `service` (the serving layer) instead of
+  /// the bare router. `service` must outlive the BatchRouter.
+  explicit BatchRouter(QueryService* service, unsigned num_threads = 0);
 
   /// Routes every query; results are index-aligned with `queries`.
   std::vector<Result<RouteResult>> RouteAll(
@@ -42,6 +49,7 @@ class BatchRouter {
 
  private:
   const L2RRouter* router_;
+  QueryService* service_ = nullptr;  ///< null = route on the bare router
   unsigned num_threads_;
   WorkspacePool<L2RQueryContext> contexts_;
 };

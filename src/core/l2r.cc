@@ -303,7 +303,8 @@ std::optional<RoutingPreference> L2RRouter::PairPreference(
 
 Status L2RRouter::StitchRegionPath(L2RQueryContext* ctx,
                                    const RegionGraph& graph,
-                                   const WeightSet& ws,
+                                   const WeightSet& ws, int period_index,
+                                   StitchMemoIface* memo,
                                    const std::vector<uint32_t>& region_edges,
                                    VertexId cur, VertexId dest,
                                    std::vector<VertexId>* out,
@@ -311,52 +312,76 @@ Status L2RRouter::StitchRegionPath(L2RQueryContext* ctx,
   if (out->empty()) out->push_back(cur);
   *overhead_m = 0;
 
+  // Memoized values are pure functions of the immutable router state
+  // (inner paths are scanned in stored order, the fastest-path search is
+  // deterministic), so a memo hit appends exactly what recomputation
+  // would — serving results stay byte-identical whether the memo is
+  // cold, warm, or shared across threads.
+  std::vector<VertexId> seg;
   auto connect = [&](VertexId from, VertexId to) -> Status {
     *overhead_m += Dist(net_->VertexPos(from), net_->VertexPos(to));
     if (from == to) return Status::OK();
+    if (memo != nullptr && memo->FindConnector(period_index, from, to, &seg)) {
+      out->insert(out->end(), seg.begin() + 1, seg.end());
+      return Status::OK();
+    }
     // Prefer a recorded inner-region path when both endpoints share a
     // region; otherwise the fastest path.
+    seg.clear();
     const RegionId r = graph.RegionOf(from);
     if (r != kNoRegion && graph.RegionOf(to) == r) {
       if (auto inner = TryInnerSubPath(graph, r, from, to)) {
-        out->insert(out->end(), inner->begin() + 1, inner->end());
-        return Status::OK();
+        seg = std::move(*inner);
       }
     }
-    auto fastest = ctx->dijkstra.ShortestPath(from, to, ws.time);
-    if (!fastest.ok()) return fastest.status();
-    out->insert(out->end(), fastest->vertices.begin() + 1,
-                fastest->vertices.end());
+    if (seg.empty()) {
+      auto fastest = ctx->dijkstra.ShortestPath(from, to, ws.time);
+      if (!fastest.ok()) return fastest.status();
+      seg = std::move(fastest->vertices);
+    }
+    if (memo != nullptr) memo->RememberConnector(period_index, from, to, seg);
+    out->insert(out->end(), seg.begin() + 1, seg.end());
     return Status::OK();
   };
 
   const Point& goal = net_->VertexPos(dest);
+  std::vector<VertexId> chosen;
   for (const uint32_t eid : region_edges) {
-    const RegionEdge& edge = graph.edge(eid);
-    auto best = BestEdgePath(graph, edge, cur, goal);
-    if (!best.has_value()) {
-      return Status::NotFound("region edge has no usable path");
+    chosen.clear();
+    if (memo == nullptr ||
+        !memo->FindEdgeChoice(period_index, eid, cur, dest, &chosen)) {
+      auto best = BestEdgePath(graph, graph.edge(eid), cur, goal);
+      if (!best.has_value()) {
+        return Status::NotFound("region edge has no usable path");
+      }
+      chosen = std::move(*best);
+      if (memo != nullptr) {
+        memo->RememberEdgeChoice(period_index, eid, cur, dest, chosen);
+      }
     }
-    L2R_RETURN_NOT_OK(connect(cur, best->front()));
-    out->insert(out->end(), best->begin() + 1, best->end());
-    cur = best->back();
+    L2R_RETURN_NOT_OK(connect(cur, chosen.front()));
+    out->insert(out->end(), chosen.begin() + 1, chosen.end());
+    cur = chosen.back();
   }
   return connect(cur, dest);
 }
 
+TimePeriod L2RRouter::EffectivePeriod(double departure_time) const {
+  const TimePeriod period =
+      time_dependent_ ? PeriodOf(departure_time) : TimePeriod::kOffPeak;
+  return graphs_[static_cast<int>(period)] ? period : TimePeriod::kOffPeak;
+}
+
 Result<RouteResult> L2RRouter::Route(L2RQueryContext* ctx, VertexId s,
-                                     VertexId d,
-                                     double departure_time) const {
+                                     VertexId d, double departure_time,
+                                     const ServeHooks& hooks) const {
   if (ctx == nullptr) return Status::InvalidArgument("ctx is null");
   if (s >= net_->NumVertices() || d >= net_->NumVertices()) {
     return Status::InvalidArgument("vertex id out of range");
   }
   if (s == d) return Status::InvalidArgument("source equals destination");
 
-  const TimePeriod period =
-      time_dependent_ ? PeriodOf(departure_time) : TimePeriod::kOffPeak;
-  const int pi =
-      graphs_[static_cast<int>(period)] ? static_cast<int>(period) : 0;
+  const int pi = static_cast<int>(EffectivePeriod(departure_time));
   const RegionGraph& graph = *graphs_[pi];
   const WeightSet& ws = weights_[pi];
 
@@ -421,8 +446,8 @@ Result<RouteResult> L2RRouter::Route(L2RQueryContext* ctx, VertexId s,
     // The candidate regions coincide: connect through the region.
     std::vector<VertexId> out = prefix;
     double overhead = 0;
-    Status st = StitchRegionPath(ctx, graph, ws, {}, out.back(),
-                                 suffix.front(), &out, &overhead);
+    Status st = StitchRegionPath(ctx, graph, ws, pi, hooks.memo, {},
+                                 out.back(), suffix.front(), &out, &overhead);
     if (!st.ok()) return fastest_fallback();
     out.insert(out.end(), suffix.begin() + 1, suffix.end());
     Path path;
@@ -437,35 +462,51 @@ Result<RouteResult> L2RRouter::Route(L2RQueryContext* ctx, VertexId s,
 
   // Applying the region pair's preference with Algorithm 2 — the paper's
   // mechanism for identifying paths where recorded ones do not serve.
-  auto preference_route = [&]() -> Result<RouteResult> {
+  // Under a settle budget (ServeHooks::budget), a rebuild that would blow
+  // the budget degrades to `stitched` (the region path that failed the
+  // overhead gate) when one exists, else to the fastest fallback, with
+  // the decision recorded in RouteResult::budget_degraded.
+  auto preference_route = [&](Path* stitched,
+                              size_t stitched_hops) -> Result<RouteResult> {
     if (!pair_pref.has_value()) return fastest_fallback();
-    auto routed =
-        ctx->pref_dijkstra.Route(s, d, ws.Get(pair_pref->master),
-                                 space_.slave_mask(pair_pref->slave_index));
-    if (!routed.ok()) return fastest_fallback();
-    return finish(std::move(routed->path), RouteMethod::kPreferenceRoute);
+    auto routed = ctx->pref_dijkstra.Route(
+        s, d, ws.Get(pair_pref->master),
+        space_.slave_mask(pair_pref->slave_index),
+        hooks.budget.max_preference_settles);
+    if (routed.ok()) {
+      return finish(std::move(routed->path), RouteMethod::kPreferenceRoute);
+    }
+    if (routed.status().code() == StatusCode::kDeadlineExceeded) {
+      result.budget_degraded = true;
+      if (stitched != nullptr) {
+        result.region_hops = stitched_hops;
+        return finish(std::move(*stitched), RouteMethod::kRegionGraph);
+      }
+    }
+    return fastest_fallback();
   };
 
-  if (!region_edges.has_value()) return preference_route();
+  if (!region_edges.has_value()) return preference_route(nullptr, 0);
 
   std::vector<VertexId> out = prefix;
   double overhead = 0;
-  const Status st = StitchRegionPath(ctx, graph, ws, *region_edges,
-                                     out.back(), suffix.front(), &out,
-                                     &overhead);
+  const Status st = StitchRegionPath(ctx, graph, ws, pi, hooks.memo,
+                                     *region_edges, out.back(),
+                                     suffix.front(), &out, &overhead);
+  if (!st.ok()) return preference_route(nullptr, 0);
+  if (suffix.size() > 1) {
+    out.insert(out.end(), suffix.begin() + 1, suffix.end());
+  }
+  Path path;
+  path.vertices = std::move(out);
   // Stitch-or-apply gate: recorded paths are reused only when they
   // actually pass near the query endpoints; otherwise the preference is
   // applied directly (see L2ROptions::stitch_overhead_limit).
   const double span = Dist(net_->VertexPos(s), net_->VertexPos(d));
-  if (!st.ok() || overhead > stitch_overhead_limit_ * span) {
-    return preference_route();
-  }
-  if (suffix.size() > 1) {
-    out.insert(out.end(), suffix.begin() + 1, suffix.end());
+  if (overhead > stitch_overhead_limit_ * span) {
+    return preference_route(&path, region_edges->size());
   }
   result.region_hops = region_edges->size();
-  Path path;
-  path.vertices = std::move(out);
   return finish(std::move(path), RouteMethod::kRegionGraph);
 }
 

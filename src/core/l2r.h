@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/serve_hooks.h"
 #include "pref/learner.h"
 #include "region/region_graph.h"
 #include "routing/dijkstra.h"
@@ -76,6 +77,11 @@ struct RouteResult {
   RegionId source_region = kNoRegion;
   RegionId dest_region = kNoRegion;
   size_t region_hops = 0;
+  /// True when the preference-route rebuild blew the query's settle budget
+  /// (ServeHooks::budget) and the route degraded to the stitched path or
+  /// the fastest fallback. Deterministic: the budget counts settled
+  /// vertices, never wall-clock time.
+  bool budget_degraded = false;
 
   bool operator==(const RouteResult&) const = default;
 };
@@ -106,11 +112,19 @@ class L2RRouter {
       const L2ROptions& options = {});
 
   /// Routes from `s` to `d` departing at `departure_time` (selects the
-  /// peak or off-peak region graph).
+  /// peak or off-peak region graph). `hooks` carries the optional serving
+  /// aids (stitch memo, fallback budget); the default value is the plain
+  /// cold path.
   Result<RouteResult> Route(L2RQueryContext* ctx, VertexId s, VertexId d,
-                            double departure_time) const;
+                            double departure_time,
+                            const ServeHooks& hooks = {}) const;
 
   L2RQueryContext MakeContext() const { return L2RQueryContext(*net_); }
+
+  /// The period whose graph/weights answer a query departing at
+  /// `departure_time` — the route cache quantizes its keys with this, so
+  /// it must (and does) mirror Route's period selection exactly.
+  TimePeriod EffectivePeriod(double departure_time) const;
 
   const L2RBuildReport& build_report() const { return report_; }
   const RegionGraph& region_graph(TimePeriod p) const {
@@ -146,9 +160,13 @@ class L2RRouter {
 
   /// Maps a region path to a road path, stitching with inner paths /
   /// fastest connectors. `cur` is the current road vertex. Reports the
-  /// total straight-line connector overhead in *overhead_m.
+  /// total straight-line connector overhead in *overhead_m. When `memo`
+  /// is non-null, edge-path choices and connectors are looked up there
+  /// first and remembered after computation (`period_index` keys the
+  /// memo's per-period tables).
   Status StitchRegionPath(L2RQueryContext* ctx, const RegionGraph& graph,
-                          const WeightSet& ws,
+                          const WeightSet& ws, int period_index,
+                          StitchMemoIface* memo,
                           const std::vector<uint32_t>& region_edges,
                           VertexId cur, VertexId dest,
                           std::vector<VertexId>* out,
@@ -178,6 +196,25 @@ class L2RRouter {
   std::vector<std::optional<RoutingPreference>>
       preferences_[kNumTimePeriods];
   L2RBuildReport report_;
+};
+
+/// Anything that answers routing queries on behalf of an L2RRouter —
+/// either the router itself or a serving layer wrapped around it
+/// (serve/ServingRouter). BatchRouter fans queries out through this
+/// interface, so the cache/memo/budget stack slots in without core
+/// depending on serve/. Implementations must tolerate concurrent Route
+/// calls (each with its own context) and must stay deterministic: the
+/// result for (s, d, departure_time) may not depend on call order or
+/// thread interleaving.
+class QueryService {
+ public:
+  virtual ~QueryService() = default;
+
+  /// The underlying router (context creation, period selection).
+  virtual const L2RRouter& router() const = 0;
+
+  virtual Result<RouteResult> Route(L2RQueryContext* ctx, VertexId s,
+                                    VertexId d, double departure_time) = 0;
 };
 
 }  // namespace l2r

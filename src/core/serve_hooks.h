@@ -1,0 +1,69 @@
+#ifndef L2R_CORE_SERVE_HOOKS_H_
+#define L2R_CORE_SERVE_HOOKS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+/// Extension points the serving layer (src/serve/) plugs into the core
+/// query path. Core defines the interfaces; serve/ provides the sharded
+/// concurrent implementations, so the dependency arrow stays
+/// serve -> core.
+
+namespace l2r {
+
+/// Memoization surface consulted while stitching a region path
+/// (L2RRouter::StitchRegionPath). Both tables cache pure functions of the
+/// immutable router state, so a hit must be byte-identical to
+/// recomputation — that is what keeps batch serving deterministic across
+/// thread counts even though memo population order is scheduling
+/// dependent. Implementations must be safe for concurrent Find/Remember
+/// from many query threads; Find copies the value out.
+class StitchMemoIface {
+ public:
+  virtual ~StitchMemoIface() = default;
+
+  /// The path BestEdgePath chose for region edge `edge` when entering at
+  /// `cur` with query destination `dest` (the goal point of the score).
+  /// Returns false on miss; on hit fills `*out` (never empty).
+  virtual bool FindEdgeChoice(int period_index, uint32_t edge, VertexId cur,
+                              VertexId dest,
+                              std::vector<VertexId>* out) const = 0;
+  virtual void RememberEdgeChoice(int period_index, uint32_t edge,
+                                  VertexId cur, VertexId dest,
+                                  const std::vector<VertexId>& path) = 0;
+
+  /// The connector path `from -> ... -> to` (recorded inner-region path if
+  /// one exists, else the fastest path under the period's weights) — a
+  /// function of (from, to, period) only, so it is shared across queries
+  /// regardless of their destinations.
+  virtual bool FindConnector(int period_index, VertexId from, VertexId to,
+                             std::vector<VertexId>* out) const = 0;
+  virtual void RememberConnector(int period_index, VertexId from, VertexId to,
+                                 const std::vector<VertexId>& path) = 0;
+};
+
+/// Deterministic per-query budget for the preference-route fallback
+/// (Algorithm 2 rebuilding dominates tail latency). The budget is
+/// expressed in settled vertices, not wall-clock time: a timer-based
+/// deadline would make results depend on machine load and break the
+/// byte-identical determinism contract of batch serving. serve/'s
+/// DeadlineBudget converts a microsecond target into this cap.
+struct QueryBudget {
+  /// Max vertices the preference Dijkstra may settle per run; 0 = no cap.
+  size_t max_preference_settles = 0;
+};
+
+/// Per-call serving aids threaded through L2RRouter::Route. Everything is
+/// optional; the default-constructed value reproduces the plain cold
+/// path exactly.
+struct ServeHooks {
+  StitchMemoIface* memo = nullptr;
+  QueryBudget budget;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_CORE_SERVE_HOOKS_H_

@@ -34,11 +34,25 @@ struct SlaveFilter {
 
 VertexId PreferenceDijkstra::Run(VertexId s, VertexId t,
                                  const EdgeWeights& master,
-                                 RoadTypeMask slave_mask) {
-  return RunSearchKernel<ForwardExpand>(
-      net_, ws_, s, ArrayWeight{&master},
-      [t](VertexId v) { return v == t; }, kInfCost, DistanceKey{},
+                                 RoadTypeMask slave_mask, size_t max_settles,
+                                 bool* exhausted) {
+  // The budget fires through the stop predicate: stop() sees each vertex
+  // right after it is settled, so `settled_count >= cap` aborts the
+  // search at a deterministic point in the expansion order.
+  bool hit_budget = false;
+  auto stop = [&](VertexId v) {
+    if (v == t) return true;
+    if (max_settles != 0 && ws_.settled_count >= max_settles) {
+      hit_budget = true;
+      return true;
+    }
+    return false;
+  };
+  const VertexId got = RunSearchKernel<ForwardExpand>(
+      net_, ws_, s, ArrayWeight{&master}, stop, kInfCost, DistanceKey{},
       SlaveFilter{net_, slave_mask});
+  *exhausted = hit_budget && got != t;
+  return got;
 }
 
 Path PreferenceDijkstra::Extract(VertexId t) const {
@@ -50,14 +64,18 @@ Path PreferenceDijkstra::Extract(VertexId t) const {
 
 Result<PreferencePathResult> PreferenceDijkstra::Route(
     VertexId s, VertexId t, const EdgeWeights& master,
-    RoadTypeMask slave_mask) {
+    RoadTypeMask slave_mask, size_t max_settles) {
   if (s >= net_.NumVertices() || t >= net_.NumVertices()) {
     return Status::InvalidArgument("vertex id out of range");
   }
   PreferencePathResult out;
-  if (Run(s, t, master, slave_mask) == t) {
+  bool exhausted = false;
+  if (Run(s, t, master, slave_mask, max_settles, &exhausted) == t) {
     out.path = Extract(t);
     return out;
+  }
+  if (exhausted) {
+    return Status::DeadlineExceeded("preference search settle budget");
   }
   if (slave_mask == 0) {
     return Status::NotFound("no path " + std::to_string(s) + "->" +
@@ -65,10 +83,13 @@ Result<PreferencePathResult> PreferenceDijkstra::Route(
   }
   // The slave filter can disconnect t (Algorithm 2 leaves this case
   // unspecified); fall back to the unfiltered master-cost search.
-  if (Run(s, t, master, /*slave_mask=*/0) == t) {
+  if (Run(s, t, master, /*slave_mask=*/0, max_settles, &exhausted) == t) {
     out.path = Extract(t);
     out.fell_back_to_unfiltered = true;
     return out;
+  }
+  if (exhausted) {
+    return Status::DeadlineExceeded("preference search settle budget");
   }
   return Status::NotFound("no path " + std::to_string(s) + "->" +
                           std::to_string(t));

@@ -30,14 +30,20 @@ class PreferenceDijkstra {
       : net_(net), ws_(net.NumVertices()) {}
 
   /// `master` is the cost weight array; `slave_mask` the preferred road
-  /// types (0 = no slave preference = plain Dijkstra).
+  /// types (0 = no slave preference = plain Dijkstra). `max_settles` caps
+  /// the vertices settled per underlying search run (0 = unlimited): when
+  /// a capped run gives out before reaching `t`, Route returns
+  /// DeadlineExceeded so the caller can degrade instead of paying for the
+  /// full rebuild. The cap counts settled vertices — a deterministic work
+  /// measure — so budget decisions are identical across runs and threads.
   Result<PreferencePathResult> Route(VertexId s, VertexId t,
                                      const EdgeWeights& master,
-                                     RoadTypeMask slave_mask);
+                                     RoadTypeMask slave_mask,
+                                     size_t max_settles = 0);
 
  private:
   VertexId Run(VertexId s, VertexId t, const EdgeWeights& master,
-               RoadTypeMask slave_mask);
+               RoadTypeMask slave_mask, size_t max_settles, bool* exhausted);
   Path Extract(VertexId t) const;
 
   const RoadNetwork& net_;

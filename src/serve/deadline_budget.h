@@ -1,0 +1,60 @@
+#ifndef L2R_SERVE_DEADLINE_BUDGET_H_
+#define L2R_SERVE_DEADLINE_BUDGET_H_
+
+#include <cstddef>
+
+#include "core/serve_hooks.h"
+
+namespace l2r {
+
+struct DeadlineBudgetOptions {
+  /// Per-query budget for the preference-route (Algorithm 2) fallback, in
+  /// microseconds; 0 disables the budget entirely.
+  double fallback_budget_us = 0;
+  /// Calibration: how many vertices the preference search settles per
+  /// microsecond on this hardware. The default is conservative for the
+  /// generated city worlds (BM_Dijkstra settles ~4.3k vertices in ~35 us,
+  /// i.e. >100/us; a lower figure only makes the budget stricter).
+  double settles_per_us = 80;
+  /// Floor on the derived cap so aggressive budgets cannot starve short
+  /// rebuilds that would have finished well inside any real deadline.
+  size_t min_settles = 256;
+};
+
+/// Translates a wall-clock fallback budget into the deterministic settle
+/// cap the core query path enforces (ServeHooks::budget). The translation
+/// happens once, at configuration time: queries never consult a clock, so
+/// the degrade decision for a given query is identical across runs,
+/// threads, and machines with the same configuration — the property the
+/// byte-identical serving contract depends on. The microsecond knob is
+/// operator-facing; the settle cap is what the engine sees.
+class DeadlineBudget {
+ public:
+  DeadlineBudget() = default;
+  explicit DeadlineBudget(const DeadlineBudgetOptions& options)
+      : options_(options) {}
+
+  bool enabled() const { return options_.fallback_budget_us > 0; }
+
+  /// The settle cap handed to the preference search; 0 = unlimited.
+  size_t MaxPreferenceSettles() const {
+    if (!enabled()) return 0;
+    const double settles =
+        options_.fallback_budget_us * options_.settles_per_us;
+    const size_t cap = static_cast<size_t>(settles);
+    return cap < options_.min_settles ? options_.min_settles : cap;
+  }
+
+  QueryBudget ToQueryBudget() const {
+    return QueryBudget{MaxPreferenceSettles()};
+  }
+
+  const DeadlineBudgetOptions& options() const { return options_; }
+
+ private:
+  DeadlineBudgetOptions options_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_SERVE_DEADLINE_BUDGET_H_

@@ -1,0 +1,102 @@
+#include "serve/route_cache.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace l2r {
+
+uint64_t RouteCache::HashKey(const RouteCacheKey& key) {
+  const uint64_t packed =
+      (static_cast<uint64_t>(key.s) << 32) | static_cast<uint64_t>(key.d);
+  // Fold the 1-bit period in by re-mixing rather than stealing key bits.
+  return Mix64(packed ^ (0x9e3779b97f4a7c15ULL * (key.period + 1)));
+}
+
+size_t RouteCache::EntryBytes(const RouteResult& value) {
+  // Fixed struct + path payload + list/map node overhead estimate.
+  constexpr size_t kNodeOverhead = 96;
+  return sizeof(RouteResult) +
+         value.path.vertices.capacity() * sizeof(VertexId) + kNodeOverhead;
+}
+
+RouteCache::RouteCache(const RouteCacheOptions& options) {
+  const size_t shards =
+      RoundUpPow2(std::max<size_t>(1, options.num_shards));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ = options.capacity_bytes / shards;
+}
+
+bool RouteCache::Lookup(const RouteCacheKey& key, RouteResult* out) {
+  Shard& shard = ShardFor(HashKey(key));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->second;
+  return true;
+}
+
+void RouteCache::Insert(const RouteCacheKey& key, const RouteResult& value) {
+  // Copy outside the lock, and charge the byte budget from the stored
+  // copy: the caller's path vector may carry excess capacity, and the
+  // charge must equal the refund EntryBytes(victim.second) computes at
+  // eviction time or the shard's accounting drifts under churn.
+  std::list<std::pair<RouteCacheKey, RouteResult>> node;
+  node.emplace_back(key, value);
+  const size_t bytes = EntryBytes(node.back().second);
+
+  Shard& shard = ShardFor(HashKey(key));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Raced with another miss on the same key: the stored value is
+    // byte-identical (deterministic cold path), so just touch it.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (bytes > shard_capacity_) return;  // would never fit
+  while (shard.bytes + bytes > shard_capacity_ && !shard.lru.empty()) {
+    auto& victim = shard.lru.back();
+    shard.bytes -= EntryBytes(victim.second);
+    shard.map.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.splice(shard.lru.begin(), node);
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.inserts;
+}
+
+void RouteCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+    shard->bytes = 0;
+  }
+}
+
+RouteCache::Stats RouteCache::GetStats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.inserts += shard->inserts;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+}  // namespace l2r

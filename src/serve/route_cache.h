@@ -1,0 +1,118 @@
+#ifndef L2R_SERVE_ROUTE_CACHE_H_
+#define L2R_SERVE_ROUTE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/l2r.h"
+
+namespace l2r {
+
+/// Cache key: a query quantized to what the router actually consumes.
+/// Route's answer depends on (s, d) and the departure period only, so all
+/// departure times mapping to one period share an entry (use
+/// L2RRouter::EffectivePeriod to quantize).
+struct RouteCacheKey {
+  VertexId s = kInvalidVertex;
+  VertexId d = kInvalidVertex;
+  uint8_t period = 0;
+
+  bool operator==(const RouteCacheKey&) const = default;
+};
+
+struct RouteCacheOptions {
+  /// Total capacity across shards, in (approximate) bytes of cached
+  /// RouteResults. Eviction is per-shard LRU.
+  size_t capacity_bytes = 8u << 20;
+  /// Lock-striping width; rounded up to a power of two. More shards =
+  /// less contention, slightly worse per-shard LRU fidelity.
+  unsigned num_shards = 16;
+};
+
+/// Sharded, mutex-striped LRU cache of complete RouteResults. Serves
+/// repeated (source, dest, period) queries without touching the search
+/// kernels. The underlying router is immutable after Build, so entries
+/// never go stale; Clear() exists for completeness (e.g. swapping in a
+/// rebuilt router).
+///
+/// Determinism: Lookup returns a copy of exactly what Insert stored, and
+/// the serving layer only stores cold-path Route outputs — so a hit is
+/// byte-identical to recomputation and batch results stay independent of
+/// hit/miss interleaving.
+class RouteCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  explicit RouteCache(const RouteCacheOptions& options = {});
+
+  /// Copies the cached result for `key` into `*out` and marks the entry
+  /// most-recently-used. False on miss. (Non-const: a hit touches LRU
+  /// state.)
+  bool Lookup(const RouteCacheKey& key, RouteResult* out);
+
+  /// Inserts (or refreshes) `key`; evicts least-recently-used entries of
+  /// the shard until it fits. An entry larger than a whole shard is not
+  /// cached.
+  void Insert(const RouteCacheKey& key, const RouteResult& value);
+
+  void Clear();
+
+  /// Aggregated over shards; counters are exact, entries/bytes are a
+  /// consistent-per-shard snapshot.
+  Stats GetStats() const;
+
+  size_t NumShards() const { return shards_.size(); }
+  size_t CapacityBytes() const { return shards_.size() * shard_capacity_; }
+
+  /// Approximate heap footprint of one cached entry (used for the byte
+  /// budget; exposed so tests can reason about eviction thresholds).
+  static size_t EntryBytes(const RouteResult& value);
+
+ private:
+  struct KeyHash {
+    size_t operator()(const RouteCacheKey& key) const {
+      return static_cast<size_t>(RouteCache::HashKey(key));
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<RouteCacheKey, RouteResult>> lru;
+    std::unordered_map<
+        RouteCacheKey,
+        std::list<std::pair<RouteCacheKey, RouteResult>>::iterator, KeyHash>
+        map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  static uint64_t HashKey(const RouteCacheKey& key);
+  Shard& ShardFor(uint64_t hash) {
+    return *shards_[hash & (shards_.size() - 1)];
+  }
+
+  /// Shards are heap-allocated: mutexes are neither movable nor copyable,
+  /// and a stable address per shard keeps iterators/locks simple.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_capacity_ = 0;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_SERVE_ROUTE_CACHE_H_

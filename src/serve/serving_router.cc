@@ -1,0 +1,57 @@
+#include "serve/serving_router.h"
+
+#include "common/check.h"
+
+namespace l2r {
+
+ServingRouter::ServingRouter(const L2RRouter* router,
+                             const ServingRouterOptions& options)
+    : router_(router), budget_(options.deadline) {
+  L2R_CHECK(router != nullptr);
+  if (options.enable_route_cache) {
+    cache_ = std::make_unique<RouteCache>(options.route_cache);
+  }
+  if (options.enable_stitch_memo) {
+    memo_ = std::make_unique<StitchMemo>(options.stitch_memo);
+  }
+  hooks_.memo = memo_.get();
+  hooks_.budget = budget_.ToQueryBudget();
+}
+
+Result<RouteResult> ServingRouter::Route(L2RQueryContext* ctx, VertexId s,
+                                         VertexId d, double departure_time) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  RouteCacheKey key;
+  if (cache_ != nullptr) {
+    key = RouteCacheKey{
+        s, d,
+        static_cast<uint8_t>(router_->EffectivePeriod(departure_time))};
+    RouteResult hit;
+    if (cache_->Lookup(key, &hit)) return hit;
+  }
+  Result<RouteResult> result =
+      router_->Route(ctx, s, d, departure_time, hooks_);
+  if (result.ok()) {
+    if (result->budget_degraded) {
+      budget_degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (cache_ != nullptr) cache_->Insert(key, *result);
+  }
+  return result;
+}
+
+ServingRouter::Stats ServingRouter::GetStats() const {
+  Stats stats;
+  if (cache_ != nullptr) stats.cache = cache_->GetStats();
+  if (memo_ != nullptr) stats.memo = memo_->GetStats();
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.budget_degraded = budget_degraded_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ServingRouter::Clear() {
+  if (cache_ != nullptr) cache_->Clear();
+  if (memo_ != nullptr) memo_->Clear();
+}
+
+}  // namespace l2r

@@ -1,0 +1,75 @@
+#ifndef L2R_SERVE_SERVING_ROUTER_H_
+#define L2R_SERVE_SERVING_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/l2r.h"
+#include "serve/deadline_budget.h"
+#include "serve/route_cache.h"
+#include "serve/stitch_memo.h"
+
+namespace l2r {
+
+struct ServingRouterOptions {
+  bool enable_route_cache = true;
+  RouteCacheOptions route_cache;
+  bool enable_stitch_memo = true;
+  StitchMemoOptions stitch_memo;
+  DeadlineBudgetOptions deadline;
+};
+
+/// The serving layer: sits between BatchRouter (or any front-end) and
+/// L2RRouter. A query first consults the sharded RouteCache keyed on
+/// (s, d, EffectivePeriod); a miss runs the cold path with the stitch
+/// memo and the deadline budget's settle cap threaded through ServeHooks,
+/// then populates the cache.
+///
+/// Determinism guarantees (all required by BatchRouter's contract):
+///  - cache hits return byte-identical copies of cold-path results;
+///  - memo hits equal recomputation (pure functions of router state);
+///  - the budget is a settle-count cap, so degrade decisions are
+///    reproducible — RouteResult::budget_degraded is part of the result,
+///    not an observability side channel.
+/// Errors (invalid queries, unreachable pairs) are never cached.
+class ServingRouter final : public QueryService {
+ public:
+  struct Stats {
+    RouteCache::Stats cache;
+    StitchMemo::Stats memo;
+    uint64_t queries = 0;
+    uint64_t budget_degraded = 0;
+  };
+
+  /// `router` must outlive the ServingRouter.
+  explicit ServingRouter(const L2RRouter* router,
+                         const ServingRouterOptions& options = {});
+
+  const L2RRouter& router() const override { return *router_; }
+
+  Result<RouteResult> Route(L2RQueryContext* ctx, VertexId s, VertexId d,
+                            double departure_time) override;
+
+  Stats GetStats() const;
+  /// Drops cached routes and memoized stitch state (the underlying router
+  /// is immutable, so this is only needed when swapping routers).
+  void Clear();
+
+  bool cache_enabled() const { return cache_ != nullptr; }
+  bool memo_enabled() const { return memo_ != nullptr; }
+  const DeadlineBudget& deadline_budget() const { return budget_; }
+
+ private:
+  const L2RRouter* router_;
+  std::unique_ptr<RouteCache> cache_;  ///< null when disabled
+  std::unique_ptr<StitchMemo> memo_;   ///< null when disabled
+  DeadlineBudget budget_;
+  ServeHooks hooks_;  ///< memo + settle cap, fixed at construction
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> budget_degraded_{0};
+};
+
+}  // namespace l2r
+
+#endif  // L2R_SERVE_SERVING_ROUTER_H_

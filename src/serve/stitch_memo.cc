@@ -1,0 +1,135 @@
+#include "serve/stitch_memo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace l2r {
+
+namespace {
+
+uint64_t PackPair(VertexId a, VertexId b) {
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+
+}  // namespace
+
+size_t StitchMemo::EdgeKeyHash::operator()(const EdgeKey& k) const {
+  return static_cast<size_t>(
+      Mix64(PackPair(k.cur, k.dest) ^ (0x9e3779b97f4a7c15ULL * (k.edge + 1))));
+}
+
+size_t StitchMemo::PathBytes(const std::vector<VertexId>& path) {
+  constexpr size_t kNodeOverhead = 80;
+  return path.capacity() * sizeof(VertexId) + kNodeOverhead;
+}
+
+StitchMemo::StitchMemo(const StitchMemoOptions& options) {
+  const size_t shards = RoundUpPow2(std::max<size_t>(1, options.num_shards));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ = options.capacity_bytes / shards;
+}
+
+bool StitchMemo::FindEdgeChoice(int period_index, uint32_t edge, VertexId cur,
+                                VertexId dest,
+                                std::vector<VertexId>* out) const {
+  L2R_DCHECK(period_index >= 0 && period_index < kNumTimePeriods);
+  const EdgeKey key{edge, cur, dest};
+  const Shard& shard = ShardAt(EdgeKeyHash{}(key));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.edge_choice[period_index].find(key);
+  if (it == shard.edge_choice[period_index].end()) {
+    ++shard.edge_misses;
+    return false;
+  }
+  ++shard.edge_hits;
+  *out = it->second;
+  return true;
+}
+
+void StitchMemo::RememberEdgeChoice(int period_index, uint32_t edge,
+                                    VertexId cur, VertexId dest,
+                                    const std::vector<VertexId>& path) {
+  L2R_DCHECK(period_index >= 0 && period_index < kNumTimePeriods);
+  L2R_DCHECK(!path.empty());
+  const EdgeKey key{edge, cur, dest};
+  const size_t bytes = PathBytes(path);
+  Shard& shard = ShardAt(EdgeKeyHash{}(key));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.bytes + bytes > shard_capacity_) {
+    ++shard.rejected_full;
+    return;
+  }
+  auto [it, inserted] = shard.edge_choice[period_index].emplace(key, path);
+  (void)it;
+  if (inserted) shard.bytes += bytes;
+}
+
+bool StitchMemo::FindConnector(int period_index, VertexId from, VertexId to,
+                               std::vector<VertexId>* out) const {
+  L2R_DCHECK(period_index >= 0 && period_index < kNumTimePeriods);
+  const uint64_t key = PackPair(from, to);
+  const Shard& shard = ShardAt(static_cast<size_t>(Mix64(key)));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.connector[period_index].find(key);
+  if (it == shard.connector[period_index].end()) {
+    ++shard.connector_misses;
+    return false;
+  }
+  ++shard.connector_hits;
+  *out = it->second;
+  return true;
+}
+
+void StitchMemo::RememberConnector(int period_index, VertexId from,
+                                   VertexId to,
+                                   const std::vector<VertexId>& path) {
+  L2R_DCHECK(period_index >= 0 && period_index < kNumTimePeriods);
+  L2R_DCHECK(!path.empty());
+  const uint64_t key = PackPair(from, to);
+  const size_t bytes = PathBytes(path);
+  Shard& shard = ShardAt(static_cast<size_t>(Mix64(key)));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.bytes + bytes > shard_capacity_) {
+    ++shard.rejected_full;
+    return;
+  }
+  auto [it, inserted] = shard.connector[period_index].emplace(key, path);
+  (void)it;
+  if (inserted) shard.bytes += bytes;
+}
+
+void StitchMemo::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (int p = 0; p < kNumTimePeriods; ++p) {
+      shard->edge_choice[p].clear();
+      shard->connector[p].clear();
+    }
+    shard->bytes = 0;
+  }
+}
+
+StitchMemo::Stats StitchMemo::GetStats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.edge_hits += shard->edge_hits;
+    stats.edge_misses += shard->edge_misses;
+    stats.connector_hits += shard->connector_hits;
+    stats.connector_misses += shard->connector_misses;
+    stats.rejected_full += shard->rejected_full;
+    stats.bytes += shard->bytes;
+    for (int p = 0; p < kNumTimePeriods; ++p) {
+      stats.entries +=
+          shard->edge_choice[p].size() + shard->connector[p].size();
+    }
+  }
+  return stats;
+}
+
+}  // namespace l2r

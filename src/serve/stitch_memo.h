@@ -1,0 +1,105 @@
+#ifndef L2R_SERVE_STITCH_MEMO_H_
+#define L2R_SERVE_STITCH_MEMO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/serve_hooks.h"
+
+namespace l2r {
+
+struct StitchMemoOptions {
+  /// Total byte budget across shards and periods. The memo is insert-only
+  /// (values are recomputable, so a full memo simply stops growing rather
+  /// than paying eviction bookkeeping on the hot path).
+  size_t capacity_bytes = 4u << 20;
+  /// Lock-striping width; rounded up to a power of two.
+  unsigned num_shards = 16;
+};
+
+/// Concurrent memo for the region-path stitcher: remembers (1) which
+/// stored path BestEdgePath chose for (region edge, entry vertex, query
+/// destination) — skipping the scan that resolves every stored path of
+/// the edge — and (2) connector paths (from, to) — skipping the
+/// inner-path scan / connector Dijkstra. Tables are per period: the two
+/// period graphs index edges independently and use different weights.
+///
+/// Values are pure functions of the immutable router state, so hits are
+/// byte-identical to recomputation (the determinism contract of
+/// StitchMemoIface). Find copies the value out under the shard lock.
+class StitchMemo final : public StitchMemoIface {
+ public:
+  struct Stats {
+    uint64_t edge_hits = 0;
+    uint64_t edge_misses = 0;
+    uint64_t connector_hits = 0;
+    uint64_t connector_misses = 0;
+    uint64_t rejected_full = 0;  ///< inserts dropped by the byte budget
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  explicit StitchMemo(const StitchMemoOptions& options = {});
+
+  bool FindEdgeChoice(int period_index, uint32_t edge, VertexId cur,
+                      VertexId dest,
+                      std::vector<VertexId>* out) const override;
+  void RememberEdgeChoice(int period_index, uint32_t edge, VertexId cur,
+                          VertexId dest,
+                          const std::vector<VertexId>& path) override;
+  bool FindConnector(int period_index, VertexId from, VertexId to,
+                     std::vector<VertexId>* out) const override;
+  void RememberConnector(int period_index, VertexId from, VertexId to,
+                         const std::vector<VertexId>& path) override;
+
+  void Clear();
+  Stats GetStats() const;
+
+ private:
+  /// 96-bit logical keys, stored as (mixed shard hash, exact triple).
+  struct EdgeKey {
+    uint32_t edge = 0;
+    VertexId cur = 0;
+    VertexId dest = 0;
+    bool operator==(const EdgeKey&) const = default;
+  };
+  struct EdgeKeyHash {
+    size_t operator()(const EdgeKey& k) const;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Index 0/1 = off-peak/peak tables.
+    std::unordered_map<EdgeKey, std::vector<VertexId>, EdgeKeyHash>
+        edge_choice[kNumTimePeriods];
+    std::unordered_map<uint64_t, std::vector<VertexId>>
+        connector[kNumTimePeriods];
+    size_t bytes = 0;
+    /// Hit/miss tallies are bumped from the const Find path (under mu).
+    mutable uint64_t edge_hits = 0;
+    mutable uint64_t edge_misses = 0;
+    mutable uint64_t connector_hits = 0;
+    mutable uint64_t connector_misses = 0;
+    uint64_t rejected_full = 0;
+  };
+
+  static size_t PathBytes(const std::vector<VertexId>& path);
+
+  const Shard& ShardAt(size_t hash) const {
+    return *shards_[hash & (shards_.size() - 1)];
+  }
+  Shard& ShardAt(size_t hash) {
+    return *shards_[hash & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_capacity_ = 0;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_SERVE_STITCH_MEMO_H_

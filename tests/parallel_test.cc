@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -170,6 +171,97 @@ TEST(WorkspacePoolTest, StableUnderParallelCheckout) {
   EXPECT_EQ(pool.IdleCount(), pool.CreatedCount());
 }
 
+TEST(WorkspacePoolTest, LeaseReturnedOnDifferentThreadIsSafe) {
+  // The documented contract: a lease may migrate threads; the pool mutex
+  // publishes the releasing thread's writes to the next acquirer.
+  WorkspacePool<std::vector<int>> pool(
+      [] { return std::make_unique<std::vector<int>>(8, 0); });
+  auto lease = pool.Acquire();
+  std::thread other([moved = std::move(lease)]() mutable {
+    (*moved)[0] = 1234;
+    // `moved` releases here, on a thread that never called Acquire.
+  });
+  other.join();
+  EXPECT_EQ(pool.IdleCount(), 1u);
+  auto again = pool.Acquire();
+  EXPECT_EQ((*again)[0], 1234);  // the other thread's write is visible
+  EXPECT_EQ(pool.CreatedCount(), 1u);
+}
+
+TEST(WorkspacePoolTest, CrossThreadReturnContentionStress) {
+  // Producers acquire and stamp objects, consumers validate and release
+  // them — every return happens on a different thread than its checkout,
+  // under heavy Acquire/Return contention. A missing happens-before edge
+  // shows up as a torn stamp; lost objects show up in the idle count.
+  using Scratch = std::vector<uint64_t>;
+  WorkspacePool<Scratch> pool(
+      [] { return std::make_unique<Scratch>(64, 0); });
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kOpsPerProducer = 2000;
+  std::mutex mu;
+  std::vector<WorkspacePool<Scratch>::Lease> handoff;
+  std::atomic<int> produced{0};
+  std::atomic<int> consumed{0};
+  std::atomic<int> torn{0};
+  std::atomic<uint64_t> next_stamp{1};
+  std::atomic<bool> producers_done{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOpsPerProducer; ++i) {
+        auto lease = pool.Acquire();
+        const uint64_t stamp = next_stamp.fetch_add(1);
+        for (uint64_t& slot : *lease) slot = stamp;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          handoff.push_back(std::move(lease));
+        }
+        produced.fetch_add(1);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        WorkspacePool<Scratch>::Lease lease;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!handoff.empty()) {
+            lease = std::move(handoff.back());
+            handoff.pop_back();
+          }
+        }
+        if (!lease) {
+          if (producers_done.load() && consumed.load() == produced.load()) {
+            return;
+          }
+          std::this_thread::yield();
+          continue;
+        }
+        const uint64_t stamp = (*lease)[0];
+        for (const uint64_t slot : *lease) {
+          if (slot != stamp) torn.fetch_add(1);
+        }
+        consumed.fetch_add(1);
+        // `lease` releases here — a thread that did not check it out.
+      }
+    });
+  }
+  for (size_t i = 0; i < static_cast<size_t>(kProducers); ++i) {
+    threads[i].join();
+  }
+  producers_done.store(true);
+  for (size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(consumed.load(), kProducers * kOpsPerProducer);
+  // No object leaked or double-returned: everything created is idle again.
+  EXPECT_EQ(pool.IdleCount(), pool.CreatedCount());
+  EXPECT_GE(pool.CreatedCount(), 1u);
+}
+
 // ---------- FlatMap64 ----------
 
 TEST(FlatMap64Test, InsertFindRoundTrip) {
@@ -215,6 +307,92 @@ TEST(FlatMap64Test, ZeroKeyIsAValidKey) {
   map.Insert(0, 11);
   ASSERT_NE(map.Find(0), nullptr);
   EXPECT_EQ(*map.Find(0), 11u);
+}
+
+TEST(FlatMap64Test, FindAfterRehashPreventsDuplicateInsert) {
+  // The accumulate idiom every call site uses: Find first, Insert only on
+  // miss. A rehash that "lost" a key would make the caller insert a
+  // duplicate; walking every key through multiple growth waves proves
+  // relocated slots stay findable.
+  FlatMap64 map(/*expected=*/4);  // start tiny: maximize rehash count
+  constexpr uint64_t kKeys = 3000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_EQ(map.Find(k), nullptr) << "key " << k << " pre-insert";
+    map.Insert(k, static_cast<uint32_t>(k));
+    // Spot-check older keys mid-growth, not just at the end.
+    if (k % 257 == 0 && k > 0) {
+      const uint32_t* v = map.Find(k / 2);
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(*v, static_cast<uint32_t>(k / 2));
+    }
+  }
+  EXPECT_EQ(map.size(), kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    const uint32_t* v = map.Find(k);
+    ASSERT_NE(v, nullptr) << "key " << k << " lost in rehash";
+    EXPECT_EQ(*v, static_cast<uint32_t>(k));
+  }
+}
+
+TEST(FlatMap64Test, ValueUpdatesSurviveRehash) {
+  // Values bumped through Find must persist across growth (the traversal
+  // counters of the region-graph accumulators).
+  FlatMap64 map(4);
+  for (uint64_t k = 0; k < 512; ++k) {
+    if (uint32_t* v = map.Find(k % 37)) {
+      ++*v;
+    } else {
+      map.Insert(k % 37, 1);
+    }
+    map.Insert(1000 + k, 0);  // growth pressure between updates
+  }
+  for (uint64_t k = 0; k < 37; ++k) {
+    const uint32_t* v = map.Find(k);
+    ASSERT_NE(v, nullptr);
+    // ceil(512/37): keys < 512 % 37 get one extra round.
+    EXPECT_EQ(*v, (512 / 37) + (k < 512 % 37 ? 1u : 0u)) << "key " << k;
+  }
+}
+
+TEST(FlatMap64Test, DenseSideArrayIndicesStayStableAcrossGrowth) {
+  // The transfer-center / edge_index_ pattern: the map stores indices
+  // into a dense side vector, appended in first-seen order. Rehashing
+  // relocates slots but must never change stored values, or the sorted
+  // side vector would point at the wrong records.
+  FlatMap64 map(4);
+  std::vector<uint64_t> dense;  // dense[i] = key inserted with value i
+  // First-seen order with repeats, bit-packed like DirectedKey(a, b).
+  for (uint64_t round = 0; round < 8; ++round) {
+    for (uint64_t a = 0; a < 40; ++a) {
+      const uint64_t key = (a << 32) | ((a * 7 + round) % 13);
+      if (map.Find(key) == nullptr) {
+        map.Insert(key, static_cast<uint32_t>(dense.size()));
+        dense.push_back(key);
+      }
+    }
+  }
+  ASSERT_EQ(map.size(), dense.size());
+  for (size_t i = 0; i < dense.size(); ++i) {
+    const uint32_t* v = map.Find(dense[i]);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, static_cast<uint32_t>(i)) << "dense slot " << i;
+  }
+}
+
+TEST(FlatMap64Test, ExpectedCapacityPreSizesForLoadFactor) {
+  // Construction with `expected` must honor the <= 0.7 load factor from
+  // the start: inserting exactly `expected` keys still round-trips.
+  for (const size_t expected : {0u, 1u, 16u, 100u, 1000u}) {
+    FlatMap64 map(expected);
+    for (uint64_t k = 0; k < expected; ++k) {
+      map.Insert(k * 0x10001ULL, static_cast<uint32_t>(k));
+    }
+    for (uint64_t k = 0; k < expected; ++k) {
+      const uint32_t* v = map.Find(k * 0x10001ULL);
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(*v, static_cast<uint32_t>(k));
+    }
+  }
 }
 
 }  // namespace

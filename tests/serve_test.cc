@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/batch_router.h"
+#include "core/l2r.h"
+#include "eval/datasets.h"
+#include "serve/deadline_budget.h"
+#include "serve/route_cache.h"
+#include "serve/serving_router.h"
+#include "serve/stitch_memo.h"
+#include "test_util.h"
+
+namespace l2r {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RouteCache units (no dataset needed).
+
+RouteResult MakeResult(VertexId a, size_t hops) {
+  RouteResult r;
+  r.path.vertices.resize(hops + 1);
+  for (size_t i = 0; i <= hops; ++i) {
+    r.path.vertices[i] = a + static_cast<VertexId>(i);
+  }
+  r.path.cost = static_cast<double>(hops);
+  r.method = RouteMethod::kRegionGraph;
+  r.region_hops = hops;
+  return r;
+}
+
+TEST(RouteCacheTest, HitReturnsExactInsertedValue) {
+  RouteCache cache;
+  const RouteCacheKey key{7, 9, 1};
+  const RouteResult want = MakeResult(7, 5);
+  RouteResult got;
+  EXPECT_FALSE(cache.Lookup(key, &got));
+  cache.Insert(key, want);
+  ASSERT_TRUE(cache.Lookup(key, &got));
+  EXPECT_TRUE(got == want);
+  const RouteCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(RouteCacheTest, PeriodIsPartOfTheKey) {
+  RouteCache cache;
+  const RouteResult offpeak = MakeResult(1, 3);
+  const RouteResult peak = MakeResult(100, 4);
+  cache.Insert(RouteCacheKey{1, 2, 0}, offpeak);
+  cache.Insert(RouteCacheKey{1, 2, 1}, peak);
+  RouteResult got;
+  ASSERT_TRUE(cache.Lookup(RouteCacheKey{1, 2, 0}, &got));
+  EXPECT_TRUE(got == offpeak);
+  ASSERT_TRUE(cache.Lookup(RouteCacheKey{1, 2, 1}, &got));
+  EXPECT_TRUE(got == peak);
+}
+
+TEST(RouteCacheTest, LruEvictionRespectsByteCapacityAndRecency) {
+  const RouteResult r = MakeResult(0, 8);
+  const size_t entry = RouteCache::EntryBytes(r);
+  RouteCacheOptions options;
+  options.num_shards = 1;  // deterministic LRU order
+  options.capacity_bytes = 3 * entry;
+  RouteCache cache(options);
+  auto key = [](VertexId s) { return RouteCacheKey{s, s + 1, 0}; };
+  cache.Insert(key(1), MakeResult(1, 8));
+  cache.Insert(key(2), MakeResult(2, 8));
+  cache.Insert(key(3), MakeResult(3, 8));
+  RouteResult got;
+  ASSERT_TRUE(cache.Lookup(key(1), &got));  // touch 1: now 2 is LRU
+  cache.Insert(key(4), MakeResult(4, 8));   // evicts 2
+  EXPECT_TRUE(cache.Lookup(key(1), &got));
+  EXPECT_FALSE(cache.Lookup(key(2), &got));
+  EXPECT_TRUE(cache.Lookup(key(3), &got));
+  EXPECT_TRUE(cache.Lookup(key(4), &got));
+  const RouteCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LE(stats.bytes, options.capacity_bytes);
+}
+
+TEST(RouteCacheTest, ByteAccountingStaysExactUnderEvictionChurn) {
+  // The byte budget is charged from the stored copy, so source vectors
+  // carrying excess capacity must not leak phantom bytes into the shard
+  // accounting as entries churn through eviction.
+  RouteCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 3 * RouteCache::EntryBytes(MakeResult(0, 8));
+  RouteCache cache(options);
+  for (VertexId s = 0; s < 200; ++s) {
+    RouteResult r = MakeResult(s, 8);
+    r.path.vertices.reserve(64);  // excess caller-side capacity
+    cache.Insert(RouteCacheKey{s, s + 1, 0}, r);
+  }
+  const RouteCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 3u);  // full occupancy survives the churn
+  EXPECT_LE(stats.bytes, options.capacity_bytes);
+  EXPECT_EQ(stats.evictions, 200u - 3u);
+  // The most recent entries are still resident and intact.
+  RouteResult got;
+  ASSERT_TRUE(cache.Lookup(RouteCacheKey{199, 200, 0}, &got));
+  EXPECT_TRUE(got == MakeResult(199, 8));
+}
+
+TEST(RouteCacheTest, OversizeEntryIsNotCached) {
+  RouteCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 64;  // smaller than any entry
+  RouteCache cache(options);
+  cache.Insert(RouteCacheKey{1, 2, 0}, MakeResult(1, 50));
+  RouteResult got;
+  EXPECT_FALSE(cache.Lookup(RouteCacheKey{1, 2, 0}, &got));
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(RouteCacheTest, ConcurrentMixedLoadStaysConsistent) {
+  RouteCacheOptions options;
+  options.num_shards = 4;
+  options.capacity_bytes = 1u << 16;  // small: forces eviction under load
+  RouteCache cache(options);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<uint64_t> value_mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &value_mismatches, t] {
+      RouteResult got;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const VertexId s = static_cast<VertexId>((t * 7 + i) % 97);
+        const RouteCacheKey key{s, s + 1, static_cast<uint8_t>(i % 2)};
+        if (cache.Lookup(key, &got)) {
+          // Values are keyed deterministically, so a hit must match what
+          // any thread inserted for this key.
+          if (got.path.vertices.front() != s) ++value_mismatches;
+        } else {
+          cache.Insert(key, MakeResult(s, 4));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(value_mismatches.load(), 0u);
+  const RouteCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(stats.bytes, options.capacity_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// StitchMemo units.
+
+TEST(StitchMemoTest, EdgeChoiceAndConnectorRoundTripPerPeriod) {
+  StitchMemo memo;
+  const std::vector<VertexId> choice{3, 4, 5};
+  const std::vector<VertexId> connector{1, 2, 3};
+  std::vector<VertexId> got;
+  EXPECT_FALSE(memo.FindEdgeChoice(0, 11, 1, 9, &got));
+  memo.RememberEdgeChoice(0, 11, 1, 9, choice);
+  ASSERT_TRUE(memo.FindEdgeChoice(0, 11, 1, 9, &got));
+  EXPECT_EQ(got, choice);
+  // The other period's table is independent.
+  EXPECT_FALSE(memo.FindEdgeChoice(1, 11, 1, 9, &got));
+  // A different destination is a different key (the choice depends on the
+  // query's goal point).
+  EXPECT_FALSE(memo.FindEdgeChoice(0, 11, 1, 8, &got));
+
+  EXPECT_FALSE(memo.FindConnector(0, 1, 3, &got));
+  memo.RememberConnector(0, 1, 3, connector);
+  ASSERT_TRUE(memo.FindConnector(0, 1, 3, &got));
+  EXPECT_EQ(got, connector);
+  EXPECT_FALSE(memo.FindConnector(1, 1, 3, &got));
+
+  const StitchMemo::Stats stats = memo.GetStats();
+  EXPECT_EQ(stats.edge_hits, 1u);
+  EXPECT_EQ(stats.connector_hits, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(StitchMemoTest, FullMemoRejectsInsteadOfEvicting) {
+  StitchMemoOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 160;  // room for ~1 small path
+  StitchMemo memo(options);
+  memo.RememberConnector(0, 1, 2, {1, 2});
+  memo.RememberConnector(0, 3, 4, {3, 4});  // over budget: dropped
+  std::vector<VertexId> got;
+  EXPECT_TRUE(memo.FindConnector(0, 1, 2, &got));
+  EXPECT_FALSE(memo.FindConnector(0, 3, 4, &got));
+  const StitchMemo::Stats stats = memo.GetStats();
+  EXPECT_GE(stats.rejected_full, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// DeadlineBudget units.
+
+TEST(DeadlineBudgetTest, DisabledBudgetMeansNoCap) {
+  const DeadlineBudget budget{DeadlineBudgetOptions{}};
+  EXPECT_FALSE(budget.enabled());
+  EXPECT_EQ(budget.MaxPreferenceSettles(), 0u);
+  EXPECT_EQ(budget.ToQueryBudget().max_preference_settles, 0u);
+}
+
+TEST(DeadlineBudgetTest, CapDerivesFromMicrosecondsAndFloor) {
+  DeadlineBudgetOptions options;
+  options.fallback_budget_us = 100;
+  options.settles_per_us = 50;
+  options.min_settles = 256;
+  EXPECT_EQ(DeadlineBudget(options).MaxPreferenceSettles(), 5000u);
+  options.fallback_budget_us = 1;  // 50 settles, below the floor
+  EXPECT_EQ(DeadlineBudget(options).MaxPreferenceSettles(), 256u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving-layer behavior on a small built pipeline.
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec = CityDataset(0.08);
+    spec.network.city_width_m = 8000;
+    spec.network.city_height_m = 6000;
+    auto built = BuildDataset(spec);
+    L2R_CHECK(built.ok());
+    dataset_ = new BuiltDataset(std::move(built).value());
+    L2ROptions options;
+    auto router = L2RRouter::Build(&dataset_->world.net,
+                                   dataset_->split.train, options);
+    L2R_CHECK(router.ok());
+    router_ = router->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete router_;
+    router_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static std::vector<BatchQuery> MakeQueries(size_t cap) {
+    std::vector<BatchQuery> queries;
+    for (const MatchedTrajectory& t : dataset_->split.test) {
+      if (queries.size() >= cap) break;
+      if (t.path.size() < 3 || t.path.front() == t.path.back()) continue;
+      queries.push_back(
+          BatchQuery{t.path.front(), t.path.back(), t.departure_time});
+    }
+    queries.push_back(BatchQuery{0, 0, 0});  // invalid: s == d
+    return queries;
+  }
+
+  /// Cold-path ground truth through the plain Route API.
+  static std::vector<Result<RouteResult>> PlainResults(
+      const std::vector<BatchQuery>& queries) {
+    std::vector<Result<RouteResult>> out;
+    L2RQueryContext ctx = router_->MakeContext();
+    for (const BatchQuery& q : queries) {
+      out.push_back(router_->Route(&ctx, q.s, q.d, q.departure_time));
+    }
+    return out;
+  }
+
+  static void ExpectSameResult(const Result<RouteResult>& want,
+                               const Result<RouteResult>& got, size_t i) {
+    ASSERT_EQ(want.ok(), got.ok()) << "slot " << i;
+    if (!want.ok()) {
+      EXPECT_EQ(want.status().code(), got.status().code()) << "slot " << i;
+      return;
+    }
+    EXPECT_EQ(want->path.vertices, got->path.vertices) << "slot " << i;
+    EXPECT_EQ(want->path.cost, got->path.cost) << "slot " << i;
+    EXPECT_EQ(want->method, got->method) << "slot " << i;
+    EXPECT_TRUE(*want == *got) << "slot " << i;
+  }
+
+  static BuiltDataset* dataset_;
+  static L2RRouter* router_;
+};
+
+BuiltDataset* ServeTest::dataset_ = nullptr;
+L2RRouter* ServeTest::router_ = nullptr;
+
+TEST_F(ServeTest, CacheHitsAreByteIdenticalToColdRoutes) {
+  const std::vector<BatchQuery> queries = MakeQueries(40);
+  ASSERT_GT(queries.size(), 10u);
+  const auto want = PlainResults(queries);
+
+  ServingRouter serving(router_);
+  L2RQueryContext ctx = router_->MakeContext();
+  // Pass 1 populates the cache (all misses); pass 2 is all hits. Both
+  // must equal the cold-path truth exactly.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto got = serving.Route(&ctx, queries[i].s, queries[i].d,
+                                     queries[i].departure_time);
+      ExpectSameResult(want[i], got, i);
+    }
+  }
+  const ServingRouter::Stats stats = serving.GetStats();
+  size_t ok_queries = 0;
+  for (const auto& r : want) ok_queries += r.ok() ? 1 : 0;
+  // Every ok query hits on the second pass; errors are never cached.
+  EXPECT_EQ(stats.cache.hits, ok_queries);
+  EXPECT_EQ(stats.queries, 2 * queries.size());
+}
+
+TEST_F(ServeTest, BatchServingMatchesPlainBatchFor1And4Threads) {
+  const std::vector<BatchQuery> queries = MakeQueries(40);
+  const auto want = PlainResults(queries);
+
+  for (const unsigned threads : {1u, 4u}) {
+    ServingRouter serving(router_);
+    BatchRouter batch(&serving, threads);
+    // Cold batch (misses) and warm batch (hits) both match the plain
+    // sequential truth byte for byte.
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto got = batch.RouteAll(queries);
+      ASSERT_EQ(got.size(), queries.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ExpectSameResult(want[i], got[i], i);
+      }
+    }
+    EXPECT_GT(serving.GetStats().cache.hits, 0u);
+  }
+}
+
+TEST_F(ServeTest, StitchMemoAloneDoesNotChangeResults) {
+  const std::vector<BatchQuery> queries = MakeQueries(40);
+  const auto want = PlainResults(queries);
+
+  ServingRouterOptions options;
+  options.enable_route_cache = false;  // isolate the memo
+  ServingRouter serving(router_, options);
+  ASSERT_TRUE(serving.memo_enabled());
+  ASSERT_FALSE(serving.cache_enabled());
+  L2RQueryContext ctx = router_->MakeContext();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto got = serving.Route(&ctx, queries[i].s, queries[i].d,
+                                     queries[i].departure_time);
+      ExpectSameResult(want[i], got, i);
+    }
+  }
+  // The second pass re-stitches the same region paths, so the memo must
+  // have been consulted successfully.
+  const StitchMemo::Stats stats = serving.GetStats().memo;
+  EXPECT_GT(stats.edge_hits + stats.connector_hits, 0u);
+}
+
+TEST_F(ServeTest, BudgetDegradeIsDeterministicAndFlagged) {
+  const std::vector<BatchQuery> queries = MakeQueries(40);
+  const auto want = PlainResults(queries);
+  size_t plain_pref_routes = 0;
+  for (const auto& r : want) {
+    if (r.ok() && r->method == RouteMethod::kPreferenceRoute) {
+      ++plain_pref_routes;
+    }
+  }
+
+  ServingRouterOptions options;
+  options.enable_route_cache = false;
+  options.enable_stitch_memo = false;
+  // A 1-settle cap: any attempted Algorithm-2 rebuild exhausts the budget
+  // immediately and must degrade.
+  options.deadline.fallback_budget_us = 0.01;
+  options.deadline.settles_per_us = 1;
+  options.deadline.min_settles = 1;
+  ServingRouter serving(router_, options);
+  ASSERT_EQ(serving.deadline_budget().MaxPreferenceSettles(), 1u);
+
+  L2RQueryContext ctx = router_->MakeContext();
+  std::vector<Result<RouteResult>> first;
+  for (const BatchQuery& q : queries) {
+    first.push_back(serving.Route(&ctx, q.s, q.d, q.departure_time));
+  }
+  size_t degraded = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(first[i].ok(), want[i].ok()) << "slot " << i;
+    if (!first[i].ok()) continue;
+    if (first[i]->budget_degraded) {
+      ++degraded;
+      // Degrades land on the stitched path or the fastest fallback, never
+      // on a (budget-blown) preference route.
+      EXPECT_NE(first[i]->method, RouteMethod::kPreferenceRoute)
+          << "slot " << i;
+    } else {
+      ExpectSameResult(want[i], first[i], i);
+    }
+  }
+  // Every query the cold path answered via Algorithm 2 must have degraded
+  // under the 1-settle cap (queries whose rebuild failed outright on the
+  // cold path can add more: their capped search exhausts before proving
+  // NotFound).
+  EXPECT_GE(degraded, plain_pref_routes);
+  EXPECT_EQ(serving.GetStats().budget_degraded, degraded);
+
+  // Degrade decisions are result state, not timing: a re-run reproduces
+  // every slot exactly.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto again = serving.Route(&ctx, queries[i].s, queries[i].d,
+                                     queries[i].departure_time);
+    ExpectSameResult(first[i], again, i);
+  }
+}
+
+TEST_F(ServeTest, DegradedRoutesAreCachedConsistently) {
+  const std::vector<BatchQuery> queries = MakeQueries(40);
+  ServingRouterOptions options;
+  options.deadline.fallback_budget_us = 0.01;
+  options.deadline.settles_per_us = 1;
+  options.deadline.min_settles = 1;
+  ServingRouter serving(router_, options);
+  L2RQueryContext ctx = router_->MakeContext();
+  std::vector<Result<RouteResult>> first;
+  for (const BatchQuery& q : queries) {
+    first.push_back(serving.Route(&ctx, q.s, q.d, q.departure_time));
+  }
+  // Warm pass: hits return the same (possibly degraded) results the miss
+  // pass computed and cached.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto again = serving.Route(&ctx, queries[i].s, queries[i].d,
+                                     queries[i].departure_time);
+    ExpectSameResult(first[i], again, i);
+  }
+}
+
+}  // namespace
+}  // namespace l2r

@@ -15,6 +15,7 @@
 #include "mapmatch/hmm_matcher.h"
 #include "pref/similarity.h"
 #include "roadnet/spatial_grid.h"
+#include "serve/serving_router.h"
 #include "traj/trajectory.h"
 
 namespace l2r {
@@ -42,6 +43,17 @@ TEST(L2RSmokeTest, EndToEndBuildAndRoute) {
                                  probe.departure_time);
   ASSERT_TRUE(routed.ok()) << routed.status();
   ASSERT_GE(routed->path.vertices.size(), 2u);
+
+  // serve: the same query through the caching layer — miss then hit, both
+  // byte-identical to the cold route.
+  ServingRouter serving(router->get());
+  for (int pass = 0; pass < 2; ++pass) {
+    auto served = serving.Route(&ctx, probe.path.front(), probe.path.back(),
+                                probe.departure_time);
+    ASSERT_TRUE(served.ok()) << served.status();
+    EXPECT_TRUE(*served == *routed);
+  }
+  EXPECT_EQ(serving.GetStats().cache.hits, 1u);
 
   // baselines (+ routing): the fastest baseline answers the same query.
   FastestRouter fastest(net);
