@@ -3,9 +3,12 @@
 // and fallback queries), reports QPS plus per-query latency percentiles
 // and multi-core scaling (t = 1, 2, 4, 8), measures the serving-cache
 // layer on a skewed repeated-query workload (cache off vs on, hit rate,
-// evictions, budget degrades), and writes BENCH_query_throughput.json so
-// the perf trajectory accumulates across PRs (see README "Benchmarking"
-// for the schema).
+// evictions, budget degrades), runs the named scenario suite
+// (bench/workloads.h: uniform / zipf / commute_burst / adversarial_cold /
+// duplicate_heavy) with batch-level dedup off vs on plus a
+// single-flight determinism ladder at t = 1/2/4/8, and writes
+// BENCH_query_throughput.json so the perf trajectory accumulates across
+// PRs (see README "Benchmarking" for the schema).
 //
 // Environment knobs: L2R_BENCH_SCALE (default 0.3), L2R_BENCH_QUERIES
 // (default 1200), L2R_BENCH_OUT (default BENCH_query_throughput.json),
@@ -16,6 +19,7 @@
 #include <cstdlib>
 #include <ctime>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bench_util.h"
@@ -24,6 +28,7 @@
 #include "common/timer.h"
 #include "core/batch_router.h"
 #include "serve/serving_router.h"
+#include "workloads.h"
 
 using namespace l2r;
 
@@ -60,6 +65,24 @@ struct RunStats {
   unsigned threads = 0;
   double qps = 0;
   double best_batch_seconds = 0;
+};
+
+/// Per-scenario measurements (bench/workloads.h suite).
+struct ScenarioReport {
+  std::string name;
+  size_t slots = 0;
+  size_t distinct_used = 0;
+  double duplicate_fraction = 0;
+  double off_qps = 0;
+  double off_mean_us = 0;
+  double on_qps = 0;
+  double on_mean_us = 0;
+  uint64_t unique_routed = 0;
+  uint64_t duplicates_collapsed = 0;
+  uint64_t sf_leaders = 0;
+  uint64_t sf_coalesced = 0;
+  bool coalesced_identical = true;  ///< dedup-on results == dedup-off
+  bool deterministic = true;        ///< single-flight ladder == reference
 };
 
 struct LatencySummary {
@@ -292,6 +315,100 @@ int main() {
   std::printf("[determinism] results across thread counts: %s\n",
               deterministic ? "identical" : "DIVERGED");
 
+  // --- Scenario workload suite: named traffic shapes over the distinct
+  // query pool. Each scenario is measured with batch-level dedup off and
+  // on (bare router, t = 1, so the delta is pure dedup), cross-checked
+  // for byte-identical results, and then raced through the single-flight
+  // serving layer (cache and memo off, so every slot takes the coalescing
+  // path) at t = 1/2/4/8 against the dedup-off reference.
+  const size_t scenario_slots = 2 * distinct;
+  const std::vector<bench::Scenario> scenarios =
+      bench::BuildScenarios(distinct, scenario_slots, 4242);
+  std::vector<ScenarioReport> scenario_reports;
+  bool scenarios_ok = true;
+  for (const bench::Scenario& sc : scenarios) {
+    ScenarioReport rep;
+    rep.name = sc.name;
+    rep.slots = sc.order.size();
+    rep.duplicate_fraction = bench::DuplicateFraction(sc.order);
+    rep.distinct_used =
+        std::unordered_set<size_t>(sc.order.begin(), sc.order.end()).size();
+    std::vector<BatchQuery> sq;
+    sq.reserve(sc.order.size());
+    for (const size_t index : sc.order) sq.push_back(queries[index]);
+
+    // Dedup off: reference results + timing.
+    std::vector<Result<RouteResult>> sc_reference;
+    {
+      BatchRouter batch(&l2r, BatchRouterOptions{1, false});
+      sc_reference = batch.RouteAll(sq);  // warm-up + reference
+      double best = kInfCost;
+      for (int rep_i = 0; rep_i < 2; ++rep_i) {
+        Timer t;
+        (void)batch.RouteAll(sq);
+        best = std::min(best, t.ElapsedSeconds());
+      }
+      rep.off_qps = static_cast<double>(sq.size()) / best;
+      rep.off_mean_us = best * 1e6 / static_cast<double>(sq.size());
+    }
+
+    // Dedup on: identical results, fewer routed queries.
+    {
+      BatchRouter batch(&l2r, BatchRouterOptions{1, true});
+      const auto got = batch.RouteAll(sq);
+      for (size_t i = 0; i < got.size(); ++i) {
+        if (!SameResult(sc_reference[i], got[i])) {
+          rep.coalesced_identical = false;
+          break;
+        }
+      }
+      rep.duplicates_collapsed = batch.DuplicatesCollapsed();
+      rep.unique_routed = sq.size() - rep.duplicates_collapsed;
+      double best = kInfCost;
+      for (int rep_i = 0; rep_i < 2; ++rep_i) {
+        Timer t;
+        (void)batch.RouteAll(sq);
+        best = std::min(best, t.ElapsedSeconds());
+      }
+      rep.on_qps = static_cast<double>(sq.size()) / best;
+      rep.on_mean_us = best * 1e6 / static_cast<double>(sq.size());
+    }
+
+    // Single-flight determinism ladder: every duplicate is a coalescing
+    // opportunity (no cache to soak them up), results must match the
+    // bare-router reference at every thread count.
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      ServingRouterOptions sf_options;
+      sf_options.enable_route_cache = false;
+      sf_options.enable_stitch_memo = false;
+      ServingRouter sf_serving(&l2r, sf_options);
+      BatchRouter batch(&sf_serving, BatchRouterOptions{threads, false});
+      const auto got = batch.RouteAll(sq);
+      for (size_t i = 0; i < got.size(); ++i) {
+        if (!SameResult(sc_reference[i], got[i])) {
+          rep.deterministic = false;
+          break;
+        }
+      }
+      const SingleFlight::Stats sf = sf_serving.GetStats().single_flight;
+      rep.sf_leaders += sf.leaders;
+      rep.sf_coalesced += sf.coalesced;
+    }
+
+    scenarios_ok =
+        scenarios_ok && rep.coalesced_identical && rep.deterministic;
+    std::printf(
+        "[scenario %-16s] %zu slots (%zu distinct, dup %.2f): "
+        "dedup off %.0f qps / on %.0f qps (%llu collapsed), "
+        "coalesced %s, ladder %s\n",
+        sc.name.c_str(), rep.slots, rep.distinct_used,
+        rep.duplicate_fraction, rep.off_qps, rep.on_qps,
+        static_cast<unsigned long long>(rep.duplicates_collapsed),
+        rep.coalesced_identical ? "identical" : "DIVERGED",
+        rep.deterministic ? "identical" : "DIVERGED");
+    scenario_reports.push_back(rep);
+  }
+
   // --- JSON artifact.
   const std::string out_path = OutPath();
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -359,6 +476,39 @@ int main() {
     std::fprintf(f, "    \"cache_on\": null\n");
   }
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"scenarios\": {\n");
+  for (size_t i = 0; i < scenario_reports.size(); ++i) {
+    const ScenarioReport& rep = scenario_reports[i];
+    std::fprintf(f, "    \"%s\": {\n", rep.name.c_str());
+    std::fprintf(f,
+                 "      \"slots\": %zu, \"distinct_used\": %zu, "
+                 "\"duplicate_fraction\": %.4f,\n",
+                 rep.slots, rep.distinct_used, rep.duplicate_fraction);
+    std::fprintf(f,
+                 "      \"dedup_off\": {\"qps\": %.1f, \"mean_us\": %.2f},\n",
+                 rep.off_qps, rep.off_mean_us);
+    std::fprintf(
+        f,
+        "      \"dedup_on\": {\"qps\": %.1f, \"mean_us\": %.2f, "
+        "\"unique_routed\": %llu, \"duplicates_collapsed\": %llu},\n",
+        rep.on_qps, rep.on_mean_us,
+        static_cast<unsigned long long>(rep.unique_routed),
+        static_cast<unsigned long long>(rep.duplicates_collapsed));
+    std::fprintf(
+        f,
+        "      \"single_flight\": {\"leaders\": %llu, \"coalesced\": "
+        "%llu},\n",
+        static_cast<unsigned long long>(rep.sf_leaders),
+        static_cast<unsigned long long>(rep.sf_coalesced));
+    std::fprintf(f,
+                 "      \"coalesced_identical\": %s, "
+                 "\"deterministic_t1248\": %s\n",
+                 rep.coalesced_identical ? "true" : "false",
+                 rep.deterministic ? "true" : "false");
+    std::fprintf(f, "    }%s\n",
+                 i + 1 == scenario_reports.size() ? "" : ",");
+  }
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
                deterministic ? "true" : "false");
   std::fprintf(f, "  \"runs\": [\n");
@@ -372,5 +522,5 @@ int main() {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("[json] wrote %s\n", out_path.c_str());
-  return deterministic ? 0 : 2;
+  return deterministic && scenarios_ok ? 0 : 2;
 }

@@ -1,0 +1,175 @@
+#ifndef L2R_BENCH_WORKLOADS_H_
+#define L2R_BENCH_WORKLOADS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace l2r {
+namespace bench {
+
+/// One named traffic shape: a sequence of slots, each an index into a
+/// pool of `distinct` distinct queries. Scenarios differ only in the
+/// repetition structure of that sequence — the query pool itself is
+/// shared — so scenario deltas isolate how the serving layer copes with
+/// duplication, skew and cold misses rather than with route difficulty.
+struct Scenario {
+  std::string name;
+  std::string summary;        ///< one line for logs / docs
+  std::vector<size_t> order;  ///< slot -> index into the distinct pool
+};
+
+/// Fraction of slots that repeat an earlier slot's pool index (the upper
+/// bound on what batch-level dedup can collapse in a single batch).
+inline double DuplicateFraction(const std::vector<size_t>& order) {
+  if (order.empty()) return 0;
+  std::unordered_set<size_t> seen;
+  seen.reserve(order.size());
+  size_t duplicates = 0;
+  for (const size_t index : order) {
+    if (!seen.insert(index).second) ++duplicates;
+  }
+  return static_cast<double>(duplicates) /
+         static_cast<double>(order.size());
+}
+
+/// Uniform iid traffic: every distinct query equally likely. Baseline —
+/// duplicates appear only by birthday collision.
+inline Scenario UniformScenario(size_t distinct, size_t slots,
+                                uint64_t seed) {
+  Scenario s;
+  s.name = "uniform";
+  s.summary = "iid uniform over the distinct pool";
+  Rng rng(seed);
+  s.order.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) s.order.push_back(rng.Index(distinct));
+  return s;
+}
+
+/// Zipf-skewed traffic (s = 1.0): rank-r query drawn with probability
+/// proportional to 1/(r+1). Ranks are assigned by a seeded permutation so
+/// the hot head is not correlated with pool construction order. The
+/// production-shaped default: heavy head, long tail.
+inline Scenario ZipfScenario(size_t distinct, size_t slots, uint64_t seed) {
+  Scenario s;
+  s.name = "zipf";
+  s.summary = "Zipf(1.0)-skewed over a permuted ranking";
+  Rng rng(seed);
+  std::vector<size_t> rank_to_index(distinct);
+  for (size_t i = 0; i < distinct; ++i) rank_to_index[i] = i;
+  rng.Shuffle(&rank_to_index);
+  // Precomputed CDF + binary search: Rng::Zipf is O(n) per draw.
+  std::vector<double> cdf(distinct);
+  double h = 0;
+  for (size_t r = 0; r < distinct; ++r) {
+    h += 1.0 / static_cast<double>(r + 1);
+    cdf[r] = h;
+  }
+  s.order.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    const double u = rng.NextDouble() * h;
+    const size_t r = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    s.order.push_back(rank_to_index[std::min(r, distinct - 1)]);
+  }
+  return s;
+}
+
+/// Commute-burst traffic: time is sliced into windows; within a window
+/// 90% of slots draw from a small rotating pool of "commute" queries (the
+/// same origin-destination-period triples over and over — what peak-hour
+/// traffic looks like), 10% are uniform background. Duplicates are dense
+/// *and adjacent*, the best case for in-flight coalescing.
+inline Scenario CommuteBurstScenario(size_t distinct, size_t slots,
+                                     uint64_t seed) {
+  Scenario s;
+  s.name = "commute_burst";
+  s.summary = "windowed bursts, 90% from a rotating hot pool";
+  Rng rng(seed);
+  std::vector<size_t> permuted(distinct);
+  for (size_t i = 0; i < distinct; ++i) permuted[i] = i;
+  rng.Shuffle(&permuted);
+  const size_t pool = std::max<size_t>(1, distinct / 64);
+  const size_t window = std::max<size_t>(16, slots / 16);
+  s.order.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    // Each window rotates to the next stretch of the permutation.
+    const size_t base = ((i / window) * pool) % distinct;
+    if (rng.Bernoulli(0.9)) {
+      s.order.push_back(permuted[(base + rng.Index(pool)) % distinct]);
+    } else {
+      s.order.push_back(rng.Index(distinct));
+    }
+  }
+  return s;
+}
+
+/// Adversarial cold-miss traffic: repeated seeded permutations of the
+/// whole pool, so every index recurs at maximal distance. Worst case for
+/// LRU (each entry is evicted-before-reuse once capacity < pool) and for
+/// dedup (a batch holds at most one copy of each query until the
+/// permutation wraps).
+inline Scenario AdversarialColdScenario(size_t distinct, size_t slots,
+                                        uint64_t seed) {
+  Scenario s;
+  s.name = "adversarial_cold";
+  s.summary = "repeated full permutations: maximal reuse distance";
+  Rng rng(seed);
+  std::vector<size_t> perm(distinct);
+  for (size_t i = 0; i < distinct; ++i) perm[i] = i;
+  s.order.reserve(slots);
+  while (s.order.size() < slots) {
+    rng.Shuffle(&perm);
+    for (size_t i = 0; i < distinct && s.order.size() < slots; ++i) {
+      s.order.push_back(perm[i]);
+    }
+  }
+  return s;
+}
+
+/// Duplicate-heavy batches: each sampled query appears `copies` times,
+/// shuffled across the batch so duplicates interleave rather than run
+/// back-to-back. The headline case for batch-level dedup: the ideal
+/// speedup is the copy count.
+inline Scenario DuplicateHeavyScenario(size_t distinct, size_t slots,
+                                       uint64_t seed, size_t copies = 8) {
+  Scenario s;
+  s.name = "duplicate_heavy";
+  s.summary = "every query repeated 8x, interleaved";
+  Rng rng(seed);
+  const size_t unique = std::max<size_t>(1, slots / copies);
+  s.order.reserve(slots);
+  for (size_t u = 0; u < unique; ++u) {
+    const size_t index = rng.Index(distinct);
+    for (size_t c = 0; c < copies && s.order.size() < slots; ++c) {
+      s.order.push_back(index);
+    }
+  }
+  while (s.order.size() < slots) s.order.push_back(s.order.front());
+  rng.Shuffle(&s.order);
+  return s;
+}
+
+/// The named scenario suite, in reporting order. All generation is
+/// seeded, so a (distinct, slots, seed) triple reproduces bit-identical
+/// workloads across runs and machines.
+inline std::vector<Scenario> BuildScenarios(size_t distinct, size_t slots,
+                                            uint64_t seed) {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(UniformScenario(distinct, slots, seed + 1));
+  scenarios.push_back(ZipfScenario(distinct, slots, seed + 2));
+  scenarios.push_back(CommuteBurstScenario(distinct, slots, seed + 3));
+  scenarios.push_back(AdversarialColdScenario(distinct, slots, seed + 4));
+  scenarios.push_back(DuplicateHeavyScenario(distinct, slots, seed + 5));
+  return scenarios;
+}
+
+}  // namespace bench
+}  // namespace l2r
+
+#endif  // L2R_BENCH_WORKLOADS_H_

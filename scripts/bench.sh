@@ -17,6 +17,17 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
+BENCH_OUT="${L2R_BENCH_OUT:-BENCH_query_throughput.json}"
+
+# Fail fast when the output path is unwritable: the bench only discovers
+# this after running the whole workload, and the stale JSON it leaves
+# behind looks like a fresh result.
+if ! touch "$BENCH_OUT" 2>/dev/null; then
+  echo "error: L2R_BENCH_OUT='$BENCH_OUT' is not writable" >&2
+  echo "       (missing directory or no permission); fix the path or" >&2
+  echo "       unset L2R_BENCH_OUT to write BENCH_query_throughput.json" >&2
+  exit 1
+fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
   -DL2R_BUILD_TESTS=OFF -DL2R_BUILD_EXAMPLES=OFF

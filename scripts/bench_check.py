@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Schema + sanity validation of BENCH_query_throughput.json artifacts.
+
+Usage: scripts/bench_check.py FILE [FILE ...]
+
+Checks (per file):
+  - required top-level keys are present with sane types;
+  - latency percentile blocks are monotone (p50 <= p95 <= p99) with a
+    positive mean;
+  - serving hit rate (when the cache-on pass ran) lies in [0, 1] and
+    hits/misses are consistent with it;
+  - the thread ladder covers t = 1/2/4/8 with positive QPS;
+  - every scenario block has dedup_off/dedup_on with positive QPS,
+    duplicate_fraction in [0, 1], routed + collapsed == slots, and both
+    determinism flags true;
+  - the duplicate_heavy scenario shows a dedup-on improvement (QPS up and
+    mean latency down vs dedup-off) — the structural win, stated as a
+    generous >= 1.2x bound so CI noise cannot flake it.
+
+Exits 0 when every file passes, 1 with a per-violation message otherwise.
+CI runs this after each bench pass so a malformed or regressed artifact
+fails the PR instead of being uploaded silently.
+"""
+
+import json
+import sys
+
+REQUIRED_TOP_KEYS = [
+    "bench",
+    "unix_time",
+    "dataset",
+    "scale",
+    "num_vertices",
+    "num_edges",
+    "num_queries",
+    "failures",
+    "mix",
+    "methods",
+    "latency_us",
+    "serving",
+    "scenarios",
+    "deterministic_across_threads",
+    "runs",
+]
+
+SCENARIO_NAMES = [
+    "uniform",
+    "zipf",
+    "commute_burst",
+    "adversarial_cold",
+    "duplicate_heavy",
+]
+
+EXPECTED_THREADS = [1, 2, 4, 8]
+
+# duplicate_heavy repeats every query 8x; dedup-on must beat dedup-off by
+# at least this factor. Far below the ~8x structural ceiling, far above
+# CI timing noise.
+MIN_DUP_HEAVY_SPEEDUP = 1.2
+
+
+class Violation(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise Violation(message)
+
+
+def check_latency_block(block, where):
+    for key in ("mean", "p50", "p95", "p99"):
+        require(key in block, f"{where}: missing '{key}'")
+        require(
+            isinstance(block[key], (int, float)),
+            f"{where}: '{key}' is not a number",
+        )
+    require(block["mean"] > 0, f"{where}: mean must be > 0")
+    require(
+        block["p50"] <= block["p95"] <= block["p99"],
+        f"{where}: percentiles not monotone "
+        f"(p50={block['p50']}, p95={block['p95']}, p99={block['p99']})",
+    )
+
+
+def check_serving(serving):
+    require(isinstance(serving, dict), "serving: not an object")
+    for key in ("workload_queries", "distinct_queries", "cache_off"):
+        require(key in serving, f"serving: missing '{key}'")
+    check_latency_block(serving["cache_off"], "serving.cache_off")
+    cache_on = serving.get("cache_on")
+    if cache_on is None:
+        return  # cache pass skipped (L2R_BENCH_CACHE=0)
+    check_latency_block(cache_on, "serving.cache_on")
+    hit_rate = cache_on.get("hit_rate")
+    require(hit_rate is not None, "serving.cache_on: missing 'hit_rate'")
+    require(
+        0.0 <= hit_rate <= 1.0,
+        f"serving.cache_on: hit_rate {hit_rate} outside [0, 1]",
+    )
+    hits, misses = cache_on.get("hits", 0), cache_on.get("misses", 0)
+    lookups = hits + misses
+    if lookups > 0:
+        require(
+            abs(hit_rate - hits / lookups) < 1e-3,
+            f"serving.cache_on: hit_rate {hit_rate} inconsistent with "
+            f"hits={hits}, misses={misses}",
+        )
+
+
+def check_runs(runs):
+    require(isinstance(runs, list) and runs, "runs: missing or empty")
+    threads = [run.get("threads") for run in runs]
+    require(
+        threads == EXPECTED_THREADS,
+        f"runs: thread ladder {threads} != {EXPECTED_THREADS}",
+    )
+    for run in runs:
+        require(
+            run.get("qps", 0) > 0,
+            f"runs: non-positive qps at t={run.get('threads')}",
+        )
+
+
+def check_scenarios(scenarios):
+    require(isinstance(scenarios, dict), "scenarios: not an object")
+    for name in SCENARIO_NAMES:
+        require(name in scenarios, f"scenarios: missing '{name}'")
+        sc = scenarios[name]
+        where = f"scenarios.{name}"
+        for key in (
+            "slots",
+            "distinct_used",
+            "duplicate_fraction",
+            "dedup_off",
+            "dedup_on",
+            "single_flight",
+            "coalesced_identical",
+            "deterministic_t1248",
+        ):
+            require(key in sc, f"{where}: missing '{key}'")
+        require(
+            0.0 <= sc["duplicate_fraction"] <= 1.0,
+            f"{where}: duplicate_fraction outside [0, 1]",
+        )
+        require(sc["slots"] > 0, f"{where}: slots must be > 0")
+        for mode in ("dedup_off", "dedup_on"):
+            require(
+                sc[mode].get("qps", 0) > 0,
+                f"{where}.{mode}: non-positive qps",
+            )
+            require(
+                sc[mode].get("mean_us", 0) > 0,
+                f"{where}.{mode}: non-positive mean_us",
+            )
+        routed = sc["dedup_on"].get("unique_routed", 0)
+        collapsed = sc["dedup_on"].get("duplicates_collapsed", 0)
+        require(
+            routed + collapsed == sc["slots"],
+            f"{where}: unique_routed ({routed}) + duplicates_collapsed "
+            f"({collapsed}) != slots ({sc['slots']})",
+        )
+        require(
+            sc["coalesced_identical"] is True,
+            f"{where}: coalesced results diverged from the uncoalesced run",
+        )
+        require(
+            sc["deterministic_t1248"] is True,
+            f"{where}: single-flight ladder diverged across t=1/2/4/8",
+        )
+
+    heavy = scenarios["duplicate_heavy"]
+    speedup = heavy["dedup_on"]["qps"] / heavy["dedup_off"]["qps"]
+    require(
+        speedup >= MIN_DUP_HEAVY_SPEEDUP,
+        f"scenarios.duplicate_heavy: dedup speedup {speedup:.2f}x below "
+        f"the {MIN_DUP_HEAVY_SPEEDUP}x floor",
+    )
+    require(
+        heavy["dedup_on"]["mean_us"] < heavy["dedup_off"]["mean_us"],
+        "scenarios.duplicate_heavy: dedup-on mean latency not below "
+        "dedup-off",
+    )
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    for key in REQUIRED_TOP_KEYS:
+        require(key in data, f"missing top-level key '{key}'")
+    require(
+        data["bench"] == "query_throughput",
+        f"bench label '{data['bench']}' != 'query_throughput'",
+    )
+    require(data["num_queries"] > 0, "num_queries must be > 0")
+    require(data["failures"] == 0, f"{data['failures']} routing failures")
+    check_latency_block(data["latency_us"], "latency_us")
+    check_serving(data["serving"])
+    check_runs(data["runs"])
+    check_scenarios(data["scenarios"])
+    require(
+        data["deterministic_across_threads"] is True,
+        "deterministic_across_threads is not true",
+    )
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            check_file(path)
+        except Violation as violation:
+            print(f"bench_check: {path}: {violation}", file=sys.stderr)
+            failed = True
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"bench_check: {path}: unreadable: {error}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"bench_check: {path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,7 +1,9 @@
 #ifndef L2R_CORE_BATCH_ROUTER_H_
 #define L2R_CORE_BATCH_ROUTER_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/workspace_pool.h"
@@ -16,6 +18,21 @@ struct BatchQuery {
   double departure_time = 0;
 };
 
+struct BatchRouterOptions {
+  /// 0 = DefaultThreadCount().
+  unsigned num_threads = 0;
+  /// Batch-level dedup: collapse queries with identical (s, d, period) —
+  /// the QueryKey identity of core/serve_hooks.h — before dispatch, route
+  /// one representative per group, and copy its result into every
+  /// duplicate slot. Bursty production traffic concentrates identical
+  /// queries inside a batch (commute peaks), so this skips whole searches
+  /// rather than merely serving them from cache. Results are
+  /// byte-identical to the non-deduped run: Route's answer depends on the
+  /// departure time only through the period, which is exactly what the
+  /// group key quantizes.
+  bool dedup = false;
+};
+
 /// High-throughput batch front-end for L2RRouter: serves N queries across
 /// the persistent thread pool using pooled L2RQueryContexts. Contexts are
 /// created once at warm-up and reused for every subsequent query and
@@ -27,6 +44,9 @@ struct BatchQuery {
 /// QueryService (e.g. serve/ServingRouter) preserves this: the service
 /// contract requires cache/memo hits to be byte-identical to
 /// recomputation, so results stay independent of hit/miss interleaving.
+/// Batch-level dedup preserves it too: a duplicate slot receives a copy
+/// of its representative's result, and the representative has the same
+/// (s, d, period) identity the answer is a pure function of.
 class BatchRouter {
  public:
   /// `router` must outlive the BatchRouter. `num_threads` 0 means
@@ -37,6 +57,10 @@ class BatchRouter {
   /// the bare router. `service` must outlive the BatchRouter.
   explicit BatchRouter(QueryService* service, unsigned num_threads = 0);
 
+  /// Full-option constructors (thread count + batch-level dedup).
+  BatchRouter(const L2RRouter* router, const BatchRouterOptions& options);
+  BatchRouter(QueryService* service, const BatchRouterOptions& options);
+
   /// Routes every query; results are index-aligned with `queries`.
   std::vector<Result<RouteResult>> RouteAll(
       const std::vector<BatchQuery>& queries);
@@ -46,11 +70,24 @@ class BatchRouter {
   size_t ContextsCreated() const { return contexts_.CreatedCount(); }
 
   unsigned num_threads() const { return num_threads_; }
+  bool dedup_enabled() const { return dedup_; }
+  /// Queries across all batches served by copying a representative's
+  /// result instead of routing (0 unless dedup is enabled).
+  uint64_t DuplicatesCollapsed() const {
+    return duplicates_collapsed_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Routes `queries[indices[g]]` for every g into slot g of the result.
+  std::vector<Result<RouteResult>> RouteIndices(
+      const std::vector<BatchQuery>& queries,
+      const std::vector<uint32_t>& indices);
+
   const L2RRouter* router_;
   QueryService* service_ = nullptr;  ///< null = route on the bare router
   unsigned num_threads_;
+  bool dedup_ = false;
+  std::atomic<uint64_t> duplicates_collapsed_{0};
   WorkspacePool<L2RQueryContext> contexts_;
 };
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hash.h"
 #include "roadnet/road_network.h"
 
 /// Extension points the serving layer (src/serve/) plugs into the core
@@ -13,6 +14,33 @@
 /// serve -> core.
 
 namespace l2r {
+
+/// A query quantized to what the router actually consumes: Route's answer
+/// depends on (s, d) and the departure period only (all departure times
+/// mapping to one period share an answer — quantize with
+/// L2RRouter::EffectivePeriod). This is the identity under which queries
+/// are deduplicated: BatchRouter's batch-level dedup, serve/'s RouteCache
+/// and serve/'s SingleFlight all key on it, so "identical query" means the
+/// same thing at every layer.
+struct QueryKey {
+  VertexId s = kInvalidVertex;
+  VertexId d = kInvalidVertex;
+  uint8_t period = 0;
+
+  bool operator==(const QueryKey&) const = default;
+};
+
+/// Shared full-avalanche hash: the low bits select cache/flight shards, so
+/// every key bit must reach them.
+struct QueryKeyHash {
+  size_t operator()(const QueryKey& key) const {
+    const uint64_t packed =
+        (static_cast<uint64_t>(key.s) << 32) | static_cast<uint64_t>(key.d);
+    // Fold the 1-bit period in by re-mixing rather than stealing key bits.
+    return static_cast<size_t>(
+        Mix64(packed ^ (0x9e3779b97f4a7c15ULL * (key.period + 1))));
+  }
+};
 
 /// Memoization surface consulted while stitching a region path
 /// (L2RRouter::StitchRegionPath). Both tables cache pure functions of the

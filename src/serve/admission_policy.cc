@@ -1,0 +1,61 @@
+#include "serve/admission_policy.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace l2r {
+
+AdmissionPolicy::AdmissionPolicy(const AdmissionOptions& options)
+    : options_(options),
+      sketch_(options.degraded == DegradedAdmission::kAfterNMisses
+                  ? RoundUpPow2(std::max<size_t>(1, options.sketch_entries))
+                  : 0) {}
+
+bool AdmissionPolicy::Admit(const QueryKey& key, const RouteResult& value) {
+  if (!value.budget_degraded) return true;
+  switch (options_.degraded) {
+    case DegradedAdmission::kTagged:
+      degraded_admitted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    case DegradedAdmission::kNever:
+      degraded_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    case DegradedAdmission::kAfterNMisses: {
+      std::atomic<uint16_t>& slot =
+          sketch_[QueryKeyHash{}(key) & (sketch_.size() - 1)];
+      // Saturating increment via CAS: a plain fetch_add could wrap a
+      // slot racing at the ceiling back to 0 and re-close the gate; the
+      // loop pins saturated slots at UINT16_MAX so a counter never goes
+      // backwards (collisions/races only ever admit early).
+      uint16_t seen = slot.load(std::memory_order_relaxed);
+      while (seen < UINT16_MAX &&
+             !slot.compare_exchange_weak(seen, seen + 1,
+                                         std::memory_order_relaxed)) {
+      }
+      if (seen < UINT16_MAX) ++seen;  // the value our increment produced
+      if (seen >= options_.admit_after_misses) {
+        degraded_admitted_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      degraded_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;  // unreachable; keeps -Werror happy across compilers
+}
+
+void AdmissionPolicy::Clear() {
+  for (auto& slot : sketch_) slot.store(0, std::memory_order_relaxed);
+  degraded_admitted_.store(0, std::memory_order_relaxed);
+  degraded_rejected_.store(0, std::memory_order_relaxed);
+}
+
+AdmissionPolicy::Stats AdmissionPolicy::GetStats() const {
+  Stats stats;
+  stats.degraded_admitted = degraded_admitted_.load(std::memory_order_relaxed);
+  stats.degraded_rejected = degraded_rejected_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace l2r

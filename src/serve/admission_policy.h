@@ -1,0 +1,85 @@
+#ifndef L2R_SERVE_ADMISSION_POLICY_H_
+#define L2R_SERVE_ADMISSION_POLICY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/l2r.h"
+
+namespace l2r {
+
+/// What RouteCache does with a budget-degraded result at insert time.
+/// Degraded results are answers the deadline budget truncated (stitched
+/// path or fastest fallback instead of the Algorithm-2 rebuild): they are
+/// deterministic and correct under the configured budget, but caching one
+/// pins a second-choice route for the entry's whole residency. The policy
+/// trades that staleness against re-paying the capped search on every
+/// miss of the preference-route tail.
+enum class DegradedAdmission : uint8_t {
+  /// Cache degraded results like any other. The degrade tag travels in
+  /// the cached value (RouteResult::budget_degraded), so consumers can
+  /// always tell a degraded hit from a full-fidelity one.
+  kTagged,
+  /// Never cache degraded results: every miss re-pays the capped search,
+  /// but a raised budget takes effect immediately.
+  kNever,
+  /// TinyLFU-style frequency gate: a degraded result is admitted only
+  /// once its key has produced `admit_after_misses` cold computations, so
+  /// one-off tail queries never enter the cache but genuinely hot
+  /// degraded pairs stop re-paying the capped search.
+  kAfterNMisses,
+};
+
+struct AdmissionOptions {
+  DegradedAdmission degraded = DegradedAdmission::kTagged;
+  /// For kAfterNMisses: cold computations a key must accumulate before
+  /// its degraded result is admitted (>= 1; 1 behaves like kTagged).
+  uint32_t admit_after_misses = 2;
+  /// Frequency-sketch slots for kAfterNMisses (rounded up to a power of
+  /// two). Collisions only over-count, i.e. admit early — never starve.
+  size_t sketch_entries = 1u << 15;
+};
+
+/// Decides whether a computed result may enter the RouteCache.
+/// Full-fidelity results are always admitted; budget-degraded ones go
+/// through the configured DegradedAdmission mode. The frequency sketch is
+/// a fixed array of saturating counters indexed by the key hash
+/// (TinyLFU's gate without the aging window: the router is immutable, so
+/// popularity only accumulates).
+///
+/// Thread-safety: Admit is lock-free (atomic counters) and safe to call
+/// concurrently. Admission affects only which keys are cached, never the
+/// bytes of any result — cache hits are byte-identical to recomputation —
+/// so serving stays deterministic even though sketch interleaving is not.
+class AdmissionPolicy {
+ public:
+  struct Stats {
+    uint64_t degraded_admitted = 0;  ///< degraded results let into the cache
+    uint64_t degraded_rejected = 0;  ///< degraded results kept out
+  };
+
+  explicit AdmissionPolicy(const AdmissionOptions& options = {});
+
+  /// True when `value` may be inserted under `key`. For kAfterNMisses
+  /// each call counts one cold computation of `key` toward its gate.
+  bool Admit(const QueryKey& key, const RouteResult& value);
+
+  /// Resets the frequency sketch and counters (pairs with cache Clear).
+  void Clear();
+
+  Stats GetStats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  /// Saturating per-slot observation counts; sized once at construction.
+  std::vector<std::atomic<uint16_t>> sketch_;
+  std::atomic<uint64_t> degraded_admitted_{0};
+  std::atomic<uint64_t> degraded_rejected_{0};
+};
+
+}  // namespace l2r
+
+#endif  // L2R_SERVE_ADMISSION_POLICY_H_

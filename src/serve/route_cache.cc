@@ -7,10 +7,7 @@
 namespace l2r {
 
 uint64_t RouteCache::HashKey(const RouteCacheKey& key) {
-  const uint64_t packed =
-      (static_cast<uint64_t>(key.s) << 32) | static_cast<uint64_t>(key.d);
-  // Fold the 1-bit period in by re-mixing rather than stealing key bits.
-  return Mix64(packed ^ (0x9e3779b97f4a7c15ULL * (key.period + 1)));
+  return static_cast<uint64_t>(QueryKeyHash{}(key));
 }
 
 size_t RouteCache::EntryBytes(const RouteResult& value) {
@@ -20,7 +17,8 @@ size_t RouteCache::EntryBytes(const RouteResult& value) {
          value.path.vertices.capacity() * sizeof(VertexId) + kNodeOverhead;
 }
 
-RouteCache::RouteCache(const RouteCacheOptions& options) {
+RouteCache::RouteCache(const RouteCacheOptions& options)
+    : admission_(options.admission) {
   const size_t shards =
       RoundUpPow2(std::max<size_t>(1, options.num_shards));
   shards_.reserve(shards);
@@ -45,6 +43,7 @@ bool RouteCache::Lookup(const RouteCacheKey& key, RouteResult* out) {
 }
 
 void RouteCache::Insert(const RouteCacheKey& key, const RouteResult& value) {
+  if (!admission_.Admit(key, value)) return;
   // Copy outside the lock, and charge the byte budget from the stored
   // copy: the caller's path vector may carry excess capacity, and the
   // charge must equal the refund EntryBytes(victim.second) computes at
@@ -83,6 +82,7 @@ void RouteCache::Clear() {
     shard->map.clear();
     shard->bytes = 0;
   }
+  admission_.Clear();
 }
 
 RouteCache::Stats RouteCache::GetStats() const {
@@ -96,6 +96,7 @@ RouteCache::Stats RouteCache::GetStats() const {
     stats.entries += shard->lru.size();
     stats.bytes += shard->bytes;
   }
+  stats.admission = admission_.GetStats();
   return stats;
 }
 

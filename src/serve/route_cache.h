@@ -11,20 +11,14 @@
 #include <vector>
 
 #include "core/l2r.h"
+#include "serve/admission_policy.h"
 
 namespace l2r {
 
-/// Cache key: a query quantized to what the router actually consumes.
-/// Route's answer depends on (s, d) and the departure period only, so all
-/// departure times mapping to one period share an entry (use
-/// L2RRouter::EffectivePeriod to quantize).
-struct RouteCacheKey {
-  VertexId s = kInvalidVertex;
-  VertexId d = kInvalidVertex;
-  uint8_t period = 0;
-
-  bool operator==(const RouteCacheKey&) const = default;
-};
+/// Cache key: a query quantized to what the router actually consumes —
+/// the shared (s, d, period) identity from core/serve_hooks.h (quantize
+/// departure times with L2RRouter::EffectivePeriod).
+using RouteCacheKey = QueryKey;
 
 struct RouteCacheOptions {
   /// Total capacity across shards, in (approximate) bytes of cached
@@ -33,6 +27,8 @@ struct RouteCacheOptions {
   /// Lock-striping width; rounded up to a power of two. More shards =
   /// less contention, slightly worse per-shard LRU fidelity.
   unsigned num_shards = 16;
+  /// Gate on what may enter the cache (budget-degraded results).
+  AdmissionOptions admission;
 };
 
 /// Sharded, mutex-striped LRU cache of complete RouteResults. Serves
@@ -41,10 +37,15 @@ struct RouteCacheOptions {
 /// never go stale; Clear() exists for completeness (e.g. swapping in a
 /// rebuilt router).
 ///
+/// Inserts pass through the AdmissionPolicy first: full-fidelity results
+/// always enter, budget-degraded ones only when the configured
+/// DegradedAdmission mode lets them (see admission_policy.h).
+///
 /// Determinism: Lookup returns a copy of exactly what Insert stored, and
 /// the serving layer only stores cold-path Route outputs — so a hit is
 /// byte-identical to recomputation and batch results stay independent of
-/// hit/miss interleaving.
+/// hit/miss interleaving. Admission decisions change *which* keys hit,
+/// never the bytes any query receives.
 class RouteCache {
  public:
   struct Stats {
@@ -52,6 +53,7 @@ class RouteCache {
     uint64_t misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
+    AdmissionPolicy::Stats admission;
     size_t entries = 0;
     size_t bytes = 0;
   };
@@ -63,9 +65,9 @@ class RouteCache {
   /// state.)
   bool Lookup(const RouteCacheKey& key, RouteResult* out);
 
-  /// Inserts (or refreshes) `key`; evicts least-recently-used entries of
-  /// the shard until it fits. An entry larger than a whole shard is not
-  /// cached.
+  /// Inserts (or refreshes) `key` if the admission policy lets `value`
+  /// in; evicts least-recently-used entries of the shard until it fits.
+  /// An entry larger than a whole shard is not cached.
   void Insert(const RouteCacheKey& key, const RouteResult& value);
 
   void Clear();
@@ -76,24 +78,21 @@ class RouteCache {
 
   size_t NumShards() const { return shards_.size(); }
   size_t CapacityBytes() const { return shards_.size() * shard_capacity_; }
+  const AdmissionPolicy& admission_policy() const { return admission_; }
 
   /// Approximate heap footprint of one cached entry (used for the byte
   /// budget; exposed so tests can reason about eviction thresholds).
   static size_t EntryBytes(const RouteResult& value);
 
  private:
-  struct KeyHash {
-    size_t operator()(const RouteCacheKey& key) const {
-      return static_cast<size_t>(RouteCache::HashKey(key));
-    }
-  };
   struct Shard {
     std::mutex mu;
     /// Front = most recently used.
     std::list<std::pair<RouteCacheKey, RouteResult>> lru;
     std::unordered_map<
         RouteCacheKey,
-        std::list<std::pair<RouteCacheKey, RouteResult>>::iterator, KeyHash>
+        std::list<std::pair<RouteCacheKey, RouteResult>>::iterator,
+        QueryKeyHash>
         map;
     size_t bytes = 0;
     uint64_t hits = 0;
@@ -111,6 +110,7 @@ class RouteCache {
   /// and a stable address per shard keeps iterators/locks simple.
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_capacity_ = 0;
+  AdmissionPolicy admission_;
 };
 
 }  // namespace l2r

@@ -14,6 +14,9 @@ ServingRouter::ServingRouter(const L2RRouter* router,
   if (options.enable_stitch_memo) {
     memo_ = std::make_unique<StitchMemo>(options.stitch_memo);
   }
+  if (options.enable_single_flight) {
+    flights_ = std::make_unique<SingleFlight>(options.single_flight);
+  }
   hooks_.memo = memo_.get();
   hooks_.budget = budget_.ToQueryBudget();
 }
@@ -21,29 +24,39 @@ ServingRouter::ServingRouter(const L2RRouter* router,
 Result<RouteResult> ServingRouter::Route(L2RQueryContext* ctx, VertexId s,
                                          VertexId d, double departure_time) {
   queries_.fetch_add(1, std::memory_order_relaxed);
-  RouteCacheKey key;
-  if (cache_ != nullptr) {
-    key = RouteCacheKey{
+  QueryKey key;
+  if (cache_ != nullptr || flights_ != nullptr) {
+    key = QueryKey{
         s, d,
         static_cast<uint8_t>(router_->EffectivePeriod(departure_time))};
+  }
+  if (cache_ != nullptr) {
     RouteResult hit;
     if (cache_->Lookup(key, &hit)) return hit;
   }
-  Result<RouteResult> result =
-      router_->Route(ctx, s, d, departure_time, hooks_);
-  if (result.ok()) {
-    if (result->budget_degraded) {
-      budget_degraded_.fetch_add(1, std::memory_order_relaxed);
+  // Cold path: compute, count the degrade, populate the cache (through
+  // admission). Runs once per flight when coalescing is on; followers of
+  // that flight receive a copy without re-entering here.
+  const auto cold = [&]() -> Result<RouteResult> {
+    Result<RouteResult> result =
+        router_->Route(ctx, s, d, departure_time, hooks_);
+    if (result.ok()) {
+      if (result->budget_degraded) {
+        budget_degraded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (cache_ != nullptr) cache_->Insert(key, *result);
     }
-    if (cache_ != nullptr) cache_->Insert(key, *result);
-  }
-  return result;
+    return result;
+  };
+  if (flights_ == nullptr) return cold();
+  return flights_->Do(key, cold);
 }
 
 ServingRouter::Stats ServingRouter::GetStats() const {
   Stats stats;
   if (cache_ != nullptr) stats.cache = cache_->GetStats();
   if (memo_ != nullptr) stats.memo = memo_->GetStats();
+  if (flights_ != nullptr) stats.single_flight = flights_->GetStats();
   stats.queries = queries_.load(std::memory_order_relaxed);
   stats.budget_degraded = budget_degraded_.load(std::memory_order_relaxed);
   return stats;

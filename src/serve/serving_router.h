@@ -8,6 +8,7 @@
 #include "core/l2r.h"
 #include "serve/deadline_budget.h"
 #include "serve/route_cache.h"
+#include "serve/single_flight.h"
 #include "serve/stitch_memo.h"
 
 namespace l2r {
@@ -17,28 +18,40 @@ struct ServingRouterOptions {
   RouteCacheOptions route_cache;
   bool enable_stitch_memo = true;
   StitchMemoOptions stitch_memo;
+  /// Coalesce concurrent identical (s, d, period) cache misses: one
+  /// caller computes, the rest wait for a byte-identical copy.
+  bool enable_single_flight = true;
+  SingleFlightOptions single_flight;
   DeadlineBudgetOptions deadline;
 };
 
 /// The serving layer: sits between BatchRouter (or any front-end) and
 /// L2RRouter. A query first consults the sharded RouteCache keyed on
-/// (s, d, EffectivePeriod); a miss runs the cold path with the stitch
-/// memo and the deadline budget's settle cap threaded through ServeHooks,
-/// then populates the cache.
+/// (s, d, EffectivePeriod); a miss joins the SingleFlight for its key (so
+/// concurrent identical misses compute once) and the flight leader runs
+/// the cold path with the stitch memo and the deadline budget's settle
+/// cap threaded through ServeHooks, then populates the cache through the
+/// admission policy.
 ///
 /// Determinism guarantees (all required by BatchRouter's contract):
 ///  - cache hits return byte-identical copies of cold-path results;
+///  - single-flight followers receive byte-identical copies of the
+///    leader's cold-path result;
 ///  - memo hits equal recomputation (pure functions of router state);
 ///  - the budget is a settle-count cap, so degrade decisions are
 ///    reproducible — RouteResult::budget_degraded is part of the result,
 ///    not an observability side channel.
-/// Errors (invalid queries, unreachable pairs) are never cached.
+/// Errors (invalid queries, unreachable pairs) are never cached, but they
+/// are fanned out to single-flight followers like values.
 class ServingRouter final : public QueryService {
  public:
   struct Stats {
     RouteCache::Stats cache;
     StitchMemo::Stats memo;
+    SingleFlight::Stats single_flight;
     uint64_t queries = 0;
+    /// Cold-path computations that degraded (coalesced followers of a
+    /// degraded flight are not re-counted).
     uint64_t budget_degraded = 0;
   };
 
@@ -58,12 +71,14 @@ class ServingRouter final : public QueryService {
 
   bool cache_enabled() const { return cache_ != nullptr; }
   bool memo_enabled() const { return memo_ != nullptr; }
+  bool single_flight_enabled() const { return flights_ != nullptr; }
   const DeadlineBudget& deadline_budget() const { return budget_; }
 
  private:
   const L2RRouter* router_;
-  std::unique_ptr<RouteCache> cache_;  ///< null when disabled
-  std::unique_ptr<StitchMemo> memo_;   ///< null when disabled
+  std::unique_ptr<RouteCache> cache_;     ///< null when disabled
+  std::unique_ptr<StitchMemo> memo_;      ///< null when disabled
+  std::unique_ptr<SingleFlight> flights_; ///< null when disabled
   DeadlineBudget budget_;
   ServeHooks hooks_;  ///< memo + settle cap, fixed at construction
   std::atomic<uint64_t> queries_{0};

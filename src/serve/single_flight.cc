@@ -1,0 +1,60 @@
+#include "serve/single_flight.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace l2r {
+
+SingleFlight::SingleFlight(const SingleFlightOptions& options) {
+  const size_t shards = RoundUpPow2(std::max<size_t>(1, options.num_shards));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<SingleFlight::Flight> SingleFlight::Join(const QueryKey& key,
+                                                         bool* leader) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.flights.try_emplace(key);
+  if (inserted) it->second = std::make_shared<Flight>();
+  *leader = inserted;
+  if (inserted) {
+    leaders_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+Result<RouteResult> SingleFlight::Await(Flight& flight) {
+  std::unique_lock<std::mutex> lock(flight.mu);
+  flight.cv.wait(lock, [&flight] { return flight.done; });
+  return *flight.result;  // copy out under the flight lock
+}
+
+void SingleFlight::Publish(const QueryKey& key, Flight& flight,
+                           const Result<RouteResult>& result) {
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.flights.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight.mu);
+    flight.result = result;
+    flight.done = true;
+  }
+  flight.cv.notify_all();
+}
+
+SingleFlight::Stats SingleFlight::GetStats() const {
+  Stats stats;
+  stats.leaders = leaders_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace l2r

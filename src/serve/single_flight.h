@@ -1,0 +1,112 @@
+#ifndef L2R_SERVE_SINGLE_FLIGHT_H_
+#define L2R_SERVE_SINGLE_FLIGHT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/l2r.h"
+
+namespace l2r {
+
+struct SingleFlightOptions {
+  /// Lock-striping width of the in-flight table; rounded up to a power of
+  /// two. The table only ever holds queries currently being computed, so
+  /// it stays tiny — shards exist to keep join/publish off one hot mutex.
+  unsigned num_shards = 16;
+};
+
+/// Coalesces concurrent identical queries: the first caller for a
+/// (s, d, period) key becomes the *leader* and computes the route; every
+/// caller that arrives while that computation is in flight blocks and
+/// receives a copy of the leader's result instead of repeating the work.
+/// Batches full of duplicate queries (commute bursts) thus pay for each
+/// distinct route once per burst, even before the route cache is warm.
+///
+/// Determinism: the leader runs the deterministic cold path, and
+/// followers receive byte-identical copies — so a slot's result never
+/// depends on whether it led, followed, or missed the flight entirely.
+/// Errors are fanned out like values (each follower gets the same
+/// status); flights are removed before publication, so a caller arriving
+/// after completion starts a fresh (identical) computation rather than
+/// reading a stale flight.
+///
+/// Deadlock-freedom: leaders never wait on other flights (the compute
+/// callback must not call back into the same SingleFlight), and followers
+/// wait on exactly one leader, so the wait graph is a forest.
+class SingleFlight {
+ public:
+  struct Stats {
+    uint64_t leaders = 0;    ///< calls that computed the route
+    uint64_t coalesced = 0;  ///< calls served by another caller's flight
+  };
+
+  explicit SingleFlight(const SingleFlightOptions& options = {});
+
+  /// Joins (or starts) the flight for `key`. The leader invokes
+  /// `compute()` exactly once and its result is handed to every waiter.
+  /// If compute() throws, the waiters are released with an Internal
+  /// error (never left blocked on a dead flight) and the exception
+  /// propagates on the leader.
+  template <typename Fn>
+  Result<RouteResult> Do(const QueryKey& key, Fn&& compute) {
+    bool leader = false;
+    std::shared_ptr<Flight> flight = Join(key, &leader);
+    if (!leader) return Await(*flight);
+    try {
+      Result<RouteResult> result = compute();
+      Publish(key, *flight, result);
+      return result;
+    } catch (...) {
+      Publish(key, *flight,
+              Result<RouteResult>(
+                  Status::Internal("single-flight compute failed")));
+      throw;
+    }
+  }
+
+  Stats GetStats() const;
+
+ private:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    /// Written once by the leader under mu; copied out by every waiter.
+    std::optional<Result<RouteResult>> result;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<QueryKey, std::shared_ptr<Flight>, QueryKeyHash>
+        flights;
+  };
+
+  /// Returns the flight for `key`, creating it (and marking the caller
+  /// leader) when none is in progress.
+  std::shared_ptr<Flight> Join(const QueryKey& key, bool* leader);
+  /// Blocks until the leader publishes; returns a copy of its result.
+  Result<RouteResult> Await(Flight& flight);
+  /// Removes the flight from the table, then wakes all waiters with
+  /// `result`. Removal happens first so late arrivals start fresh.
+  void Publish(const QueryKey& key, Flight& flight,
+               const Result<RouteResult>& result);
+
+  Shard& ShardFor(const QueryKey& key) {
+    return *shards_[QueryKeyHash{}(key) & (shards_.size() - 1)];
+  }
+
+  /// Heap-allocated for stable addresses (mutexes are pinned).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> leaders_{0};
+  std::atomic<uint64_t> coalesced_{0};
+};
+
+}  // namespace l2r
+
+#endif  // L2R_SERVE_SINGLE_FLIGHT_H_

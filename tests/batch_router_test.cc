@@ -119,5 +119,72 @@ TEST_F(BatchRouterTest, EmptyBatchIsFine) {
   EXPECT_TRUE(batch.RouteAll({}).empty());
 }
 
+TEST_F(BatchRouterTest, DedupMatchesNonDedupByteForByte) {
+  // Interleave three copies of the workload (plus the invalid query the
+  // workload already carries, so duplicate *error* slots are exercised
+  // too): dedup must collapse the copies and still fill every slot with
+  // exactly what the undeduped run produces.
+  const std::vector<BatchQuery> base = MakeQueries(20);
+  std::vector<BatchQuery> batch;
+  for (int rep = 0; rep < 3; ++rep) {
+    batch.insert(batch.end(), base.begin(), base.end());
+  }
+
+  BatchRouter plain(router_, 1);
+  const auto want = plain.RouteAll(batch);
+
+  for (const unsigned threads : {1u, 4u}) {
+    BatchRouter dedup(router_, BatchRouterOptions{threads, true});
+    EXPECT_TRUE(dedup.dedup_enabled());
+    const auto got = dedup.RouteAll(batch);
+    ASSERT_EQ(got.size(), batch.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectSameResult(want[i], got[i], i);
+    }
+    // Each distinct (s, d, period) routed once; the two extra copies of
+    // every base query were collapsed.
+    EXPECT_EQ(dedup.DuplicatesCollapsed(), batch.size() - base.size());
+  }
+}
+
+TEST_F(BatchRouterTest, DedupGroupsAcrossDepartureTimesWithinAPeriod) {
+  // Two queries with the same (s, d) and different departure times in
+  // the same period share a group: the route is a pure function of the
+  // period, which is exactly what the dedup key quantizes.
+  const std::vector<BatchQuery> base = MakeQueries(4);
+  ASSERT_GT(base.size(), 1u);
+  BatchQuery shifted = base.front();
+  shifted.departure_time += 60;  // one minute later, same commute
+  ASSERT_EQ(router_->EffectivePeriod(base.front().departure_time),
+            router_->EffectivePeriod(shifted.departure_time));
+  const std::vector<BatchQuery> batch{base.front(), shifted};
+
+  BatchRouter plain(router_, 1);
+  const auto want = plain.RouteAll(batch);
+  BatchRouter dedup(router_, BatchRouterOptions{1, true});
+  const auto got = dedup.RouteAll(batch);
+  ASSERT_EQ(got.size(), 2u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    ExpectSameResult(want[i], got[i], i);
+  }
+  EXPECT_EQ(dedup.DuplicatesCollapsed(), 1u);
+}
+
+TEST_F(BatchRouterTest, DedupEmptyBatchAndCounterAccumulation) {
+  BatchRouter dedup(router_, BatchRouterOptions{2, true});
+  EXPECT_TRUE(dedup.RouteAll({}).empty());
+  EXPECT_EQ(dedup.DuplicatesCollapsed(), 0u);
+  // The collapse counter accumulates across batches.
+  const std::vector<BatchQuery> base = MakeQueries(6);
+  const std::vector<BatchQuery> doubled = [&] {
+    std::vector<BatchQuery> b = base;
+    b.insert(b.end(), base.begin(), base.end());
+    return b;
+  }();
+  (void)dedup.RouteAll(doubled);
+  (void)dedup.RouteAll(doubled);
+  EXPECT_EQ(dedup.DuplicatesCollapsed(), 2 * base.size());
+}
+
 }  // namespace
 }  // namespace l2r

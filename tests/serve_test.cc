@@ -8,9 +8,11 @@
 #include "core/batch_router.h"
 #include "core/l2r.h"
 #include "eval/datasets.h"
+#include "serve/admission_policy.h"
 #include "serve/deadline_budget.h"
 #include "serve/route_cache.h"
 #include "serve/serving_router.h"
+#include "serve/single_flight.h"
 #include "serve/stitch_memo.h"
 #include "test_util.h"
 
@@ -29,6 +31,12 @@ RouteResult MakeResult(VertexId a, size_t hops) {
   r.path.cost = static_cast<double>(hops);
   r.method = RouteMethod::kRegionGraph;
   r.region_hops = hops;
+  return r;
+}
+
+RouteResult MakeDegradedResult(VertexId a, size_t hops) {
+  RouteResult r = MakeResult(a, hops);
+  r.budget_degraded = true;
   return r;
 }
 
@@ -151,6 +159,244 @@ TEST(RouteCacheTest, ConcurrentMixedLoadStaysConsistent) {
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
   EXPECT_LE(stats.bytes, options.capacity_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionPolicy units.
+
+TEST(AdmissionPolicyTest, FullFidelityResultsAlwaysAdmitted) {
+  for (const DegradedAdmission mode :
+       {DegradedAdmission::kTagged, DegradedAdmission::kNever,
+        DegradedAdmission::kAfterNMisses}) {
+    AdmissionOptions options;
+    options.degraded = mode;
+    AdmissionPolicy policy(options);
+    EXPECT_TRUE(policy.Admit(QueryKey{1, 2, 0}, MakeResult(1, 4)));
+    const AdmissionPolicy::Stats stats = policy.GetStats();
+    EXPECT_EQ(stats.degraded_admitted, 0u);
+    EXPECT_EQ(stats.degraded_rejected, 0u);
+  }
+}
+
+TEST(AdmissionPolicyTest, TaggedModeAdmitsDegraded) {
+  AdmissionPolicy policy;  // default: kTagged
+  EXPECT_TRUE(policy.Admit(QueryKey{1, 2, 0}, MakeDegradedResult(1, 4)));
+  EXPECT_EQ(policy.GetStats().degraded_admitted, 1u);
+}
+
+TEST(AdmissionPolicyTest, NeverModeRejectsDegraded) {
+  AdmissionOptions options;
+  options.degraded = DegradedAdmission::kNever;
+  AdmissionPolicy policy(options);
+  EXPECT_FALSE(policy.Admit(QueryKey{1, 2, 0}, MakeDegradedResult(1, 4)));
+  EXPECT_FALSE(policy.Admit(QueryKey{1, 2, 0}, MakeDegradedResult(1, 4)));
+  const AdmissionPolicy::Stats stats = policy.GetStats();
+  EXPECT_EQ(stats.degraded_admitted, 0u);
+  EXPECT_EQ(stats.degraded_rejected, 2u);
+}
+
+TEST(AdmissionPolicyTest, AfterNMissesGatesPerKeyFrequency) {
+  AdmissionOptions options;
+  options.degraded = DegradedAdmission::kAfterNMisses;
+  options.admit_after_misses = 3;
+  AdmissionPolicy policy(options);
+  const QueryKey hot{1, 2, 0};
+  const QueryKey cold{3, 4, 1};
+  const RouteResult degraded = MakeDegradedResult(1, 4);
+  // Observations 1 and 2 are rejected; the 3rd opens the gate.
+  EXPECT_FALSE(policy.Admit(hot, degraded));
+  EXPECT_FALSE(policy.Admit(hot, degraded));
+  EXPECT_TRUE(policy.Admit(hot, degraded));
+  // Once hot, the key stays admitted.
+  EXPECT_TRUE(policy.Admit(hot, degraded));
+  // Frequency is per key: a different key starts cold.
+  EXPECT_FALSE(policy.Admit(cold, degraded));
+  const AdmissionPolicy::Stats stats = policy.GetStats();
+  EXPECT_EQ(stats.degraded_admitted, 2u);
+  EXPECT_EQ(stats.degraded_rejected, 3u);
+  // Clear resets the sketch: the hot key must re-earn admission.
+  policy.Clear();
+  EXPECT_FALSE(policy.Admit(hot, degraded));
+}
+
+TEST(RouteCacheTest, NeverModeKeepsDegradedResultsOut) {
+  RouteCacheOptions options;
+  options.admission.degraded = DegradedAdmission::kNever;
+  RouteCache cache(options);
+  cache.Insert(RouteCacheKey{1, 2, 0}, MakeDegradedResult(1, 4));
+  RouteResult got;
+  EXPECT_FALSE(cache.Lookup(RouteCacheKey{1, 2, 0}, &got));
+  // Full-fidelity results for the same key still enter.
+  cache.Insert(RouteCacheKey{1, 2, 0}, MakeResult(1, 4));
+  EXPECT_TRUE(cache.Lookup(RouteCacheKey{1, 2, 0}, &got));
+  EXPECT_FALSE(got.budget_degraded);
+  const RouteCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.admission.degraded_rejected, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST(RouteCacheTest, AfterNMissesAdmitsDegradedOnSecondMiss) {
+  RouteCacheOptions options;
+  options.admission.degraded = DegradedAdmission::kAfterNMisses;
+  options.admission.admit_after_misses = 2;
+  RouteCache cache(options);
+  const RouteCacheKey key{1, 2, 0};
+  const RouteResult degraded = MakeDegradedResult(1, 4);
+  RouteResult got;
+  cache.Insert(key, degraded);  // miss 1: gated out
+  EXPECT_FALSE(cache.Lookup(key, &got));
+  cache.Insert(key, degraded);  // miss 2: admitted
+  ASSERT_TRUE(cache.Lookup(key, &got));
+  // The degrade tag travels in the cached value.
+  EXPECT_TRUE(got.budget_degraded);
+  EXPECT_TRUE(got == degraded);
+}
+
+TEST(RouteCacheTest, DegradedEntriesParticipateInLruEviction) {
+  // Admitted degraded entries are ordinary residents: they occupy bytes,
+  // age through the LRU list, and are evicted like full-fidelity ones.
+  const size_t entry = RouteCache::EntryBytes(MakeResult(0, 8));
+  RouteCacheOptions options;
+  options.num_shards = 1;  // deterministic LRU order
+  options.capacity_bytes = 2 * entry;
+  RouteCache cache(options);  // kTagged: degraded entries admitted
+  auto key = [](VertexId s) { return RouteCacheKey{s, s + 1, 0}; };
+  cache.Insert(key(1), MakeDegradedResult(1, 8));
+  cache.Insert(key(2), MakeResult(2, 8));
+  RouteResult got;
+  ASSERT_TRUE(cache.Lookup(key(1), &got));
+  EXPECT_TRUE(got.budget_degraded);
+  // 2 is now LRU; a third insert evicts it and keeps the degraded entry.
+  cache.Insert(key(3), MakeResult(3, 8));
+  EXPECT_TRUE(cache.Lookup(key(1), &got));
+  EXPECT_FALSE(cache.Lookup(key(2), &got));
+  EXPECT_TRUE(cache.Lookup(key(3), &got));
+  // And a degraded entry is itself evictable once least-recently used.
+  cache.Insert(key(4), MakeResult(4, 8));  // evicts 1 (LRU after misses)
+  EXPECT_FALSE(cache.Lookup(key(1), &got));
+  EXPECT_EQ(cache.GetStats().evictions, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// SingleFlight units.
+
+TEST(SingleFlightTest, FollowerReceivesLeadersResultWithoutRecomputing) {
+  SingleFlight flights;
+  const QueryKey key{1, 2, 0};
+  const RouteResult value = MakeResult(5, 3);
+  std::atomic<int> computes{0};
+  std::atomic<bool> leader_in_compute{false};
+  std::atomic<bool> release_leader{false};
+
+  std::thread leader([&] {
+    const auto r = flights.Do(key, [&]() -> Result<RouteResult> {
+      computes.fetch_add(1);
+      leader_in_compute.store(true);
+      while (!release_leader.load()) std::this_thread::yield();
+      return value;
+    });
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(*r == value);
+  });
+  // Hold the leader inside compute() so the follower must coalesce.
+  while (!leader_in_compute.load()) std::this_thread::yield();
+  std::thread follower([&] {
+    const auto r = flights.Do(key, [&]() -> Result<RouteResult> {
+      computes.fetch_add(1);
+      return value;
+    });
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(*r == value);
+  });
+  // Join() counts the follower before it blocks, so waiting on the stat
+  // makes the schedule deterministic: release only after coalescing.
+  while (flights.GetStats().coalesced < 1) std::this_thread::yield();
+  release_leader.store(true);
+  leader.join();
+  follower.join();
+
+  EXPECT_EQ(computes.load(), 1);
+  const SingleFlight::Stats stats = flights.GetStats();
+  EXPECT_EQ(stats.leaders, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+}
+
+TEST(SingleFlightTest, ErrorsFanOutToFollowers) {
+  SingleFlight flights;
+  const QueryKey key{1, 2, 0};
+  std::atomic<bool> leader_in_compute{false};
+  std::atomic<bool> release_leader{false};
+
+  std::thread leader([&] {
+    const auto r = flights.Do(key, [&]() -> Result<RouteResult> {
+      leader_in_compute.store(true);
+      while (!release_leader.load()) std::this_thread::yield();
+      return Result<RouteResult>(Status::NotFound("no route"));
+    });
+    EXPECT_FALSE(r.ok());
+  });
+  while (!leader_in_compute.load()) std::this_thread::yield();
+  std::thread follower([&] {
+    const auto r = flights.Do(key, [&]() -> Result<RouteResult> {
+      ADD_FAILURE() << "follower must not compute";
+      return Result<RouteResult>(Status::Internal("unreachable"));
+    });
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  });
+  while (flights.GetStats().coalesced < 1) std::this_thread::yield();
+  release_leader.store(true);
+  leader.join();
+  follower.join();
+}
+
+TEST(SingleFlightTest, DistinctKeysDoNotCoalesce) {
+  SingleFlight flights;
+  // Sequential calls: each flight completes before the next joins, so
+  // every call leads — including repeat calls for the same key (flights
+  // are removed at publish; lasting reuse is the cache's job).
+  for (int i = 0; i < 3; ++i) {
+    const QueryKey key{static_cast<VertexId>(i), 9, 0};
+    const auto r = flights.Do(key, [&]() -> Result<RouteResult> {
+      return MakeResult(static_cast<VertexId>(i), 2);
+    });
+    ASSERT_TRUE(r.ok());
+  }
+  const auto again = flights.Do(QueryKey{0, 9, 0}, [&] {
+    return Result<RouteResult>(MakeResult(0, 2));
+  });
+  ASSERT_TRUE(again.ok());
+  const SingleFlight::Stats stats = flights.GetStats();
+  EXPECT_EQ(stats.leaders, 4u);
+  EXPECT_EQ(stats.coalesced, 0u);
+}
+
+TEST(SingleFlightTest, ConcurrentMixedKeysStayConsistent) {
+  SingleFlight flights;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&flights, &mismatches, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const VertexId s = static_cast<VertexId>((t * 13 + i) % 17);
+        const QueryKey key{s, s + 1, static_cast<uint8_t>(i % 2)};
+        const size_t hops = 2 + s % 3;
+        const auto r = flights.Do(key, [s, hops]() -> Result<RouteResult> {
+          return MakeResult(s, hops);
+        });
+        // Leader or follower, the result must be the deterministic
+        // function of the key.
+        if (!r.ok() || !(*r == MakeResult(s, hops))) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  const SingleFlight::Stats stats = flights.GetStats();
+  EXPECT_EQ(stats.leaders + stats.coalesced,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
 }
 
 // ---------------------------------------------------------------------------
@@ -407,6 +653,82 @@ TEST_F(ServeTest, BudgetDegradeIsDeterministicAndFlagged) {
     const auto again = serving.Route(&ctx, queries[i].s, queries[i].d,
                                      queries[i].departure_time);
     ExpectSameResult(first[i], again, i);
+  }
+}
+
+TEST_F(ServeTest, AllDuplicateBatchesCoalesceByteIdentically) {
+  // A batch that is one query repeated: the degenerate commute burst.
+  const std::vector<BatchQuery> base = MakeQueries(8);
+  ASSERT_GT(base.size(), 1u);
+  constexpr size_t kCopies = 24;
+  const std::vector<BatchQuery> batch(kCopies, base.front());
+  const auto want = PlainResults(batch);
+
+  for (const unsigned threads : {1u, 4u}) {
+    ServingRouter serving(router_);  // cache + memo + single-flight on
+    BatchRouter dedup(&serving, BatchRouterOptions{threads, true});
+    const auto got = dedup.RouteAll(batch);
+    ASSERT_EQ(got.size(), batch.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectSameResult(want[i], got[i], i);
+    }
+    // One representative routed; every other slot was a copy.
+    EXPECT_EQ(dedup.DuplicatesCollapsed(), kCopies - 1);
+    EXPECT_EQ(serving.GetStats().queries, 1u);
+  }
+}
+
+TEST_F(ServeTest, InterleavedDuplicateBatchesCoalesceByteIdentically) {
+  // Duplicates spread across the batch (q0 q1 ... qN q0 q1 ...), the
+  // shape the scenario suite's duplicate_heavy workload stresses.
+  const std::vector<BatchQuery> base = MakeQueries(12);
+  ASSERT_GT(base.size(), 4u);
+  std::vector<BatchQuery> batch;
+  for (int rep = 0; rep < 4; ++rep) {
+    batch.insert(batch.end(), base.begin(), base.end());
+  }
+  const auto want = PlainResults(batch);
+
+  for (const unsigned threads : {1u, 4u}) {
+    // Dedup through the full serving stack: batch-level coalescing in
+    // front, single-flight + cache behind.
+    ServingRouter serving(router_);
+    BatchRouter dedup(&serving, BatchRouterOptions{threads, true});
+    const auto got = dedup.RouteAll(batch);
+    ASSERT_EQ(got.size(), batch.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectSameResult(want[i], got[i], i);
+    }
+    EXPECT_EQ(dedup.DuplicatesCollapsed(), batch.size() - base.size());
+  }
+}
+
+TEST_F(ServeTest, SingleFlightAloneKeepsBatchResultsByteIdentical) {
+  // Batch dedup off and cache off: every duplicate slot reaches the
+  // single-flight layer itself, concurrently at t=4. Results must still
+  // be byte-identical to the cold path, whatever coalescing happened.
+  const std::vector<BatchQuery> base = MakeQueries(12);
+  std::vector<BatchQuery> batch;
+  for (int rep = 0; rep < 4; ++rep) {
+    batch.insert(batch.end(), base.begin(), base.end());
+  }
+  const auto want = PlainResults(batch);
+
+  for (const unsigned threads : {1u, 4u}) {
+    ServingRouterOptions options;
+    options.enable_route_cache = false;
+    options.enable_stitch_memo = false;
+    ServingRouter serving(router_, options);
+    ASSERT_TRUE(serving.single_flight_enabled());
+    BatchRouter batch_router(&serving, BatchRouterOptions{threads, false});
+    const auto got = batch_router.RouteAll(batch);
+    ASSERT_EQ(got.size(), batch.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectSameResult(want[i], got[i], i);
+    }
+    // Every call either led or coalesced; nothing is lost or duplicated.
+    const SingleFlight::Stats stats = serving.GetStats().single_flight;
+    EXPECT_EQ(stats.leaders + stats.coalesced, batch.size());
   }
 }
 
