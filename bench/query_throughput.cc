@@ -6,20 +6,28 @@
 // evictions, budget degrades), runs the named scenario suite
 // (bench/workloads.h: uniform / zipf / commute_burst / adversarial_cold /
 // duplicate_heavy) with batch-level dedup off vs on plus a
-// single-flight determinism ladder at t = 1/2/4/8, and writes
-// BENCH_query_throughput.json so the perf trajectory accumulates across
-// PRs (see README "Benchmarking" for the schema).
+// single-flight determinism ladder at t = 1/2/4/8, replays the streaming
+// arrival suite (bench/workloads.h: poisson / bursty inter-arrival
+// jitter) through StreamRouter — deadline-batched admission over the
+// full serving stack, reporting QPS, batch-size histogram and queue-wait
+// percentiles — and writes BENCH_query_throughput.json so the perf
+// trajectory accumulates across PRs (see README "Benchmarking" for the
+// schema).
 //
 // Environment knobs: L2R_BENCH_SCALE (default 0.3), L2R_BENCH_QUERIES
 // (default 1200), L2R_BENCH_OUT (default BENCH_query_throughput.json),
 // L2R_BENCH_CACHE (default 1; 0 skips the cache-on serving pass),
-// L2R_BENCH_BUDGET_US (default 25; 0 disables the fallback budget).
+// L2R_BENCH_BUDGET_US (default 25; 0 disables the fallback budget),
+// L2R_BENCH_STREAM (default 1; 0 skips the streaming pass),
+// L2R_BENCH_STREAM_GAP_US (default 50; mean inter-arrival gap).
 
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <string>
+#include <thread>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -28,6 +36,7 @@
 #include "common/timer.h"
 #include "core/batch_router.h"
 #include "serve/serving_router.h"
+#include "serve/stream_router.h"
 #include "workloads.h"
 
 using namespace l2r;
@@ -52,6 +61,17 @@ bool CacheEnabled() {
 double FallbackBudgetUs() {
   const char* env = std::getenv("L2R_BENCH_BUDGET_US");
   return env != nullptr ? std::atof(env) : 25.0;
+}
+
+bool StreamEnabled() {
+  const char* env = std::getenv("L2R_BENCH_STREAM");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
+double StreamGapUs() {
+  const char* env = std::getenv("L2R_BENCH_STREAM_GAP_US");
+  const double v = env != nullptr ? std::atof(env) : 50.0;
+  return v > 0 ? v : 50.0;
 }
 
 /// True when the two result slots are byte-equivalent routing outcomes.
@@ -90,6 +110,23 @@ struct LatencySummary {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+};
+
+/// Per-arrival-schedule streaming measurements (StreamRouter replay).
+struct StreamReport {
+  std::string name;
+  size_t slots = 0;
+  double mean_gap_us = 0;  ///< realized mean of the generated schedule
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t batches = 0;
+  uint64_t closed_by_size = 0;
+  uint64_t closed_by_deadline = 0;
+  uint64_t closed_by_shutdown = 0;
+  double qps = 0;
+  double mean_batch = 0;
+  LatencySummary queue_wait_us;
+  std::vector<std::pair<size_t, uint64_t>> batch_size_hist;
 };
 
 LatencySummary Summarize(const std::vector<double>& latency_us) {
@@ -409,6 +446,99 @@ int main() {
     scenario_reports.push_back(rep);
   }
 
+  // --- Streaming front-end: replay the arrival suite (Poisson and
+  // bursty jitter over a Zipf-skewed query order) through StreamRouter,
+  // which forms batches by deadline/size and drains them through the
+  // full serving stack (batch dedup + cache + single-flight + budget).
+  // Queue waits are reported from the StreamResult close-time stamps,
+  // batch shapes from the router's histogram.
+  constexpr size_t kStreamMaxBatch = 64;
+  constexpr int64_t kStreamDeadlineUs = 1000;
+  const bool stream_enabled = StreamEnabled();
+  const double stream_gap_us = StreamGapUs();
+  std::vector<StreamReport> stream_reports;
+  bool streaming_ok = true;
+  if (stream_enabled) {
+    const size_t stream_slots = 2 * distinct;
+    const bench::Scenario stream_order =
+        bench::ZipfScenario(distinct, stream_slots, 727);
+    for (const bench::ArrivalSchedule& schedule :
+         bench::BuildArrivalSchedules(stream_slots, stream_gap_us, 727)) {
+      StreamReport rep;
+      rep.name = schedule.name;
+      rep.slots = stream_slots;
+      rep.mean_gap_us = bench::MeanGapUs(schedule);
+
+      ServingRouterOptions serving_options;
+      serving_options.deadline.fallback_budget_us = budget_us;
+      if (!cache_enabled) {
+        serving_options.enable_route_cache = false;
+        serving_options.enable_stitch_memo = false;
+      }
+      ServingRouter serving(&l2r, serving_options);
+      StreamOptions stream_options;
+      stream_options.max_batch = kStreamMaxBatch;
+      stream_options.batch_deadline_us = kStreamDeadlineUs;
+      stream_options.dedup = true;
+      StreamRouter stream(&serving, stream_options);
+
+      // Callbacks run on the batcher thread only; each writes its own
+      // slot, and the acquire on `completed` below orders the reads.
+      std::vector<double> waits(stream_slots, 0.0);
+      Timer wall;
+      int64_t due_us = 0;
+      for (size_t i = 0; i < stream_slots; ++i) {
+        due_us += schedule.gap_us[i];
+        // Pace to the slot's arrival time: gaps are tens of µs, far
+        // below what a sleep could honor. Yield inside the spin so the
+        // batcher/drain thread still runs on a 1-core container —
+        // otherwise the queue-wait tail measures scheduler starvation,
+        // not batch formation.
+        while (wall.ElapsedSeconds() * 1e6 < static_cast<double>(due_us)) {
+          std::this_thread::yield();
+        }
+        stream.Submit(queries[stream_order.order[i]],
+                      [&waits, i](const StreamResult& r) {
+                        waits[i] = static_cast<double>(r.queue_wait_us);
+                      });
+      }
+      while (stream.GetStats().completed < stream_slots) {
+        std::this_thread::yield();
+      }
+      const double elapsed = wall.ElapsedSeconds();
+
+      const StreamRouter::Stats stats = stream.GetStats();
+      rep.submitted = stats.submitted;
+      rep.completed = stats.completed;
+      rep.batches = stats.batches;
+      rep.closed_by_size = stats.closed_by_size;
+      rep.closed_by_deadline = stats.closed_by_deadline;
+      rep.closed_by_shutdown = stats.closed_by_shutdown;
+      rep.qps = static_cast<double>(stream_slots) / elapsed;
+      rep.mean_batch = stats.batches == 0
+                           ? 0
+                           : static_cast<double>(stream_slots) /
+                                 static_cast<double>(stats.batches);
+      rep.queue_wait_us = Summarize(waits);
+      rep.batch_size_hist = stats.batch_size_hist;
+      streaming_ok = streaming_ok && rep.submitted == stream_slots &&
+                     rep.completed == stream_slots;
+      std::printf(
+          "[stream %-8s] %zu slots (mean gap %.1f us): %.0f qps, "
+          "%llu batches (mean %.1f; %llu size / %llu deadline), "
+          "queue wait p50 %.1f / p95 %.1f / p99 %.1f us\n",
+          rep.name.c_str(), rep.slots, rep.mean_gap_us, rep.qps,
+          static_cast<unsigned long long>(rep.batches), rep.mean_batch,
+          static_cast<unsigned long long>(rep.closed_by_size),
+          static_cast<unsigned long long>(rep.closed_by_deadline),
+          rep.queue_wait_us.p50, rep.queue_wait_us.p95,
+          rep.queue_wait_us.p99);
+      stream_reports.push_back(rep);
+    }
+  } else {
+    std::printf("[stream] skipped (L2R_BENCH_STREAM=0)\n");
+  }
+
   // --- JSON artifact.
   const std::string out_path = OutPath();
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -509,6 +639,51 @@ int main() {
                  i + 1 == scenario_reports.size() ? "" : ",");
   }
   std::fprintf(f, "  },\n");
+  if (stream_enabled) {
+    std::fprintf(f, "  \"streaming\": {\n");
+    std::fprintf(f,
+                 "    \"max_batch\": %zu, \"batch_deadline_us\": %lld, "
+                 "\"mean_gap_us\": %.2f,\n",
+                 kStreamMaxBatch, static_cast<long long>(kStreamDeadlineUs),
+                 stream_gap_us);
+    for (size_t i = 0; i < stream_reports.size(); ++i) {
+      const StreamReport& rep = stream_reports[i];
+      std::fprintf(f, "    \"%s\": {\n", rep.name.c_str());
+      std::fprintf(
+          f,
+          "      \"slots\": %zu, \"submitted\": %llu, \"completed\": %llu, "
+          "\"schedule_mean_gap_us\": %.2f,\n",
+          rep.slots, static_cast<unsigned long long>(rep.submitted),
+          static_cast<unsigned long long>(rep.completed), rep.mean_gap_us);
+      std::fprintf(
+          f,
+          "      \"qps\": %.1f, \"batches\": %llu, \"mean_batch\": %.2f, "
+          "\"closed_by_size\": %llu, \"closed_by_deadline\": %llu, "
+          "\"closed_by_shutdown\": %llu,\n",
+          rep.qps, static_cast<unsigned long long>(rep.batches),
+          rep.mean_batch, static_cast<unsigned long long>(rep.closed_by_size),
+          static_cast<unsigned long long>(rep.closed_by_deadline),
+          static_cast<unsigned long long>(rep.closed_by_shutdown));
+      std::fprintf(f,
+                   "      \"queue_wait_us\": {\"mean\": %.2f, \"p50\": %.2f, "
+                   "\"p95\": %.2f, \"p99\": %.2f},\n",
+                   rep.queue_wait_us.mean, rep.queue_wait_us.p50,
+                   rep.queue_wait_us.p95, rep.queue_wait_us.p99);
+      std::fprintf(f, "      \"batch_size_hist\": {");
+      for (size_t h = 0; h < rep.batch_size_hist.size(); ++h) {
+        std::fprintf(f, "%s\"%zu\": %llu", h == 0 ? "" : ", ",
+                     rep.batch_size_hist[h].first,
+                     static_cast<unsigned long long>(
+                         rep.batch_size_hist[h].second));
+      }
+      std::fprintf(f, "}\n");
+      std::fprintf(f, "    }%s\n",
+                   i + 1 == stream_reports.size() ? "" : ",");
+    }
+    std::fprintf(f, "  },\n");
+  } else {
+    std::fprintf(f, "  \"streaming\": null,\n");
+  }
   std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
                deterministic ? "true" : "false");
   std::fprintf(f, "  \"runs\": [\n");
@@ -522,5 +697,5 @@ int main() {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("[json] wrote %s\n", out_path.c_str());
-  return deterministic && scenarios_ok ? 0 : 2;
+  return deterministic && scenarios_ok && streaming_ok ? 0 : 2;
 }

@@ -155,6 +155,78 @@ inline Scenario DuplicateHeavyScenario(size_t distinct, size_t slots,
   return s;
 }
 
+/// A seeded inter-arrival schedule for the streaming front-end:
+/// gap_us[i] is the time between the (i-1)-th and i-th submission
+/// (gap_us[0] before the first). Pairs with a Scenario's slot order —
+/// the Scenario decides *which* query arrives, the schedule decides
+/// *when* — so streaming runs isolate how batch formation copes with
+/// arrival jitter, not with route difficulty.
+struct ArrivalSchedule {
+  std::string name;
+  std::string summary;  ///< one line for logs / docs
+  std::vector<int64_t> gap_us;
+};
+
+/// Mean inter-arrival gap of a schedule, in microseconds (the inverse of
+/// the offered QPS).
+inline double MeanGapUs(const ArrivalSchedule& schedule) {
+  if (schedule.gap_us.empty()) return 0;
+  double sum = 0;
+  for (const int64_t g : schedule.gap_us) sum += static_cast<double>(g);
+  return sum / static_cast<double>(schedule.gap_us.size());
+}
+
+/// Poisson arrivals: iid exponential gaps with the given mean. The
+/// memoryless baseline — jitter without structure.
+inline ArrivalSchedule PoissonArrivals(size_t slots, double mean_gap_us,
+                                       uint64_t seed) {
+  ArrivalSchedule a;
+  a.name = "poisson";
+  a.summary = "iid exponential inter-arrival gaps";
+  Rng rng(seed);
+  a.gap_us.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    a.gap_us.push_back(
+        static_cast<int64_t>(rng.Exponential(1.0 / mean_gap_us)));
+  }
+  return a;
+}
+
+/// Bursty arrivals: runs of `burst` back-to-back submissions (gap 0)
+/// separated by idle gaps sized — with ±50% jitter — to preserve the
+/// same offered mean rate as the Poisson schedule. The case deadline
+/// batching exists for: bursts close batches by size, the idle tail
+/// closes them by deadline.
+inline ArrivalSchedule BurstyArrivals(size_t slots, size_t burst,
+                                      double mean_gap_us, uint64_t seed) {
+  ArrivalSchedule a;
+  a.name = "bursty";
+  a.summary = "back-to-back bursts separated by jittered idle gaps";
+  Rng rng(seed);
+  burst = std::max<size_t>(1, burst);
+  const double idle_gap_us = mean_gap_us * static_cast<double>(burst);
+  a.gap_us.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    if (i % burst == 0) {
+      a.gap_us.push_back(
+          static_cast<int64_t>(idle_gap_us * rng.Uniform(0.5, 1.5)));
+    } else {
+      a.gap_us.push_back(0);
+    }
+  }
+  return a;
+}
+
+/// The streaming arrival suite, in reporting order; seeded and
+/// bit-reproducible like the scenario suite.
+inline std::vector<ArrivalSchedule> BuildArrivalSchedules(
+    size_t slots, double mean_gap_us, uint64_t seed) {
+  std::vector<ArrivalSchedule> schedules;
+  schedules.push_back(PoissonArrivals(slots, mean_gap_us, seed + 1));
+  schedules.push_back(BurstyArrivals(slots, 16, mean_gap_us, seed + 2));
+  return schedules;
+}
+
 /// The named scenario suite, in reporting order. All generation is
 /// seeded, so a (distinct, slots, seed) triple reproduces bit-identical
 /// workloads across runs and machines.

@@ -9,10 +9,14 @@
 #        L2R_BENCH_OUT       output JSON path    (default BENCH_query_throughput.json)
 #        L2R_BENCH_CACHE     serving-cache pass  (default 1; 0 = cache-off only)
 #        L2R_BENCH_BUDGET_US fallback budget, us (default 25; 0 = no budget)
+#        L2R_BENCH_STREAM    streaming pass      (default 1; 0 = skip)
+#        L2R_BENCH_STREAM_GAP_US  mean arrival gap, us (default 50)
 #
 # The bench reports per-query latency percentiles, the serving-cache
 # comparison (cache off vs on over a skewed repeated-query workload),
-# and multi-core batch QPS for t = 1, 2, 4, 8.
+# multi-core batch QPS for t = 1, 2, 4, 8, the scenario dedup suite, and
+# the streaming front-end replay (Poisson / bursty arrivals through
+# StreamRouter: QPS, batch-size histogram, queue-wait percentiles).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -13,6 +13,11 @@ Checks (per file):
   - every scenario block has dedup_off/dedup_on with positive QPS,
     duplicate_fraction in [0, 1], routed + collapsed == slots, and both
     determinism flags true;
+  - the streaming block (unless skipped with L2R_BENCH_STREAM=0) has a
+    poisson and a bursty schedule, each with submitted == completed ==
+    slots, monotone non-negative queue-wait percentiles, close-reason
+    counts summing to the batch count, and a batch-size histogram that
+    sums back to the submitted count (no query lost or double-counted);
   - the duplicate_heavy scenario shows a dedup-on improvement (QPS up and
     mean latency down vs dedup-off) — the structural win, stated as a
     generous >= 1.2x bound so CI noise cannot flake it.
@@ -39,9 +44,12 @@ REQUIRED_TOP_KEYS = [
     "latency_us",
     "serving",
     "scenarios",
+    "streaming",
     "deterministic_across_threads",
     "runs",
 ]
+
+STREAM_SCHEDULES = ["poisson", "bursty"]
 
 SCENARIO_NAMES = [
     "uniform",
@@ -183,6 +191,83 @@ def check_scenarios(scenarios):
     )
 
 
+def check_streaming(streaming):
+    if streaming is None:
+        return  # streaming pass skipped (L2R_BENCH_STREAM=0)
+    require(isinstance(streaming, dict), "streaming: not an object")
+    for key in ("max_batch", "batch_deadline_us", "mean_gap_us"):
+        require(key in streaming, f"streaming: missing '{key}'")
+    max_batch = streaming["max_batch"]
+    for name in STREAM_SCHEDULES:
+        require(name in streaming, f"streaming: missing '{name}'")
+        sc = streaming[name]
+        where = f"streaming.{name}"
+        for key in (
+            "slots",
+            "submitted",
+            "completed",
+            "qps",
+            "batches",
+            "closed_by_size",
+            "closed_by_deadline",
+            "closed_by_shutdown",
+            "queue_wait_us",
+            "batch_size_hist",
+        ):
+            require(key in sc, f"{where}: missing '{key}'")
+        require(sc["slots"] > 0, f"{where}: slots must be > 0")
+        require(
+            sc["submitted"] == sc["slots"] == sc["completed"],
+            f"{where}: submitted ({sc['submitted']}) / completed "
+            f"({sc['completed']}) != slots ({sc['slots']}) — "
+            "queries were lost or rejected",
+        )
+        require(sc["qps"] > 0, f"{where}: non-positive qps")
+        require(sc["batches"] > 0, f"{where}: no batches closed")
+        closes = (
+            sc["closed_by_size"]
+            + sc["closed_by_deadline"]
+            + sc["closed_by_shutdown"]
+        )
+        require(
+            closes == sc["batches"],
+            f"{where}: close reasons ({closes}) != batches "
+            f"({sc['batches']})",
+        )
+        wait = sc["queue_wait_us"]
+        for key in ("mean", "p50", "p95", "p99"):
+            require(key in wait, f"{where}.queue_wait_us: missing '{key}'")
+        require(
+            wait["mean"] >= 0, f"{where}.queue_wait_us: negative mean"
+        )
+        require(
+            0 <= wait["p50"] <= wait["p95"] <= wait["p99"],
+            f"{where}.queue_wait_us: percentiles not monotone "
+            f"(p50={wait['p50']}, p95={wait['p95']}, p99={wait['p99']})",
+        )
+        hist = sc["batch_size_hist"]
+        require(
+            isinstance(hist, dict) and hist,
+            f"{where}: batch_size_hist missing or empty",
+        )
+        hist_batches = sum(hist.values())
+        hist_queries = sum(int(size) * count for size, count in hist.items())
+        require(
+            all(1 <= int(size) <= max_batch for size in hist),
+            f"{where}: batch size outside [1, max_batch={max_batch}]",
+        )
+        require(
+            hist_batches == sc["batches"],
+            f"{where}: histogram batches ({hist_batches}) != batches "
+            f"({sc['batches']})",
+        )
+        require(
+            hist_queries == sc["submitted"],
+            f"{where}: histogram queries ({hist_queries}) != submitted "
+            f"({sc['submitted']}) — slots leaked from the histogram",
+        )
+
+
 def check_file(path):
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
@@ -198,6 +283,7 @@ def check_file(path):
     check_serving(data["serving"])
     check_runs(data["runs"])
     check_scenarios(data["scenarios"])
+    check_streaming(data["streaming"])
     require(
         data["deterministic_across_threads"] is True,
         "deterministic_across_threads is not true",

@@ -50,6 +50,14 @@ std::vector<Result<RouteResult>> BatchRouter::RouteIndices(
   return out;
 }
 
+void BatchRouter::RouteAll(const std::vector<BatchQuery>& queries,
+                           const Completion& done) {
+  std::vector<Result<RouteResult>> results = RouteAll(queries);
+  for (size_t i = 0; i < results.size(); ++i) {
+    done(i, std::move(results[i]));
+  }
+}
+
 std::vector<Result<RouteResult>> BatchRouter::RouteAll(
     const std::vector<BatchQuery>& queries) {
   if (!dedup_) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/workspace_pool.h"
@@ -64,6 +65,18 @@ class BatchRouter {
   /// Routes every query; results are index-aligned with `queries`.
   std::vector<Result<RouteResult>> RouteAll(
       const std::vector<BatchQuery>& queries);
+
+  /// Per-slot completion hook: `done(slot, result)` receives ownership of
+  /// slot's result. Invoked on the calling thread, in slot order, after
+  /// the (parallel) routing of the whole batch finishes — so invocation
+  /// order is deterministic and `done` needs no synchronization of its
+  /// own. This is how streaming front-ends (serve/StreamRouter) fan a
+  /// drained batch back out to per-query callbacks.
+  using Completion = std::function<void(size_t slot, Result<RouteResult>)>;
+
+  /// Routes every query, then feeds each result to `done`.
+  void RouteAll(const std::vector<BatchQuery>& queries,
+                const Completion& done);
 
   /// Query contexts created so far (the warm-up high-water mark; stays
   /// flat across repeated RouteAll calls).

@@ -1,0 +1,92 @@
+#include "serve/clock.h"
+
+#include <algorithm>
+
+namespace l2r {
+
+int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::cv_status SystemClock::WaitUntil(std::condition_variable& cv,
+                                      std::unique_lock<std::mutex>& lock,
+                                      int64_t deadline_us) {
+  // Deadlines at or beyond ~35 years (2^50 us) would overflow the
+  // steady_clock's nanosecond time_point arithmetic — wait_until would
+  // return immediately and turn the caller's wait loop into a busy
+  // spin. They mean "effectively never" in any real process lifetime,
+  // so wait untimed instead: external notifies still wake the caller,
+  // exactly as with kNoDeadline.
+  constexpr int64_t kMaxTimedWaitUs = int64_t{1} << 50;
+  if (deadline_us >= kMaxTimedWaitUs) {
+    cv.wait(lock);
+    return std::cv_status::no_timeout;
+  }
+  return cv.wait_until(lock, epoch_ + std::chrono::microseconds(deadline_us));
+}
+
+SystemClock* SystemClock::Shared() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+std::cv_status ManualClock::WaitUntil(std::condition_variable& cv,
+                                      std::unique_lock<std::mutex>& lock,
+                                      int64_t deadline_us) {
+  std::shared_ptr<Waiter> waiter;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    // Checking under mu_ orders this check against AdvanceMicros' bump:
+    // either the advance already happened (we observe it here and return
+    // timeout without waiting) or our registration is visible to it.
+    if (now_us_.load(std::memory_order_acquire) >= deadline_us) {
+      return std::cv_status::timeout;
+    }
+    waiter = std::make_shared<Waiter>();
+    waiter->cv = &cv;
+    waiter->mu = lock.mutex();
+    std::erase_if(waiters_, [](const std::shared_ptr<Waiter>& w) {
+      return !w->active.load(std::memory_order_acquire);
+    });
+    waiters_.push_back(waiter);
+  }
+  cv.wait(lock);
+  waiter->active.store(false, std::memory_order_release);
+  return NowMicros() >= deadline_us ? std::cv_status::timeout
+                                    : std::cv_status::no_timeout;
+}
+
+void ManualClock::AdvanceMicros(int64_t delta_us) {
+  std::vector<std::shared_ptr<Waiter>> snapshot;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    now_us_.fetch_add(delta_us, std::memory_order_acq_rel);
+    snapshot = waiters_;
+  }
+  for (const std::shared_ptr<Waiter>& w : snapshot) {
+    if (!w->active.load(std::memory_order_acquire)) continue;
+    // Acquiring the waiter's mutex before notifying closes the race with
+    // a waiter that has registered but not yet entered cv.wait: it still
+    // holds this mutex, so the notify cannot fire until it waits.
+    std::lock_guard<std::mutex> guard(*w->mu);
+    w->cv->notify_all();
+  }
+}
+
+void ManualClock::AdvanceTo(int64_t now_us) {
+  const int64_t now = NowMicros();
+  if (now_us > now) AdvanceMicros(now_us - now);
+}
+
+size_t ManualClock::NumWaiters() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return static_cast<size_t>(
+      std::count_if(waiters_.begin(), waiters_.end(),
+                    [](const std::shared_ptr<Waiter>& w) {
+                      return w->active.load(std::memory_order_acquire);
+                    }));
+}
+
+}  // namespace l2r

@@ -1,0 +1,117 @@
+#ifndef L2R_SERVE_CLOCK_H_
+#define L2R_SERVE_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace l2r {
+
+/// Time source + timed-wait seam for the serving layer. Production code
+/// runs on SystemClock; tests inject ManualClock and drive arrival
+/// patterns, batch deadlines and close races by stepping virtual time —
+/// no real sleeps, so timing tests are deterministic and fast.
+///
+/// WaitUntil mirrors condition_variable::wait_until: the caller holds
+/// `lock`, may be woken spuriously or by an external notify on `cv`, and
+/// must re-check its predicate in a loop. The clock guarantees only that
+/// a waiter whose deadline has been reached (really or virtually) wakes
+/// and observes timeout.
+class Clock {
+ public:
+  /// Sentinel deadline meaning "wait for a notify only, never time out".
+  static constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds since an arbitrary per-clock epoch.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Waits on `cv` (with `lock` held) until notified or until
+  /// NowMicros() >= deadline_us. Returns std::cv_status::timeout iff the
+  /// deadline had been reached when the wait returned.
+  virtual std::cv_status WaitUntil(std::condition_variable& cv,
+                                   std::unique_lock<std::mutex>& lock,
+                                   int64_t deadline_us) = 0;
+};
+
+/// Steady-clock-backed Clock — the production default.
+class SystemClock final : public Clock {
+ public:
+  SystemClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  int64_t NowMicros() const override;
+  std::cv_status WaitUntil(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lock,
+                           int64_t deadline_us) override;
+
+  /// Process-wide shared instance (epoch fixed at first use).
+  static SystemClock* Shared();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Virtual clock for tests: time moves only when AdvanceMicros/AdvanceTo
+/// is called. Threads blocked in WaitUntil are woken by any advance (and
+/// by external notifies, as usual) and re-check their deadline against
+/// the new virtual now.
+///
+/// Lost-wakeup freedom: WaitUntil registers the waiter and checks the
+/// deadline under the clock's own mutex, and an advance notifies each
+/// registered waiter while holding that waiter's mutex — so an advance
+/// can never slip into the window between a waiter's deadline check and
+/// its wait. Two lifetime/ordering rules follow (both are the natural
+/// single-test-thread usage):
+///  - Advance must NOT be called while holding a mutex some waiter
+///    passed to WaitUntil (the advance path acquires it);
+///  - a cv/mutex passed to WaitUntil must outlive any concurrent
+///    Advance call (the advance path may still touch them after an
+///    externally-notified waiter has returned) — i.e. don't destroy a
+///    waiting object, e.g. a StreamRouter on this clock, from one
+///    thread while another is mid-Advance.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(int64_t start_us = 0) : now_us_(start_us) {}
+
+  int64_t NowMicros() const override {
+    return now_us_.load(std::memory_order_acquire);
+  }
+  std::cv_status WaitUntil(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lock,
+                           int64_t deadline_us) override;
+
+  /// Steps virtual time forward and wakes every registered waiter.
+  void AdvanceMicros(int64_t delta_us);
+  /// Advances to an absolute virtual time; no-op when already past it.
+  void AdvanceTo(int64_t now_us);
+
+  /// Threads currently blocked inside WaitUntil. The test-side sync
+  /// primitive: spin until a background thread has parked (e.g. the
+  /// stream batcher waiting out a batch deadline) before advancing past
+  /// its deadline or asserting that nothing has happened yet.
+  size_t NumWaiters() const;
+
+ private:
+  struct Waiter {
+    std::condition_variable* cv = nullptr;
+    std::mutex* mu = nullptr;
+    /// Cleared by the waiter on wake; advances skip inactive records and
+    /// registration prunes them, so the list stays small.
+    std::atomic<bool> active{true};
+  };
+
+  std::atomic<int64_t> now_us_;
+  mutable std::mutex mu_;  ///< guards waiters_
+  std::vector<std::shared_ptr<Waiter>> waiters_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_SERVE_CLOCK_H_

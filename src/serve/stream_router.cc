@@ -1,0 +1,211 @@
+#include "serve/stream_router.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+
+#include "common/check.h"
+
+namespace l2r {
+
+namespace {
+
+/// Deadline for a batch opened at `now`; saturates below the kNoDeadline
+/// sentinel so an enormous batch_deadline_us still means "some day", not
+/// "never".
+int64_t BatchDeadline(int64_t now, int64_t batch_deadline_us) {
+  if (batch_deadline_us >= Clock::kNoDeadline - now) {
+    return Clock::kNoDeadline - 1;
+  }
+  return now + batch_deadline_us;
+}
+
+}  // namespace
+
+StreamRouter::StreamRouter(const L2RRouter* router,
+                           const StreamOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Shared()),
+      batch_router_(router,
+                    BatchRouterOptions{options.num_threads, options.dedup}) {
+  L2R_CHECK(options_.max_batch >= 1);
+  L2R_CHECK(options_.batch_deadline_us >= 0);
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+StreamRouter::StreamRouter(QueryService* service,
+                           const StreamOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Shared()),
+      batch_router_(service,
+                    BatchRouterOptions{options.num_threads, options.dedup}) {
+  L2R_CHECK(options_.max_batch >= 1);
+  L2R_CHECK(options_.batch_deadline_us >= 0);
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+StreamRouter::~StreamRouter() { Shutdown(); }
+
+bool StreamRouter::Submit(const BatchQuery& query, StreamCallback done) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (stopping_) {
+    ++rejected_;
+    return false;
+  }
+  const int64_t now = clock_->NowMicros();
+  const bool opened = open_.empty();
+  if (opened) {
+    open_deadline_us_ = BatchDeadline(now, options_.batch_deadline_us);
+  }
+  open_.push_back(Pending{query, std::move(done), now});
+  ++submitted_;
+  bool closed = false;
+  if (open_.size() >= options_.max_batch) {
+    // Size closes happen here, not on the batcher, so batch composition
+    // is a pure function of the submission sequence: the submit that
+    // fills a batch always closes it, and the next submit always opens
+    // the next one — no race against a batcher observing "full".
+    CloseOpenLocked(CloseReason::kSize, now);
+    closed = true;
+  }
+  // The batcher only needs a wake when the state it is waiting on
+  // changed: a new batch (new deadline to arm) or a closed one (work to
+  // drain). Appending to a batch whose deadline the batcher already
+  // holds needs none — that keeps the hot path at one wakeup per
+  // batch-state change instead of one per query.
+  if (opened || closed) cv_.notify_all();
+  return true;
+}
+
+StreamResult StreamRouter::SubmitWait(const BatchQuery& query) {
+  auto promise = std::make_shared<std::promise<StreamResult>>();
+  std::future<StreamResult> future = promise->get_future();
+  const bool accepted = Submit(
+      query, [promise](const StreamResult& r) { promise->set_value(r); });
+  if (!accepted) {
+    StreamResult rejected;
+    rejected.result = Result<RouteResult>(
+        Status::FailedPrecondition("stream router is shut down"));
+    return rejected;
+  }
+  return future.get();
+}
+
+void StreamRouter::Shutdown() {
+  bool join = false;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stopping_ = true;
+    if (!batcher_joined_) {
+      batcher_joined_ = true;
+      join = true;
+    }
+    cv_.notify_all();
+  }
+  if (join && batcher_.joinable()) batcher_.join();
+}
+
+void StreamRouter::CloseOpenLocked(CloseReason reason, int64_t close_us) {
+  ClosedBatch batch;
+  batch.queries = std::move(open_);
+  open_.clear();
+  batch.seq = ++batches_;
+  batch.reason = reason;
+  batch.close_us = close_us;
+  switch (reason) {
+    case CloseReason::kSize: ++closed_by_size_; break;
+    case CloseReason::kDeadline: ++closed_by_deadline_; break;
+    case CloseReason::kShutdown: ++closed_by_shutdown_; break;
+  }
+  ++batch_size_hist_[batch.queries.size()];
+  closed_.push_back(std::move(batch));
+}
+
+void StreamRouter::BatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!closed_.empty()) {
+      ClosedBatch batch = std::move(closed_.front());
+      closed_.pop_front();
+      lock.unlock();
+      DrainBatch(std::move(batch));
+      lock.lock();
+      continue;
+    }
+    if (open_.empty()) {
+      if (stopping_) return;
+      clock_->WaitUntil(cv_, lock, Clock::kNoDeadline);
+      continue;
+    }
+    if (stopping_) {
+      if (options_.shutdown == StreamShutdownPolicy::kFlush) {
+        CloseOpenLocked(CloseReason::kShutdown, clock_->NowMicros());
+      } else {
+        std::vector<Pending> pending = std::move(open_);
+        open_.clear();
+        lock.unlock();
+        FailPending(std::move(pending));
+        lock.lock();
+      }
+      continue;
+    }
+    if (clock_->NowMicros() >= open_deadline_us_) {
+      // The logical close time is the deadline itself (not the later
+      // instant the batcher observed it), so queue waits are exact under
+      // virtual clocks and scheduling-independent under real ones.
+      CloseOpenLocked(CloseReason::kDeadline, open_deadline_us_);
+      continue;
+    }
+    clock_->WaitUntil(cv_, lock, open_deadline_us_);
+  }
+}
+
+void StreamRouter::DrainBatch(ClosedBatch batch) {
+  std::vector<BatchQuery> queries;
+  queries.reserve(batch.queries.size());
+  for (const Pending& p : batch.queries) queries.push_back(p.query);
+  batch_router_.RouteAll(
+      queries, [this, &batch](size_t slot, Result<RouteResult> result) {
+        Pending& pending = batch.queries[slot];
+        StreamResult out;
+        out.result = std::move(result);
+        out.batch_seq = batch.seq;
+        out.batch_size = batch.queries.size();
+        out.closed_by_deadline = batch.reason == CloseReason::kDeadline;
+        out.queue_wait_us =
+            std::max<int64_t>(0, batch.close_us - pending.submit_us);
+        pending.done(out);
+        completed_.fetch_add(1, std::memory_order_release);
+      });
+}
+
+void StreamRouter::FailPending(std::vector<Pending> pending) {
+  for (Pending& p : pending) {
+    StreamResult out;
+    out.result = Result<RouteResult>(
+        Status::FailedPrecondition("stream router shut down before batch"));
+    p.done(out);
+    failed_on_shutdown_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+StreamRouter::Stats StreamRouter::GetStats() const {
+  Stats stats;
+  stats.completed = completed_.load(std::memory_order_acquire);
+  stats.failed_on_shutdown =
+      failed_on_shutdown_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> guard(mu_);
+  stats.submitted = submitted_;
+  stats.rejected = rejected_;
+  stats.batches = batches_;
+  stats.closed_by_size = closed_by_size_;
+  stats.closed_by_deadline = closed_by_deadline_;
+  stats.closed_by_shutdown = closed_by_shutdown_;
+  stats.batch_size_hist.assign(batch_size_hist_.begin(),
+                               batch_size_hist_.end());
+  return stats;
+}
+
+}  // namespace l2r

@@ -1,0 +1,188 @@
+#ifndef L2R_SERVE_STREAM_ROUTER_H_
+#define L2R_SERVE_STREAM_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/batch_router.h"
+#include "core/l2r.h"
+#include "serve/clock.h"
+
+namespace l2r {
+
+/// How a StreamRouter disposes of queries still queued when Shutdown()
+/// (or the destructor) runs. Either way every accepted query gets its
+/// callback exactly once — shutdown never hangs and never drops one.
+enum class StreamShutdownPolicy : uint8_t {
+  /// Route the remaining queries as one final (shutdown-closed) batch.
+  kFlush,
+  /// Fail each remaining callback with FailedPrecondition immediately.
+  kFail,
+};
+
+struct StreamOptions {
+  /// Close the open batch as soon as it holds this many queries (>= 1).
+  size_t max_batch = 64;
+  /// Close the open batch once its first query is this old (microseconds
+  /// on the injected clock), even when below max_batch. 0 closes a batch
+  /// as soon as the batcher observes any queued query.
+  int64_t batch_deadline_us = 1000;
+  /// Drain parallelism (BatchRouter threads); 0 = DefaultThreadCount().
+  unsigned num_threads = 0;
+  /// Batch-level dedup on the drain (BatchRouterOptions::dedup): batches
+  /// formed from bursty arrivals concentrate identical queries, the case
+  /// dedup exists for.
+  bool dedup = true;
+  StreamShutdownPolicy shutdown = StreamShutdownPolicy::kFlush;
+  /// Time + wakeup seam (serve/clock.h); null = SystemClock::Shared().
+  /// Must outlive the StreamRouter.
+  Clock* clock = nullptr;
+};
+
+/// What a stream callback receives: the routing result plus the identity
+/// and shape of the batch that served it, so callers can reason about
+/// admission latency without side channels.
+struct StreamResult {
+  Result<RouteResult> result{Status::Internal("not routed")};
+  /// 1-based sequence number of the closed batch (0 for callbacks failed
+  /// by StreamShutdownPolicy::kFail, which never joined a batch).
+  uint64_t batch_seq = 0;
+  size_t batch_size = 0;
+  bool closed_by_deadline = false;
+  /// Submit -> batch close on the injected clock, clamped at 0. Close
+  /// times are *logical*: a deadline close stamps the deadline itself and
+  /// a size close stamps the submit that filled the batch, so the value
+  /// is exact under ManualClock regardless of batcher scheduling.
+  int64_t queue_wait_us = 0;
+};
+
+using StreamCallback = std::function<void(const StreamResult&)>;
+
+/// Streaming front-end over the batch serving stack: accepts queries
+/// continuously via Submit, accumulates them into batches closed by
+/// whichever comes first of max_batch or batch_deadline_us, and drains
+/// each closed batch through a BatchRouter (dedup) into the configured
+/// QueryService (cache + single-flight + budget) — so all the batch-path
+/// machinery composes with arrival jitter.
+///
+/// Threading: Submit is safe from any thread and never blocks on
+/// routing; size-triggered closes happen inside Submit (so batch
+/// composition is a pure function of the submission sequence), while
+/// deadline closes and all draining happen on one internal batcher
+/// thread. Callbacks run on the batcher thread, in slot order within a
+/// batch and batch order across batches; they may Submit (pipelines) but
+/// must not call SubmitWait or Shutdown (self-deadlock).
+///
+/// Determinism: a slot's result is a pure function of its query through
+/// the BatchRouter/QueryService contracts, so results are byte-identical
+/// to a pre-formed BatchRouter run of the same queries — whatever batch
+/// boundaries the arrival jitter produced and for any num_threads.
+class StreamRouter {
+ public:
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;  ///< callbacks invoked with a routed result
+    uint64_t rejected = 0;   ///< Submits refused after shutdown began
+    uint64_t failed_on_shutdown = 0;  ///< callbacks failed by kFail
+    uint64_t batches = 0;
+    uint64_t closed_by_size = 0;
+    uint64_t closed_by_deadline = 0;
+    uint64_t closed_by_shutdown = 0;
+    /// (batch size -> batches closed at that size), ascending by size.
+    std::vector<std::pair<size_t, uint64_t>> batch_size_hist;
+  };
+
+  /// `router`/`service` must outlive the StreamRouter.
+  explicit StreamRouter(const L2RRouter* router,
+                        const StreamOptions& options = {});
+  explicit StreamRouter(QueryService* service,
+                        const StreamOptions& options = {});
+  /// Shutdown()s (flushing or failing queued queries per the policy).
+  ~StreamRouter();
+
+  StreamRouter(const StreamRouter&) = delete;
+  StreamRouter& operator=(const StreamRouter&) = delete;
+
+  /// Enqueues one query; `done` fires exactly once, on the batcher
+  /// thread, when its batch drains (or when shutdown fails it). Returns
+  /// false — without invoking or keeping `done` — once shutdown began.
+  bool Submit(const BatchQuery& query, StreamCallback done);
+
+  /// Blocking convenience: Submit + wait for the callback. After
+  /// shutdown, returns a FailedPrecondition StreamResult. Never call it
+  /// from a stream callback, and under ManualClock only from a thread
+  /// other than the one advancing the clock (the batch must be able to
+  /// close while this blocks).
+  StreamResult SubmitWait(const BatchQuery& query);
+
+  /// Stops accepting queries, disposes of queued ones per the shutdown
+  /// policy, and joins the batcher. Idempotent; must not be called from
+  /// a stream callback.
+  void Shutdown();
+
+  Stats GetStats() const;
+  const StreamOptions& options() const { return options_; }
+  const Clock& clock() const { return *clock_; }
+
+ private:
+  struct Pending {
+    BatchQuery query;
+    StreamCallback done;
+    int64_t submit_us = 0;
+  };
+  enum class CloseReason : uint8_t { kSize, kDeadline, kShutdown };
+  struct ClosedBatch {
+    std::vector<Pending> queries;
+    uint64_t seq = 0;
+    CloseReason reason = CloseReason::kSize;
+    int64_t close_us = 0;
+  };
+
+  /// Moves the open batch onto the closed queue and records the close
+  /// accounting. Caller holds mu_.
+  void CloseOpenLocked(CloseReason reason, int64_t close_us);
+  void BatcherLoop();
+  void DrainBatch(ClosedBatch batch);
+  /// Fails every pending callback with FailedPrecondition (kFail path).
+  void FailPending(std::vector<Pending> pending);
+
+  const StreamOptions options_;
+  Clock* clock_;
+  BatchRouter batch_router_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Pending> open_;        ///< accumulating batch
+  int64_t open_deadline_us_ = 0;     ///< first submit + batch_deadline_us
+  std::deque<ClosedBatch> closed_;   ///< awaiting drain, FIFO
+  bool stopping_ = false;
+  bool batcher_joined_ = false;
+  // Counters guarded by mu_ except completed_/failed_on_shutdown_, which
+  // the drain path updates outside the lock (release order pairs with
+  // the acquire load in GetStats, so a caller that observed completed ==
+  // submitted also observes every callback's side effects).
+  uint64_t submitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t closed_by_size_ = 0;
+  uint64_t closed_by_deadline_ = 0;
+  uint64_t closed_by_shutdown_ = 0;
+  std::map<size_t, uint64_t> batch_size_hist_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_on_shutdown_{0};
+
+  std::thread batcher_;  ///< last member: starts after state is ready
+};
+
+}  // namespace l2r
+
+#endif  // L2R_SERVE_STREAM_ROUTER_H_

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/batch_router.h"
@@ -730,6 +731,106 @@ TEST_F(ServeTest, SingleFlightAloneKeepsBatchResultsByteIdentical) {
     const SingleFlight::Stats stats = serving.GetStats().single_flight;
     EXPECT_EQ(stats.leaders + stats.coalesced, batch.size());
   }
+}
+
+TEST_F(ServeTest, AdmissionGateHoldsUnderEvictionPressure) {
+  // ROADMAP gap: the default 8 MiB cache never evicts at this scale, so
+  // the admission policy had only ever been exercised on an idle cache.
+  // Shrink the capacity until a single fill pass actually evicts, then
+  // verify the kAfterNMisses gate under that pressure: a hot degraded
+  // key re-seen admit_after_misses times enters the cache and serves
+  // hits, while degraded keys seen once stay out entirely.
+  std::vector<BatchQuery> queries = MakeQueries(40);
+  queries.pop_back();  // drop the invalid (s == d) tail query
+  // Dedup by (s, d, period) so "seen once" below is exact per key.
+  {
+    std::unordered_map<QueryKey, bool, QueryKeyHash> seen;
+    std::vector<BatchQuery> unique;
+    for (const BatchQuery& q : queries) {
+      const QueryKey key{
+          q.s, q.d,
+          static_cast<uint8_t>(router_->EffectivePeriod(q.departure_time))};
+      if (seen.emplace(key, true).second) unique.push_back(q);
+    }
+    queries = std::move(unique);
+  }
+  ASSERT_GT(queries.size(), 8u);
+
+  auto make_options = [](size_t capacity_bytes) {
+    ServingRouterOptions options;
+    options.enable_stitch_memo = false;
+    options.enable_single_flight = false;
+    // 1-settle cap: every attempted Algorithm-2 rebuild degrades.
+    options.deadline.fallback_budget_us = 0.01;
+    options.deadline.settles_per_us = 1;
+    options.deadline.min_settles = 1;
+    options.route_cache.num_shards = 1;  // deterministic LRU order
+    options.route_cache.capacity_bytes = capacity_bytes;
+    options.route_cache.admission.degraded = DegradedAdmission::kAfterNMisses;
+    options.route_cache.admission.admit_after_misses = 2;
+    return options;
+  };
+
+  // Shrink until the fill pass evicts. Everything below is sequential
+  // and single-threaded, so a capacity that evicts in the probe evicts
+  // identically in the fresh router used for the assertions.
+  size_t capacity = 1u << 15;
+  uint64_t probe_evictions = 0;
+  for (; capacity >= 512; capacity /= 2) {
+    ServingRouter probe(router_, make_options(capacity));
+    L2RQueryContext ctx = router_->MakeContext();
+    for (const BatchQuery& q : queries) {
+      (void)probe.Route(&ctx, q.s, q.d, q.departure_time);
+    }
+    probe_evictions = probe.GetStats().cache.evictions;
+    if (probe_evictions > 0) break;
+  }
+  ASSERT_GT(probe_evictions, 0u) << "no capacity in the ladder evicted";
+
+  ServingRouter serving(router_, make_options(capacity));
+  L2RQueryContext ctx = router_->MakeContext();
+  std::vector<Result<RouteResult>> first;
+  for (const BatchQuery& q : queries) {
+    first.push_back(serving.Route(&ctx, q.s, q.d, q.departure_time));
+  }
+  size_t degraded_keys = 0;
+  size_t hot = queries.size();
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (first[i].ok() && first[i]->budget_degraded) {
+      ++degraded_keys;
+      if (hot == queries.size()) hot = i;  // first degraded key is "hot"
+    }
+  }
+  ASSERT_GE(degraded_keys, 2u);  // a hot key plus at least one cold one
+  const RouteCache::Stats after_fill = serving.GetStats().cache;
+  // Every degraded insert was its key's first observation: all rejected.
+  EXPECT_EQ(after_fill.admission.degraded_admitted, 0u);
+  EXPECT_EQ(after_fill.admission.degraded_rejected, degraded_keys);
+  EXPECT_GT(after_fill.evictions, 0u);
+  EXPECT_LE(after_fill.bytes, capacity);
+  EXPECT_EQ(after_fill.hits, 0u);  // distinct keys: the fill never hits
+
+  // Second observation of the hot key: recomputed (miss), now admitted.
+  const BatchQuery& hq = queries[hot];
+  const auto recompute = serving.Route(&ctx, hq.s, hq.d, hq.departure_time);
+  ExpectSameResult(first[hot], recompute, hot);
+  const RouteCache::Stats after_admit = serving.GetStats().cache;
+  EXPECT_EQ(after_admit.admission.degraded_admitted, 1u);
+  EXPECT_EQ(after_admit.hits, 0u);
+
+  // Third observation: served from cache, byte-identical, still tagged
+  // degraded. Nothing was inserted in between, so it cannot have been
+  // evicted.
+  const auto hit = serving.Route(&ctx, hq.s, hq.d, hq.departure_time);
+  ExpectSameResult(first[hot], hit, hot);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->budget_degraded);
+  const RouteCache::Stats after_hit = serving.GetStats().cache;
+  EXPECT_EQ(after_hit.hits, 1u);
+  // Cold degraded keys were never admitted: the only admitted degraded
+  // entry is the hot one.
+  EXPECT_EQ(after_hit.admission.degraded_admitted, 1u);
+  EXPECT_GE(after_hit.admission.degraded_rejected, degraded_keys);
 }
 
 TEST_F(ServeTest, DegradedRoutesAreCachedConsistently) {
