@@ -304,6 +304,19 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as error:
             print(f"bench_check: {path}: unreadable: {error}", file=sys.stderr)
             failed = True
+        except (KeyError, TypeError, AttributeError, ValueError,
+                ZeroDivisionError) as error:
+            # A truncated or shape-mangled artifact (e.g. a bench process
+            # killed mid-write) trips a structural error before a named
+            # check does. One line, not a traceback: CI logs stay
+            # readable and the exit code still fails the job.
+            print(
+                f"bench_check: {path}: malformed artifact "
+                f"({type(error).__name__}: {error}) — file is truncated "
+                f"or not a query_throughput report",
+                file=sys.stderr,
+            )
+            failed = True
         else:
             print(f"bench_check: {path}: OK")
     return 1 if failed else 0

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Lock-discipline lint for the l2r tree (run by CI's lint step).
+
+Three checks, all textual (no compiler needed), tuned to this repo's
+conventions:
+
+1. src/: no raw ``std::mutex`` / ``std::condition_variable`` members —
+   shared state must use the annotated ``l2r::Mutex`` / ``l2r::CondVar``
+   capability types from common/mutex.h so Clang's -Wthread-safety can
+   see every acquisition. The wrapper itself is exempted with a
+   ``// lint:allow-raw-mutex`` marker on the member's line.
+
+2. src/: every ``Mutex`` member declaration must have a visible
+   relationship with the analysis — either some ``L2R_GUARDED_BY(that
+   mutex)`` / ``L2R_REQUIRES`` / ``L2R_ACQUIRE`` / ``L2R_EXCLUDES``
+   mention of it elsewhere in the same file, or a justification marker
+   ``// lint:standalone-mutex(reason)`` on its line (for mutexes that
+   guard an effect rather than data, e.g. log interleaving).
+
+3. src/: no *naked* ``.load()`` / ``.store(x)`` on atomics — every atomic
+   access spells its ``std::memory_order`` so the ordering contract is a
+   reviewed decision, not a silent seq_cst default (see
+   serve/admission_policy.h for the reference rationale).
+
+4. tests/: no ``sleep_for`` — timing tests must use the Clock seam
+   (serve/clock.h) or observable-state spin loops; real sleeps make the
+   suite slow and flaky in equal measure.
+
+Exit status: 0 clean, 1 findings (one line each), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+ALLOW_RAW = "lint:allow-raw-mutex"
+STANDALONE = "lint:standalone-mutex"
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|condition_variable"
+    r"|condition_variable_any)\s+\w+\s*;"
+)
+# A `Mutex foo;` / `mutable Mutex foo;` member or local declaration.
+MUTEX_DECL_RE = re.compile(r"\b(?:mutable\s+)?Mutex\s+(\w+)\s*;")
+ANNOTATION_RE = re.compile(
+    r"\bL2R_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|TRY_ACQUIRE"
+    r"|EXCLUDES|RETURN_CAPABILITY)\s*\(([^)]*)\)"
+)
+NAKED_LOAD_RE = re.compile(r"\.\s*load\s*\(\s*\)")
+NAKED_STORE_RE = re.compile(r"\.\s*store\s*\(\s*[^,()]*(\([^()]*\)[^,()]*)?\)\s*;")
+SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments (and string literals), preserving
+    line structure so reported line numbers stay valid."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("\\\\")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def lint_src_file(path: Path) -> list[str]:
+    raw_text = path.read_text(encoding="utf-8")
+    raw_lines = raw_text.splitlines()
+    code = strip_comments(raw_text)
+    code_lines = code.splitlines()
+    rel = path.relative_to(REPO)
+    findings: list[str] = []
+
+    # Which mutex names appear inside some annotation's argument list
+    # anywhere in this file (handles `mu`, `shard.mu`, `flight.mu` ...).
+    annotated_names: set[str] = set()
+    for m in ANNOTATION_RE.finditer(code):
+        for tok in re.findall(r"\w+", m.group(2)):
+            annotated_names.add(tok)
+
+    for idx, line in enumerate(code_lines):
+        lineno = idx + 1
+        raw_line = raw_lines[idx] if idx < len(raw_lines) else ""
+
+        if RAW_MUTEX_RE.search(line) and ALLOW_RAW not in raw_line:
+            findings.append(
+                f"{rel}:{lineno}: raw std:: synchronization member — use "
+                f"l2r::Mutex / l2r::CondVar (common/mutex.h) so "
+                f"-Wthread-safety sees it, or mark `// {ALLOW_RAW}`"
+            )
+
+        decl = MUTEX_DECL_RE.search(line)
+        if decl and STANDALONE not in raw_line:
+            name = decl.group(1)
+            if name not in annotated_names:
+                findings.append(
+                    f"{rel}:{lineno}: Mutex `{name}` has no "
+                    f"L2R_GUARDED_BY/REQUIRES/ACQUIRE/EXCLUDES relationship "
+                    f"in this file — annotate what it protects, or mark "
+                    f"`// {STANDALONE}(reason)`"
+                )
+
+        if NAKED_LOAD_RE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: naked atomic .load() — spell the "
+                f"std::memory_order (see serve/admission_policy.h for the "
+                f"ordering rationale conventions)"
+            )
+        if NAKED_STORE_RE.search(line):
+            m = NAKED_STORE_RE.search(line)
+            if m and "memory_order" not in m.group(0):
+                findings.append(
+                    f"{rel}:{lineno}: naked atomic .store(value) — spell "
+                    f"the std::memory_order"
+                )
+
+    return findings
+
+
+def lint_test_file(path: Path) -> list[str]:
+    rel = path.relative_to(REPO)
+    code = strip_comments(path.read_text(encoding="utf-8"))
+    findings = []
+    for idx, line in enumerate(code.splitlines()):
+        if SLEEP_RE.search(line):
+            findings.append(
+                f"{rel}:{idx + 1}: sleep_for in a test — drive timing "
+                f"through the Clock seam (serve/clock.h) or spin on "
+                f"observable state with yield()"
+            )
+    return findings
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        print(f"usage: {sys.argv[0]} (no arguments; lints src/ and tests/)",
+              file=sys.stderr)
+        return 2
+    findings: list[str] = []
+    src = REPO / "src"
+    tests = REPO / "tests"
+    if not src.is_dir() or not tests.is_dir():
+        print("lint_concurrency: src/ or tests/ missing — run from the "
+              "repo (script resolves paths relative to itself)",
+              file=sys.stderr)
+        return 2
+    for path in sorted(src.rglob("*.h")) + sorted(src.rglob("*.cc")):
+        findings.extend(lint_src_file(path))
+    for path in sorted(tests.rglob("*.h")) + sorted(tests.rglob("*.cc")):
+        findings.extend(lint_test_file(path))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_concurrency: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_concurrency: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,69 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build + full ctest run.
-# Usage: scripts/verify.sh [build-dir]   (default: build)
+#
+# Usage: scripts/verify.sh [options] [build-dir]
+#   --tsan    ThreadSanitizer build (-DL2R_TSAN=ON): fast suite + the
+#             `tsan`-labelled concurrency stress suite, with tsan.supp
+#             loaded — mirrors the CI `tsan` job. Default build dir:
+#             build-tsan.
+#   --clang   Configure with clang/clang++ so -Wthread-safety runs
+#             (annotations are machine-checked; -Werror makes findings
+#             fatal) — mirrors the CI `clang-threadsafety` job. Default
+#             build dir: build-clang.
+# The two flags compose (clang + TSan). Without flags: the plain gcc/
+# default-compiler tier-1 run over the full suite in `build`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+TSAN=0
+CLANG=0
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) TSAN=1 ;;
+    --clang) CLANG=1 ;;
+    --help|-h)
+      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    -*)
+      echo "unknown option: $arg (try --help)" >&2
+      exit 2
+      ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+CMAKE_ARGS=()
+if [[ $TSAN -eq 1 ]]; then
+  CMAKE_ARGS+=(-DL2R_TSAN=ON)
+fi
+if [[ $CLANG -eq 1 ]]; then
+  command -v clang++ >/dev/null 2>&1 || {
+    echo "--clang: clang++ not found in PATH" >&2
+    exit 2
+  }
+  CMAKE_ARGS+=(-DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++)
+fi
+if [[ -z "$BUILD_DIR" ]]; then
+  BUILD_DIR=build
+  [[ $CLANG -eq 1 ]] && BUILD_DIR=build-clang
+  [[ $TSAN -eq 1 ]] && BUILD_DIR=build-tsan
+  [[ $CLANG -eq 1 && $TSAN -eq 1 ]] && BUILD_DIR=build-clang-tsan
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ $TSAN -eq 1 ]]; then
+  # Fast suite + the concurrency stress suite, suppressions loaded (the
+  # checked-in file is empty by policy; see tsan.supp). halt_on_error
+  # turns any report into a test failure even if the test's assertions
+  # would have passed.
+  export TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1"
+  ctest --test-dir "$BUILD_DIR" -LE slow --output-on-failure -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

@@ -4,10 +4,23 @@
 #include <cstdarg>
 #include <cstring>
 
+#include "common/mutex.h"
+
 namespace l2r {
 
 namespace {
+/// Relaxed is sufficient: the threshold is a standalone filter knob —
+/// no other data is published through it, so readers need no ordering
+/// with respect to SetLogLevel callers.
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Serializes the prefix + body + newline triple so concurrent log
+/// lines never interleave mid-line. Guards the stderr stream, not any
+/// l2r data; function-local so annotated code above never names it.
+Mutex& LogMutex() {
+  static Mutex* mu = new Mutex();
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,13 +42,20 @@ const char* Basename(const char* path) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 namespace internal {
 
 void LogV(LogLevel level, const char* file, int line, const char* fmt, ...) {
-  if (static_cast<int>(level) > g_level.load()) return;
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  MutexLock lock(LogMutex());
   std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), Basename(file), line);
   va_list args;
   va_start(args, fmt);

@@ -31,12 +31,15 @@ inline void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Relaxed claim counter: the RMW alone makes claims unique, and the
+  // results written by fn(i) are published to the caller by the pool's
+  // job-completion handshake (mu_), not by this counter.
   std::atomic<size_t> next{0};
   const unsigned helpers =
       static_cast<unsigned>(n < num_threads ? n : num_threads) - 1;
   ThreadPool::Global().Run(helpers, [&](unsigned /*rank*/) {
     while (true) {
-      const size_t i = next.fetch_add(1);
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       fn(i);
     }
@@ -58,16 +61,17 @@ void ParallelForWorker(size_t n, MakeWorker make_worker, Fn fn,
     for (size_t i = 0; i < n; ++i) fn(worker, i);
     return;
   }
+  // Relaxed for the same reason as ParallelFor's counter above.
   std::atomic<size_t> next{0};
   const unsigned helpers =
       static_cast<unsigned>(n < num_threads ? n : num_threads) - 1;
   ThreadPool::Global().Run(helpers, [&](unsigned /*rank*/) {
-    size_t i = next.fetch_add(1);
+    size_t i = next.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return;
     auto worker = make_worker();
     do {
       fn(worker, i);
-      i = next.fetch_add(1);
+      i = next.fetch_add(1, std::memory_order_relaxed);
     } while (i < n);
   });
 }

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <exception>
+#include <mutex>
 
 namespace l2r {
 
@@ -19,15 +20,18 @@ ThreadPool& ThreadPool::Global() {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
+  // Joining outside mu_ is safe: workers_ only grows under mu_ inside
+  // Run, and no Run may overlap destruction (analysis is off in
+  // destructors, but the invariant still holds by contract).
   for (std::thread& t : workers_) t.join();
 }
 
 size_t ThreadPool::NumWorkers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return workers_.size();
 }
 
@@ -44,8 +48,11 @@ void ThreadPool::Run(unsigned helpers,
   // One pool job at a time. A concurrent Run from another thread keeps
   // its parallelism by spawning ephemeral helpers for just this section
   // (the pre-pool behavior) — no convoying behind the active job, no
-  // silent serial degradation.
-  std::unique_lock<std::mutex> admission(admission_mu_, std::try_to_lock);
+  // silent serial degradation. std::unique_lock (not MutexLock) so the
+  // job slot is released even if a spawn throws below; admission_mu_
+  // guards no data, so the acquisition being invisible to the
+  // thread-safety analysis loses nothing.
+  std::unique_lock<Mutex> admission(admission_mu_, std::try_to_lock);
   if (!admission.owns_lock()) {
     std::vector<std::thread> extras;
     extras.reserve(helpers);
@@ -65,18 +72,19 @@ void ThreadPool::Run(unsigned helpers,
     for (std::thread& t : extras) t.join();
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  while (workers_.size() < helpers) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  {
+    MutexLock lock(mu_);
+    while (workers_.size() < helpers) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+    job_ = &work;
+    target_helpers_ = helpers;
+    claimed_ = 0;
+    done_ = 0;
+    accepting_ = true;
+    ++generation_;
   }
-  job_ = &work;
-  target_helpers_ = helpers;
-  claimed_ = 0;
-  done_ = 0;
-  accepting_ = true;
-  ++generation_;
-  lock.unlock();
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
 
   tl_in_parallel_section = true;
   // The no-throw contract is enforced: letting an exception unwind this
@@ -90,30 +98,30 @@ void ThreadPool::Run(unsigned helpers,
   }
   tl_in_parallel_section = false;
 
-  lock.lock();
-  accepting_ = false;  // late-waking workers no longer join this job
-  done_cv_.wait(lock, [this] { return done_ == claimed_; });
-  job_ = nullptr;
+  {
+    MutexLock lock(mu_);
+    accepting_ = false;  // late-waking workers no longer join this job
+    while (done_ != claimed_) done_cv_.Wait(mu_);
+    job_ = nullptr;
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   tl_in_parallel_section = true;
   uint64_t seen_generation = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    job_cv_.wait(lock, [&] {
-      return stopping_ || generation_ != seen_generation;
-    });
-    if (stopping_) return;
+    while (!stopping_ && generation_ == seen_generation) job_cv_.Wait(mu_);
+    if (stopping_) return;  // MutexLock releases mu_
     seen_generation = generation_;
     if (!accepting_ || claimed_ >= target_helpers_) continue;
     const unsigned rank = ++claimed_;
     const std::function<void(unsigned)>* job = job_;
-    lock.unlock();
+    lock.Unlock();
     (*job)(rank);
-    lock.lock();
+    lock.Lock();
     ++done_;
-    if (done_ == claimed_) done_cv_.notify_all();
+    if (done_ == claimed_) done_cv_.NotifyAll();
   }
 }
 

@@ -1,12 +1,14 @@
 #ifndef L2R_COMMON_THREAD_POOL_H_
 #define L2R_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace l2r {
 
@@ -20,6 +22,9 @@ namespace l2r {
 /// A call into Run from inside a pool worker executes the job inline on
 /// the calling thread — nested parallel sections serialize instead of
 /// deadlocking.
+///
+/// Lock order: admission_mu_ before mu_ (Run acquires admission first;
+/// nothing acquires admission_mu_ while holding mu_).
 class ThreadPool {
  public:
   /// The process-wide pool. Created (empty) on first use; workers appear
@@ -43,11 +48,12 @@ class ThreadPool {
   /// is active keeps its parallelism via ephemeral spawn-per-call helper
   /// threads for that section (never blocks behind the active job); a
   /// nested Run from inside a job executes inline on the calling thread.
-  void Run(unsigned helpers, const std::function<void(unsigned rank)>& work);
+  void Run(unsigned helpers, const std::function<void(unsigned rank)>& work)
+      L2R_EXCLUDES(admission_mu_, mu_);
 
   /// Workers currently alive (grows lazily; never shrinks before
   /// destruction).
-  size_t NumWorkers() const;
+  size_t NumWorkers() const L2R_EXCLUDES(mu_);
 
   /// True on a thread currently participating in a pool job (worker or
   /// caller); Run calls from such a thread execute inline.
@@ -58,22 +64,29 @@ class ThreadPool {
   static constexpr unsigned kMaxWorkers = 64;
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() L2R_EXCLUDES(mu_);
 
-  std::mutex admission_mu_;  // serializes whole jobs
-  mutable std::mutex mu_;
-  std::condition_variable job_cv_;   // workers wait here for a job
-  std::condition_variable done_cv_;  // Run waits here for helpers
-  std::vector<std::thread> workers_;
+  /// Serializes whole jobs: held for the full extent of a pool-backed
+  /// Run. No data is guarded by it — it is the job-slot token whose
+  /// TryLock failure routes a concurrent Run onto ephemeral threads.
+  Mutex admission_mu_;
+  mutable Mutex mu_;
+  CondVar job_cv_;   ///< workers wait here for a job
+  CondVar done_cv_;  ///< Run waits here for helpers
+  std::vector<std::thread> workers_ L2R_GUARDED_BY(mu_);
 
-  // Current job, valid while accepting_ or helpers are still running.
-  const std::function<void(unsigned)>* job_ = nullptr;
-  uint64_t generation_ = 0;  // bumped per job; wakes parked workers
-  bool accepting_ = false;   // claims allowed for the current job
-  unsigned target_helpers_ = 0;
-  unsigned claimed_ = 0;  // helpers that entered the current job
-  unsigned done_ = 0;     // helpers that finished it
-  bool stopping_ = false;
+  /// Current job, valid while accepting_ or helpers are still running.
+  const std::function<void(unsigned)>* job_ L2R_GUARDED_BY(mu_) = nullptr;
+  /// Bumped per job; wakes parked workers.
+  uint64_t generation_ L2R_GUARDED_BY(mu_) = 0;
+  /// Claims allowed for the current job.
+  bool accepting_ L2R_GUARDED_BY(mu_) = false;
+  unsigned target_helpers_ L2R_GUARDED_BY(mu_) = 0;
+  /// Helpers that entered the current job.
+  unsigned claimed_ L2R_GUARDED_BY(mu_) = 0;
+  /// Helpers that finished it.
+  unsigned done_ L2R_GUARDED_BY(mu_) = 0;
+  bool stopping_ L2R_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace l2r

@@ -3,11 +3,12 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace l2r {
 
@@ -79,9 +80,9 @@ class WorkspacePool {
   }
 
   /// Checks out an idle object, creating one if none is free.
-  Lease Acquire() {
+  Lease Acquire() L2R_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!idle_.empty()) {
         std::unique_ptr<T> obj = std::move(idle_.back());
         idle_.pop_back();
@@ -93,33 +94,36 @@ class WorkspacePool {
     // high-water accounting.
     std::unique_ptr<T> obj = factory_();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++created_;
     }
     return Lease(this, std::move(obj));
   }
 
   /// Objects created so far (== high-water concurrent leases).
-  size_t CreatedCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t CreatedCount() const L2R_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return created_;
   }
   /// Objects currently idle in the pool.
-  size_t IdleCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t IdleCount() const L2R_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return idle_.size();
   }
 
  private:
-  void Return(std::unique_ptr<T> obj) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Return(std::unique_ptr<T> obj) L2R_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     idle_.push_back(std::move(obj));
   }
 
-  std::function<std::unique_ptr<T>()> factory_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<T>> idle_;
-  size_t created_ = 0;
+  std::function<std::unique_ptr<T>()> factory_;  ///< immutable after ctor
+  mutable Mutex mu_;
+  /// The pool mutex is also the cross-thread hand-off publisher: Return
+  /// under mu_ happens-before the next Acquire under mu_, which is what
+  /// lets a Lease release on a different thread than its checkout.
+  std::vector<std::unique_ptr<T>> idle_ L2R_GUARDED_BY(mu_);
+  size_t created_ L2R_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace l2r

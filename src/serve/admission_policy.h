@@ -53,6 +53,24 @@ struct AdmissionOptions {
 /// concurrently. Admission affects only which keys are cached, never the
 /// bytes of any result — cache hits are byte-identical to recomputation —
 /// so serving stays deterministic even though sketch interleaving is not.
+///
+/// Memory-order contract (why every operation is relaxed): the sketch and
+/// the two tallies are *independent monotonic counters* — no thread ever
+/// reads one to infer that a write to other memory has happened, so no
+/// acquire/release pairing is needed anywhere. Counter integrity comes
+/// from RMW atomicity alone: fetch_add never loses increments, and the
+/// saturating bump is a compare_exchange_weak loop (relaxed on success
+/// and failure) whose only invariant — a slot never exceeds the
+/// saturation cap and never goes backwards — is per-location and thus
+/// guaranteed by C++'s per-object modification order. Cross-slot skew is
+/// harmless by design: a racing reader seeing one slot fresh and another
+/// stale can only mis-time an admission, never corrupt a count. Clear()
+/// relies on the same reasoning and is documented as quiescent-only
+/// (pairs with cache Clear); a concurrent Admit would just re-warm the
+/// sketch. This file is the reference the lint's "explicit memory_order
+/// everywhere" rule points at: if an operation here ever needs to
+/// *publish* data (not just count), it must graduate to release/acquire
+/// with a comment pairing the two sides.
 class AdmissionPolicy {
  public:
   struct Stats {

@@ -10,8 +10,7 @@ int64_t SystemClock::NowMicros() const {
       .count();
 }
 
-std::cv_status SystemClock::WaitUntil(std::condition_variable& cv,
-                                      std::unique_lock<std::mutex>& lock,
+std::cv_status SystemClock::WaitUntil(CondVar& cv, Mutex& mu,
                                       int64_t deadline_us) {
   // Deadlines at or beyond ~35 years (2^50 us) would overflow the
   // steady_clock's nanosecond time_point arithmetic — wait_until would
@@ -21,10 +20,10 @@ std::cv_status SystemClock::WaitUntil(std::condition_variable& cv,
   // exactly as with kNoDeadline.
   constexpr int64_t kMaxTimedWaitUs = int64_t{1} << 50;
   if (deadline_us >= kMaxTimedWaitUs) {
-    cv.wait(lock);
+    cv.Wait(mu);
     return std::cv_status::no_timeout;
   }
-  return cv.wait_until(lock, epoch_ + std::chrono::microseconds(deadline_us));
+  return cv.WaitUntil(mu, epoch_ + std::chrono::microseconds(deadline_us));
 }
 
 SystemClock* SystemClock::Shared() {
@@ -32,12 +31,11 @@ SystemClock* SystemClock::Shared() {
   return clock;
 }
 
-std::cv_status ManualClock::WaitUntil(std::condition_variable& cv,
-                                      std::unique_lock<std::mutex>& lock,
+std::cv_status ManualClock::WaitUntil(CondVar& cv, Mutex& mu,
                                       int64_t deadline_us) {
   std::shared_ptr<Waiter> waiter;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     // Checking under mu_ orders this check against AdvanceMicros' bump:
     // either the advance already happened (we observe it here and return
     // timeout without waiting) or our registration is visible to it.
@@ -46,13 +44,13 @@ std::cv_status ManualClock::WaitUntil(std::condition_variable& cv,
     }
     waiter = std::make_shared<Waiter>();
     waiter->cv = &cv;
-    waiter->mu = lock.mutex();
+    waiter->mu = &mu;
     std::erase_if(waiters_, [](const std::shared_ptr<Waiter>& w) {
       return !w->active.load(std::memory_order_acquire);
     });
     waiters_.push_back(waiter);
   }
-  cv.wait(lock);
+  cv.Wait(mu);
   waiter->active.store(false, std::memory_order_release);
   return NowMicros() >= deadline_us ? std::cv_status::timeout
                                     : std::cv_status::no_timeout;
@@ -61,17 +59,17 @@ std::cv_status ManualClock::WaitUntil(std::condition_variable& cv,
 void ManualClock::AdvanceMicros(int64_t delta_us) {
   std::vector<std::shared_ptr<Waiter>> snapshot;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     now_us_.fetch_add(delta_us, std::memory_order_acq_rel);
     snapshot = waiters_;
   }
   for (const std::shared_ptr<Waiter>& w : snapshot) {
     if (!w->active.load(std::memory_order_acquire)) continue;
     // Acquiring the waiter's mutex before notifying closes the race with
-    // a waiter that has registered but not yet entered cv.wait: it still
+    // a waiter that has registered but not yet entered cv.Wait: it still
     // holds this mutex, so the notify cannot fire until it waits.
-    std::lock_guard<std::mutex> guard(*w->mu);
-    w->cv->notify_all();
+    MutexLock guard(*w->mu);
+    w->cv->NotifyAll();
   }
 }
 
@@ -81,7 +79,7 @@ void ManualClock::AdvanceTo(int64_t now_us) {
 }
 
 size_t ManualClock::NumWaiters() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return static_cast<size_t>(
       std::count_if(waiters_.begin(), waiters_.end(),
                     [](const std::shared_ptr<Waiter>& w) {

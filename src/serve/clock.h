@@ -8,8 +8,10 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace l2r {
 
@@ -19,10 +21,10 @@ namespace l2r {
 /// no real sleeps, so timing tests are deterministic and fast.
 ///
 /// WaitUntil mirrors condition_variable::wait_until: the caller holds
-/// `lock`, may be woken spuriously or by an external notify on `cv`, and
-/// must re-check its predicate in a loop. The clock guarantees only that
-/// a waiter whose deadline has been reached (really or virtually) wakes
-/// and observes timeout.
+/// `mu` (machine-checked via L2R_REQUIRES), may be woken spuriously or
+/// by an external notify on `cv`, and must re-check its predicate in a
+/// loop. The clock guarantees only that a waiter whose deadline has
+/// been reached (really or virtually) wakes and observes timeout.
 class Clock {
  public:
   /// Sentinel deadline meaning "wait for a notify only, never time out".
@@ -33,12 +35,11 @@ class Clock {
   /// Monotonic microseconds since an arbitrary per-clock epoch.
   virtual int64_t NowMicros() const = 0;
 
-  /// Waits on `cv` (with `lock` held) until notified or until
+  /// Waits on `cv` (with `mu` held) until notified or until
   /// NowMicros() >= deadline_us. Returns std::cv_status::timeout iff the
   /// deadline had been reached when the wait returned.
-  virtual std::cv_status WaitUntil(std::condition_variable& cv,
-                                   std::unique_lock<std::mutex>& lock,
-                                   int64_t deadline_us) = 0;
+  virtual std::cv_status WaitUntil(CondVar& cv, Mutex& mu,
+                                   int64_t deadline_us) L2R_REQUIRES(mu) = 0;
 };
 
 /// Steady-clock-backed Clock — the production default.
@@ -47,15 +48,14 @@ class SystemClock final : public Clock {
   SystemClock() : epoch_(std::chrono::steady_clock::now()) {}
 
   int64_t NowMicros() const override;
-  std::cv_status WaitUntil(std::condition_variable& cv,
-                           std::unique_lock<std::mutex>& lock,
-                           int64_t deadline_us) override;
+  std::cv_status WaitUntil(CondVar& cv, Mutex& mu,
+                           int64_t deadline_us) override L2R_REQUIRES(mu);
 
   /// Process-wide shared instance (epoch fixed at first use).
   static SystemClock* Shared();
 
  private:
-  std::chrono::steady_clock::time_point epoch_;
+  std::chrono::steady_clock::time_point epoch_;  ///< immutable after ctor
 };
 
 /// Virtual clock for tests: time moves only when AdvanceMicros/AdvanceTo
@@ -70,7 +70,9 @@ class SystemClock final : public Clock {
 /// its wait. Two lifetime/ordering rules follow (both are the natural
 /// single-test-thread usage):
 ///  - Advance must NOT be called while holding a mutex some waiter
-///    passed to WaitUntil (the advance path acquires it);
+///    passed to WaitUntil (the advance path acquires it — this is also
+///    why WaitUntil's caller-held `mu` is ordered strictly after the
+///    clock's own mu_, never the reverse);
 ///  - a cv/mutex passed to WaitUntil must outlive any concurrent
 ///    Advance call (the advance path may still touch them after an
 ///    externally-notified waiter has returned) — i.e. don't destroy a
@@ -83,33 +85,37 @@ class ManualClock final : public Clock {
   int64_t NowMicros() const override {
     return now_us_.load(std::memory_order_acquire);
   }
-  std::cv_status WaitUntil(std::condition_variable& cv,
-                           std::unique_lock<std::mutex>& lock,
-                           int64_t deadline_us) override;
+  std::cv_status WaitUntil(CondVar& cv, Mutex& mu,
+                           int64_t deadline_us) override L2R_REQUIRES(mu);
 
   /// Steps virtual time forward and wakes every registered waiter.
-  void AdvanceMicros(int64_t delta_us);
+  void AdvanceMicros(int64_t delta_us) L2R_EXCLUDES(mu_);
   /// Advances to an absolute virtual time; no-op when already past it.
-  void AdvanceTo(int64_t now_us);
+  void AdvanceTo(int64_t now_us) L2R_EXCLUDES(mu_);
 
   /// Threads currently blocked inside WaitUntil. The test-side sync
   /// primitive: spin until a background thread has parked (e.g. the
   /// stream batcher waiting out a batch deadline) before advancing past
   /// its deadline or asserting that nothing has happened yet.
-  size_t NumWaiters() const;
+  size_t NumWaiters() const L2R_EXCLUDES(mu_);
 
  private:
   struct Waiter {
-    std::condition_variable* cv = nullptr;
-    std::mutex* mu = nullptr;
+    CondVar* cv = nullptr;
+    Mutex* mu = nullptr;
     /// Cleared by the waiter on wake; advances skip inactive records and
-    /// registration prunes them, so the list stays small.
+    /// registration prunes them, so the list stays small. Release store
+    /// by the waiter / acquire loads elsewhere: the flag is read without
+    /// holding the registering waiter's mutex.
     std::atomic<bool> active{true};
   };
 
+  /// Monotonic virtual now. Store side is always under mu_; the acquire
+  /// load in NowMicros pairs with AdvanceMicros' acq_rel bump so an
+  /// unregistered reader still sees a fresh value.
   std::atomic<int64_t> now_us_;
-  mutable std::mutex mu_;  ///< guards waiters_
-  std::vector<std::shared_ptr<Waiter>> waiters_;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<Waiter>> waiters_ L2R_GUARDED_BY(mu_);
 };
 
 }  // namespace l2r

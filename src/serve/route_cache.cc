@@ -30,7 +30,7 @@ RouteCache::RouteCache(const RouteCacheOptions& options)
 
 bool RouteCache::Lookup(const RouteCacheKey& key, RouteResult* out) {
   Shard& shard = ShardFor(HashKey(key));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.misses;
@@ -53,7 +53,7 @@ void RouteCache::Insert(const RouteCacheKey& key, const RouteResult& value) {
   const size_t bytes = EntryBytes(node.back().second);
 
   Shard& shard = ShardFor(HashKey(key));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     // Raced with another miss on the same key: the stored value is
@@ -77,7 +77,7 @@ void RouteCache::Insert(const RouteCacheKey& key, const RouteResult& value) {
 
 void RouteCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->map.clear();
     shard->bytes = 0;
@@ -88,7 +88,7 @@ void RouteCache::Clear() {
 RouteCache::Stats RouteCache::GetStats() const {
   Stats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.inserts += shard->inserts;

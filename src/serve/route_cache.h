@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/l2r.h"
 #include "serve/admission_policy.h"
 
@@ -85,20 +86,24 @@ class RouteCache {
   static size_t EntryBytes(const RouteResult& value);
 
  private:
+  /// One lock stripe. Every field is under the shard mutex: the LRU
+  /// list and its index move together on every hit, so there is no
+  /// read-only fast path to carve out (that rework is ROADMAP item 1,
+  /// gated on these annotations holding).
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Front = most recently used.
-    std::list<std::pair<RouteCacheKey, RouteResult>> lru;
+    std::list<std::pair<RouteCacheKey, RouteResult>> lru L2R_GUARDED_BY(mu);
     std::unordered_map<
         RouteCacheKey,
         std::list<std::pair<RouteCacheKey, RouteResult>>::iterator,
         QueryKeyHash>
-        map;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t inserts = 0;
-    uint64_t evictions = 0;
+        map L2R_GUARDED_BY(mu);
+    size_t bytes L2R_GUARDED_BY(mu) = 0;
+    uint64_t hits L2R_GUARDED_BY(mu) = 0;
+    uint64_t misses L2R_GUARDED_BY(mu) = 0;
+    uint64_t inserts L2R_GUARDED_BY(mu) = 0;
+    uint64_t evictions L2R_GUARDED_BY(mu) = 0;
   };
 
   static uint64_t HashKey(const RouteCacheKey& key);

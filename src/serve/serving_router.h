@@ -81,6 +81,9 @@ class ServingRouter final : public QueryService {
   std::unique_ptr<SingleFlight> flights_; ///< null when disabled
   DeadlineBudget budget_;
   ServeHooks hooks_;  ///< memo + settle cap, fixed at construction
+  /// Pure tallies (relaxed everywhere): nothing is published through
+  /// them, and RMW atomicity alone keeps the counts exact — see
+  /// admission_policy.h for the full memory-order rationale.
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> budget_degraded_{0};
 };

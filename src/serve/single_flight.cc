@@ -17,7 +17,7 @@ SingleFlight::SingleFlight(const SingleFlightOptions& options) {
 std::shared_ptr<SingleFlight::Flight> SingleFlight::Join(const QueryKey& key,
                                                          bool* leader) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto [it, inserted] = shard.flights.try_emplace(key);
   if (inserted) it->second = std::make_shared<Flight>();
   *leader = inserted;
@@ -30,8 +30,8 @@ std::shared_ptr<SingleFlight::Flight> SingleFlight::Join(const QueryKey& key,
 }
 
 Result<RouteResult> SingleFlight::Await(Flight& flight) {
-  std::unique_lock<std::mutex> lock(flight.mu);
-  flight.cv.wait(lock, [&flight] { return flight.done; });
+  MutexLock lock(flight.mu);
+  while (!flight.done) flight.cv.Wait(flight.mu);
   return *flight.result;  // copy out under the flight lock
 }
 
@@ -39,15 +39,15 @@ void SingleFlight::Publish(const QueryKey& key, Flight& flight,
                            const Result<RouteResult>& result) {
   {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.flights.erase(key);
   }
   {
-    std::lock_guard<std::mutex> lock(flight.mu);
+    MutexLock lock(flight.mu);
     flight.result = result;
     flight.done = true;
   }
-  flight.cv.notify_all();
+  flight.cv.NotifyAll();
 }
 
 SingleFlight::Stats SingleFlight::GetStats() const {

@@ -2,15 +2,15 @@
 #define L2R_SERVE_SINGLE_FLIGHT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/l2r.h"
 
 namespace l2r {
@@ -74,17 +74,20 @@ class SingleFlight {
   Stats GetStats() const;
 
  private:
+  /// Lock order: a thread never holds a Shard::mu and a Flight::mu at
+  /// once (Join releases the shard lock before Await/Publish touch the
+  /// flight; Publish's erase and wake are separate critical sections).
   struct Flight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
+    Mutex mu;
+    CondVar cv;
+    bool done L2R_GUARDED_BY(mu) = false;
     /// Written once by the leader under mu; copied out by every waiter.
-    std::optional<Result<RouteResult>> result;
+    std::optional<Result<RouteResult>> result L2R_GUARDED_BY(mu);
   };
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     std::unordered_map<QueryKey, std::shared_ptr<Flight>, QueryKeyHash>
-        flights;
+        flights L2R_GUARDED_BY(mu);
   };
 
   /// Returns the flight for `key`, creating it (and marking the caller

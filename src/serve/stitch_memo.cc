@@ -40,7 +40,7 @@ bool StitchMemo::FindEdgeChoice(int period_index, uint32_t edge, VertexId cur,
   L2R_DCHECK(period_index >= 0 && period_index < kNumTimePeriods);
   const EdgeKey key{edge, cur, dest};
   const Shard& shard = ShardAt(EdgeKeyHash{}(key));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.edge_choice[period_index].find(key);
   if (it == shard.edge_choice[period_index].end()) {
     ++shard.edge_misses;
@@ -59,7 +59,7 @@ void StitchMemo::RememberEdgeChoice(int period_index, uint32_t edge,
   const EdgeKey key{edge, cur, dest};
   const size_t bytes = PathBytes(path);
   Shard& shard = ShardAt(EdgeKeyHash{}(key));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (shard.bytes + bytes > shard_capacity_) {
     ++shard.rejected_full;
     return;
@@ -74,7 +74,7 @@ bool StitchMemo::FindConnector(int period_index, VertexId from, VertexId to,
   L2R_DCHECK(period_index >= 0 && period_index < kNumTimePeriods);
   const uint64_t key = PackPair(from, to);
   const Shard& shard = ShardAt(static_cast<size_t>(Mix64(key)));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.connector[period_index].find(key);
   if (it == shard.connector[period_index].end()) {
     ++shard.connector_misses;
@@ -93,7 +93,7 @@ void StitchMemo::RememberConnector(int period_index, VertexId from,
   const uint64_t key = PackPair(from, to);
   const size_t bytes = PathBytes(path);
   Shard& shard = ShardAt(static_cast<size_t>(Mix64(key)));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (shard.bytes + bytes > shard_capacity_) {
     ++shard.rejected_full;
     return;
@@ -105,7 +105,7 @@ void StitchMemo::RememberConnector(int period_index, VertexId from,
 
 void StitchMemo::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (int p = 0; p < kNumTimePeriods; ++p) {
       shard->edge_choice[p].clear();
       shard->connector[p].clear();
@@ -117,7 +117,7 @@ void StitchMemo::Clear() {
 StitchMemo::Stats StitchMemo::GetStats() const {
   Stats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.edge_hits += shard->edge_hits;
     stats.edge_misses += shard->edge_misses;
     stats.connector_hits += shard->connector_hits;

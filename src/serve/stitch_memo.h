@@ -4,10 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/serve_hooks.h"
 
 namespace l2r {
@@ -72,19 +73,19 @@ class StitchMemo final : public StitchMemoIface {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// Index 0/1 = off-peak/peak tables.
     std::unordered_map<EdgeKey, std::vector<VertexId>, EdgeKeyHash>
-        edge_choice[kNumTimePeriods];
+        edge_choice[kNumTimePeriods] L2R_GUARDED_BY(mu);
     std::unordered_map<uint64_t, std::vector<VertexId>>
-        connector[kNumTimePeriods];
-    size_t bytes = 0;
+        connector[kNumTimePeriods] L2R_GUARDED_BY(mu);
+    size_t bytes L2R_GUARDED_BY(mu) = 0;
     /// Hit/miss tallies are bumped from the const Find path (under mu).
-    mutable uint64_t edge_hits = 0;
-    mutable uint64_t edge_misses = 0;
-    mutable uint64_t connector_hits = 0;
-    mutable uint64_t connector_misses = 0;
-    uint64_t rejected_full = 0;
+    mutable uint64_t edge_hits L2R_GUARDED_BY(mu) = 0;
+    mutable uint64_t edge_misses L2R_GUARDED_BY(mu) = 0;
+    mutable uint64_t connector_hits L2R_GUARDED_BY(mu) = 0;
+    mutable uint64_t connector_misses L2R_GUARDED_BY(mu) = 0;
+    uint64_t rejected_full L2R_GUARDED_BY(mu) = 0;
   };
 
   static size_t PathBytes(const std::vector<VertexId>& path);

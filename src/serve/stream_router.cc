@@ -49,7 +49,7 @@ StreamRouter::StreamRouter(QueryService* service,
 StreamRouter::~StreamRouter() { Shutdown(); }
 
 bool StreamRouter::Submit(const BatchQuery& query, StreamCallback done) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (stopping_) {
     ++rejected_;
     return false;
@@ -75,7 +75,7 @@ bool StreamRouter::Submit(const BatchQuery& query, StreamCallback done) {
   // drain). Appending to a batch whose deadline the batcher already
   // holds needs none — that keeps the hot path at one wakeup per
   // batch-state change instead of one per query.
-  if (opened || closed) cv_.notify_all();
+  if (opened || closed) cv_.NotifyAll();
   return true;
 }
 
@@ -96,13 +96,13 @@ StreamResult StreamRouter::SubmitWait(const BatchQuery& query) {
 void StreamRouter::Shutdown() {
   bool join = false;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     stopping_ = true;
     if (!batcher_joined_) {
       batcher_joined_ = true;
       join = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (join && batcher_.joinable()) batcher_.join();
 }
@@ -124,19 +124,19 @@ void StreamRouter::CloseOpenLocked(CloseReason reason, int64_t close_us) {
 }
 
 void StreamRouter::BatcherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     if (!closed_.empty()) {
       ClosedBatch batch = std::move(closed_.front());
       closed_.pop_front();
-      lock.unlock();
+      lock.Unlock();
       DrainBatch(std::move(batch));
-      lock.lock();
+      lock.Lock();
       continue;
     }
     if (open_.empty()) {
       if (stopping_) return;
-      clock_->WaitUntil(cv_, lock, Clock::kNoDeadline);
+      clock_->WaitUntil(cv_, mu_, Clock::kNoDeadline);
       continue;
     }
     if (stopping_) {
@@ -145,9 +145,9 @@ void StreamRouter::BatcherLoop() {
       } else {
         std::vector<Pending> pending = std::move(open_);
         open_.clear();
-        lock.unlock();
+        lock.Unlock();
         FailPending(std::move(pending));
-        lock.lock();
+        lock.Lock();
       }
       continue;
     }
@@ -158,7 +158,7 @@ void StreamRouter::BatcherLoop() {
       CloseOpenLocked(CloseReason::kDeadline, open_deadline_us_);
       continue;
     }
-    clock_->WaitUntil(cv_, lock, open_deadline_us_);
+    clock_->WaitUntil(cv_, mu_, open_deadline_us_);
   }
 }
 
@@ -196,7 +196,7 @@ StreamRouter::Stats StreamRouter::GetStats() const {
   stats.completed = completed_.load(std::memory_order_acquire);
   stats.failed_on_shutdown =
       failed_on_shutdown_.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   stats.submitted = submitted_;
   stats.rejected = rejected_;
   stats.batches = batches_;

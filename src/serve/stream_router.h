@@ -2,17 +2,17 @@
 #define L2R_SERVE_STREAM_ROUTER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/batch_router.h"
 #include "core/l2r.h"
 #include "serve/clock.h"
@@ -115,7 +115,8 @@ class StreamRouter {
   /// Enqueues one query; `done` fires exactly once, on the batcher
   /// thread, when its batch drains (or when shutdown fails it). Returns
   /// false — without invoking or keeping `done` — once shutdown began.
-  bool Submit(const BatchQuery& query, StreamCallback done);
+  bool Submit(const BatchQuery& query, StreamCallback done)
+      L2R_EXCLUDES(mu_);
 
   /// Blocking convenience: Submit + wait for the callback. After
   /// shutdown, returns a FailedPrecondition StreamResult. Never call it
@@ -127,9 +128,9 @@ class StreamRouter {
   /// Stops accepting queries, disposes of queued ones per the shutdown
   /// policy, and joins the batcher. Idempotent; must not be called from
   /// a stream callback.
-  void Shutdown();
+  void Shutdown() L2R_EXCLUDES(mu_);
 
-  Stats GetStats() const;
+  Stats GetStats() const L2R_EXCLUDES(mu_);
   const StreamOptions& options() const { return options_; }
   const Clock& clock() const { return *clock_; }
 
@@ -148,35 +149,39 @@ class StreamRouter {
   };
 
   /// Moves the open batch onto the closed queue and records the close
-  /// accounting. Caller holds mu_.
-  void CloseOpenLocked(CloseReason reason, int64_t close_us);
-  void BatcherLoop();
-  void DrainBatch(ClosedBatch batch);
+  /// accounting.
+  void CloseOpenLocked(CloseReason reason, int64_t close_us)
+      L2R_REQUIRES(mu_);
+  void BatcherLoop() L2R_EXCLUDES(mu_);
+  /// Runs with mu_ released: routing and callbacks never hold the lock.
+  void DrainBatch(ClosedBatch batch) L2R_EXCLUDES(mu_);
   /// Fails every pending callback with FailedPrecondition (kFail path).
-  void FailPending(std::vector<Pending> pending);
+  void FailPending(std::vector<Pending> pending) L2R_EXCLUDES(mu_);
 
   const StreamOptions options_;
   Clock* clock_;
   BatchRouter batch_router_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Pending> open_;        ///< accumulating batch
-  int64_t open_deadline_us_ = 0;     ///< first submit + batch_deadline_us
-  std::deque<ClosedBatch> closed_;   ///< awaiting drain, FIFO
-  bool stopping_ = false;
-  bool batcher_joined_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<Pending> open_ L2R_GUARDED_BY(mu_);  ///< accumulating batch
+  /// first submit + batch_deadline_us
+  int64_t open_deadline_us_ L2R_GUARDED_BY(mu_) = 0;
+  /// Awaiting drain, FIFO.
+  std::deque<ClosedBatch> closed_ L2R_GUARDED_BY(mu_);
+  bool stopping_ L2R_GUARDED_BY(mu_) = false;
+  bool batcher_joined_ L2R_GUARDED_BY(mu_) = false;
   // Counters guarded by mu_ except completed_/failed_on_shutdown_, which
   // the drain path updates outside the lock (release order pairs with
   // the acquire load in GetStats, so a caller that observed completed ==
   // submitted also observes every callback's side effects).
-  uint64_t submitted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t closed_by_size_ = 0;
-  uint64_t closed_by_deadline_ = 0;
-  uint64_t closed_by_shutdown_ = 0;
-  std::map<size_t, uint64_t> batch_size_hist_;
+  uint64_t submitted_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t batches_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t closed_by_size_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t closed_by_deadline_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t closed_by_shutdown_ L2R_GUARDED_BY(mu_) = 0;
+  std::map<size_t, uint64_t> batch_size_hist_ L2R_GUARDED_BY(mu_);
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_on_shutdown_{0};
 

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -188,79 +187,9 @@ TEST(WorkspacePoolTest, LeaseReturnedOnDifferentThreadIsSafe) {
   EXPECT_EQ(pool.CreatedCount(), 1u);
 }
 
-TEST(WorkspacePoolTest, CrossThreadReturnContentionStress) {
-  // Producers acquire and stamp objects, consumers validate and release
-  // them — every return happens on a different thread than its checkout,
-  // under heavy Acquire/Return contention. A missing happens-before edge
-  // shows up as a torn stamp; lost objects show up in the idle count.
-  using Scratch = std::vector<uint64_t>;
-  WorkspacePool<Scratch> pool(
-      [] { return std::make_unique<Scratch>(64, 0); });
-  constexpr int kProducers = 4;
-  constexpr int kConsumers = 4;
-  constexpr int kOpsPerProducer = 2000;
-  std::mutex mu;
-  std::vector<WorkspacePool<Scratch>::Lease> handoff;
-  std::atomic<int> produced{0};
-  std::atomic<int> consumed{0};
-  std::atomic<int> torn{0};
-  std::atomic<uint64_t> next_stamp{1};
-  std::atomic<bool> producers_done{false};
-
-  std::vector<std::thread> threads;
-  for (int p = 0; p < kProducers; ++p) {
-    threads.emplace_back([&] {
-      for (int i = 0; i < kOpsPerProducer; ++i) {
-        auto lease = pool.Acquire();
-        const uint64_t stamp = next_stamp.fetch_add(1);
-        for (uint64_t& slot : *lease) slot = stamp;
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          handoff.push_back(std::move(lease));
-        }
-        produced.fetch_add(1);
-      }
-    });
-  }
-  for (int c = 0; c < kConsumers; ++c) {
-    threads.emplace_back([&] {
-      while (true) {
-        WorkspacePool<Scratch>::Lease lease;
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          if (!handoff.empty()) {
-            lease = std::move(handoff.back());
-            handoff.pop_back();
-          }
-        }
-        if (!lease) {
-          if (producers_done.load() && consumed.load() == produced.load()) {
-            return;
-          }
-          std::this_thread::yield();
-          continue;
-        }
-        const uint64_t stamp = (*lease)[0];
-        for (const uint64_t slot : *lease) {
-          if (slot != stamp) torn.fetch_add(1);
-        }
-        consumed.fetch_add(1);
-        // `lease` releases here — a thread that did not check it out.
-      }
-    });
-  }
-  for (size_t i = 0; i < static_cast<size_t>(kProducers); ++i) {
-    threads[i].join();
-  }
-  producers_done.store(true);
-  for (size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
-
-  EXPECT_EQ(torn.load(), 0);
-  EXPECT_EQ(consumed.load(), kProducers * kOpsPerProducer);
-  // No object leaked or double-returned: everything created is idle again.
-  EXPECT_EQ(pool.IdleCount(), pool.CreatedCount());
-  EXPECT_GE(pool.CreatedCount(), 1u);
-}
+// The cross-thread return contention stress lives in
+// concurrency_stress_test.cc (label `tsan`) alongside the other
+// real-thread hammers.
 
 // ---------- FlatMap64 ----------
 

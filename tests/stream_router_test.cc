@@ -8,11 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "core/batch_router.h"
 #include "core/l2r.h"
@@ -42,11 +41,11 @@ TEST(SystemClockTest, MonotonicAndPastDeadlineTimesOutImmediately) {
   const int64_t a = clock.NowMicros();
   const int64_t b = clock.NowMicros();
   EXPECT_GE(b, a);
-  std::mutex mu;
-  std::condition_variable cv;
-  std::unique_lock<std::mutex> lock(mu);
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
   // A deadline already in the past returns timeout without blocking.
-  EXPECT_EQ(clock.WaitUntil(cv, lock, 0), std::cv_status::timeout);
+  EXPECT_EQ(clock.WaitUntil(cv, mu, 0), std::cv_status::timeout);
 }
 
 TEST(ManualClockTest, TimeMovesOnlyOnAdvance) {
@@ -62,54 +61,56 @@ TEST(ManualClockTest, TimeMovesOnlyOnAdvance) {
 
 TEST(ManualClockTest, ReachedDeadlineTimesOutWithoutWaiting) {
   ManualClock clock(500);
-  std::mutex mu;
-  std::condition_variable cv;
-  std::unique_lock<std::mutex> lock(mu);
-  EXPECT_EQ(clock.WaitUntil(cv, lock, 500), std::cv_status::timeout);
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_EQ(clock.WaitUntil(cv, mu, 500), std::cv_status::timeout);
   EXPECT_EQ(clock.NumWaiters(), 0u);
 }
 
 TEST(ManualClockTest, AdvanceToDeadlineWakesWaiterWithTimeout) {
   ManualClock clock;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   std::atomic<bool> timed_out{false};
   std::thread waiter([&] {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     // A real caller loops on its predicate; here the predicate is the
     // deadline itself.
-    while (clock.WaitUntil(cv, lock, 100) != std::cv_status::timeout) {
+    while (clock.WaitUntil(cv, mu, 100) != std::cv_status::timeout) {
     }
-    timed_out.store(true);
+    timed_out.store(true, std::memory_order_release);
   });
   while (clock.NumWaiters() == 0) std::this_thread::yield();
-  EXPECT_FALSE(timed_out.load());
+  EXPECT_FALSE(timed_out.load(std::memory_order_acquire));
   clock.AdvanceMicros(60);  // below the deadline: must keep waiting
-  EXPECT_FALSE(timed_out.load());
+  EXPECT_FALSE(timed_out.load(std::memory_order_acquire));
   clock.AdvanceMicros(40);  // reaches it exactly
   waiter.join();
-  EXPECT_TRUE(timed_out.load());
+  EXPECT_TRUE(timed_out.load(std::memory_order_acquire));
   EXPECT_EQ(clock.NumWaiters(), 0u);
 }
 
 TEST(ManualClockTest, ExternalNotifyWakesWithoutTimeout) {
   ManualClock clock;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   std::atomic<int> status{-1};
   std::thread waiter([&] {
-    std::unique_lock<std::mutex> lock(mu);
-    status.store(clock.WaitUntil(cv, lock, 1000) == std::cv_status::timeout
+    MutexLock lock(mu);
+    status.store(clock.WaitUntil(cv, mu, 1000) == std::cv_status::timeout
                      ? 1
-                     : 0);
+                     : 0,
+                 std::memory_order_release);
   });
   while (clock.NumWaiters() == 0) std::this_thread::yield();
   {
-    std::lock_guard<std::mutex> guard(mu);
-    cv.notify_all();
+    MutexLock guard(mu);
+    cv.NotifyAll();
   }
   waiter.join();
-  EXPECT_EQ(status.load(), 0);  // no_timeout: virtual now is still 0
+  // no_timeout: virtual now is still 0
+  EXPECT_EQ(status.load(std::memory_order_acquire), 0);
 }
 
 TEST(DeadlineBudgetTest, CalibratesFromClockTimedSample) {
