@@ -14,12 +14,23 @@
 // trajectory accumulates across PRs (see README "Benchmarking" for the
 // schema).
 //
+// PR 7 adds three serving-robustness blocks: a batch-deadline sweep
+// ("deadline_sweep": queue-wait/throughput tradeoff across deadlines, the
+// data the overload controller's min/max deadline bounds come from), an
+// admission-policy A/B ("admission_ab": kTagged vs kNever vs
+// kAfterNMisses under eviction pressure), and an offered-load overload
+// sweep ("overload_sweep": OverloadController + per-class shedding at
+// 0.5x-10x measured capacity, reporting goodput, shed split and
+// interactive drain-wait percentiles).
+//
 // Environment knobs: L2R_BENCH_SCALE (default 0.3), L2R_BENCH_QUERIES
 // (default 1200), L2R_BENCH_OUT (default BENCH_query_throughput.json),
 // L2R_BENCH_CACHE (default 1; 0 skips the cache-on serving pass),
 // L2R_BENCH_BUDGET_US (default 25; 0 disables the fallback budget),
 // L2R_BENCH_STREAM (default 1; 0 skips the streaming pass),
-// L2R_BENCH_STREAM_GAP_US (default 50; mean inter-arrival gap).
+// L2R_BENCH_STREAM_GAP_US (default 50; mean inter-arrival gap),
+// L2R_BENCH_DEADLINE_SWEEP / L2R_BENCH_ADMISSION / L2R_BENCH_OVERLOAD
+// (default 1; 0 skips the corresponding PR 7 block).
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +46,7 @@
 #include "common/stats.h"
 #include "common/timer.h"
 #include "core/batch_router.h"
+#include "serve/overload_controller.h"
 #include "serve/serving_router.h"
 #include "serve/stream_router.h"
 #include "workloads.h"
@@ -72,6 +84,21 @@ double StreamGapUs() {
   const char* env = std::getenv("L2R_BENCH_STREAM_GAP_US");
   const double v = env != nullptr ? std::atof(env) : 50.0;
   return v > 0 ? v : 50.0;
+}
+
+bool DeadlineSweepEnabled() {
+  const char* env = std::getenv("L2R_BENCH_DEADLINE_SWEEP");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
+bool AdmissionAbEnabled() {
+  const char* env = std::getenv("L2R_BENCH_ADMISSION");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
+bool OverloadSweepEnabled() {
+  const char* env = std::getenv("L2R_BENCH_OVERLOAD");
+  return env == nullptr || std::atoi(env) != 0;
 }
 
 /// True when the two result slots are byte-equivalent routing outcomes.
@@ -127,6 +154,47 @@ struct StreamReport {
   double mean_batch = 0;
   LatencySummary queue_wait_us;
   std::vector<std::pair<size_t, uint64_t>> batch_size_hist;
+};
+
+/// One point of the batch-deadline sweep (streaming replay at a fixed
+/// arrival schedule, varying only batch_deadline_us).
+struct DeadlinePoint {
+  int64_t deadline_us = 0;
+  double qps = 0;
+  double mean_batch = 0;
+  uint64_t closed_by_size = 0;
+  uint64_t closed_by_deadline = 0;
+  LatencySummary queue_wait_us;
+};
+
+/// One admission-policy arm of the A/B (identical workload + capacity).
+struct AdmissionReport {
+  std::string name;
+  double mean_us = 0;
+  double hit_rate = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t degraded_admitted = 0;
+  uint64_t degraded_rejected = 0;
+};
+
+/// One offered-load point of the overload sweep.
+struct OverloadPoint {
+  double multiplier = 0;
+  size_t slots = 0;
+  double offered_qps = 0;  ///< submitted / elapsed (realized offered load)
+  double goodput_qps = 0;  ///< completed / elapsed
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t submitted_by_class[kNumQueryClasses] = {0, 0};
+  uint64_t shed_by_class[kNumQueryClasses] = {0, 0};
+  LatencySummary interactive_drain_wait_us;  ///< served interactive only
+  OverloadController::Stats controller;
+  bool conserved = false;  ///< submitted == completed + shed
+  bool shed_status_ok = true;  ///< every shed result was ResourceExhausted
 };
 
 LatencySummary Summarize(const std::vector<double>& latency_us) {
@@ -539,6 +607,276 @@ int main() {
     std::printf("[stream] skipped (L2R_BENCH_STREAM=0)\n");
   }
 
+  // --- Batch-deadline sweep: the same arrival schedule replayed through
+  // StreamRouter at a ladder of batch deadlines. This is the latency /
+  // throughput tradeoff the overload controller walks at runtime — the
+  // sweep is where its min/max_batch_deadline_us bounds come from.
+  std::vector<DeadlinePoint> deadline_points;
+  const bool deadline_sweep_enabled = DeadlineSweepEnabled();
+  if (deadline_sweep_enabled) {
+    const size_t sweep_slots = 2 * distinct;
+    const bench::Scenario sweep_order =
+        bench::ZipfScenario(distinct, sweep_slots, 929);
+    const bench::ArrivalSchedule sweep_schedule =
+        bench::PoissonArrivals(sweep_slots, stream_gap_us, 929);
+    for (const int64_t deadline_us : {100, 250, 500, 1000, 2000}) {
+      ServingRouterOptions serving_options;
+      serving_options.deadline.fallback_budget_us = budget_us;
+      if (!cache_enabled) {
+        serving_options.enable_route_cache = false;
+        serving_options.enable_stitch_memo = false;
+      }
+      ServingRouter serving(&l2r, serving_options);
+      StreamOptions stream_options;
+      stream_options.max_batch = kStreamMaxBatch;
+      stream_options.batch_deadline_us = deadline_us;
+      stream_options.dedup = true;
+      StreamRouter stream(&serving, stream_options);
+
+      std::vector<double> waits(sweep_slots, 0.0);
+      Timer wall;
+      int64_t due_us = 0;
+      for (size_t i = 0; i < sweep_slots; ++i) {
+        due_us += sweep_schedule.gap_us[i];
+        while (wall.ElapsedSeconds() * 1e6 < static_cast<double>(due_us)) {
+          std::this_thread::yield();
+        }
+        stream.Submit(queries[sweep_order.order[i]],
+                      [&waits, i](const StreamResult& r) {
+                        waits[i] = static_cast<double>(r.queue_wait_us);
+                      });
+      }
+      while (stream.GetStats().completed < sweep_slots) {
+        std::this_thread::yield();
+      }
+      const double elapsed = wall.ElapsedSeconds();
+      const StreamRouter::Stats stats = stream.GetStats();
+      DeadlinePoint point;
+      point.deadline_us = deadline_us;
+      point.qps = static_cast<double>(sweep_slots) / elapsed;
+      point.mean_batch = stats.batches == 0
+                             ? 0
+                             : static_cast<double>(sweep_slots) /
+                                   static_cast<double>(stats.batches);
+      point.closed_by_size = stats.closed_by_size;
+      point.closed_by_deadline = stats.closed_by_deadline;
+      point.queue_wait_us = Summarize(waits);
+      std::printf(
+          "[deadline %5lld us] %.0f qps, mean batch %.1f "
+          "(%llu size / %llu deadline), queue wait p50 %.1f / p99 %.1f us\n",
+          static_cast<long long>(deadline_us), point.qps, point.mean_batch,
+          static_cast<unsigned long long>(point.closed_by_size),
+          static_cast<unsigned long long>(point.closed_by_deadline),
+          point.queue_wait_us.p50, point.queue_wait_us.p99);
+      deadline_points.push_back(point);
+    }
+  } else {
+    std::printf("[deadline sweep] skipped (L2R_BENCH_DEADLINE_SWEEP=0)\n");
+  }
+
+  // --- Admission-policy A/B: the skewed serving workload replayed at an
+  // eviction-pressure cache capacity (a quarter of what the full workload
+  // occupies), once per DegradedAdmission mode. The budget makes a slice
+  // of cold computations degraded; the modes differ in whether those
+  // degraded results may occupy scarce cache space.
+  std::vector<AdmissionReport> admission_reports;
+  const bool admission_enabled =
+      AdmissionAbEnabled() && cache_enabled && budget_us > 0;
+  size_t pressure_capacity = 0;
+  if (admission_enabled) {
+    pressure_capacity =
+        std::max<size_t>(64u << 10, serve_stats.cache.bytes / 4);
+    const struct {
+      const char* name;
+      DegradedAdmission mode;
+    } kArms[] = {{"tagged", DegradedAdmission::kTagged},
+                 {"never", DegradedAdmission::kNever},
+                 {"after_n_misses", DegradedAdmission::kAfterNMisses}};
+    for (const auto& arm : kArms) {
+      ServingRouterOptions serving_options;
+      serving_options.deadline.fallback_budget_us = budget_us;
+      serving_options.route_cache.capacity_bytes = pressure_capacity;
+      serving_options.route_cache.admission.degraded = arm.mode;
+      ServingRouter serving(&l2r, serving_options);
+      L2RQueryContext ctx = l2r.MakeContext();
+      const LatencySummary lat_ab = MeasureLatency(workload, [&](size_t i) {
+        return serving.Route(&ctx, queries[i].s, queries[i].d,
+                             queries[i].departure_time);
+      });
+      const RouteCache::Stats cs = serving.GetStats().cache;
+      AdmissionReport rep;
+      rep.name = arm.name;
+      rep.mean_us = lat_ab.mean;
+      rep.hits = cs.hits;
+      rep.misses = cs.misses;
+      rep.inserts = cs.inserts;
+      rep.evictions = cs.evictions;
+      rep.degraded_admitted = cs.admission.degraded_admitted;
+      rep.degraded_rejected = cs.admission.degraded_rejected;
+      const uint64_t lookups = cs.hits + cs.misses;
+      rep.hit_rate = lookups == 0 ? 0
+                                  : static_cast<double>(cs.hits) /
+                                        static_cast<double>(lookups);
+      std::printf(
+          "[admission %-14s] mean %.1f us, hit rate %.3f, "
+          "%llu evictions, degraded %llu admitted / %llu rejected "
+          "(capacity %zu B)\n",
+          rep.name.c_str(), rep.mean_us, rep.hit_rate,
+          static_cast<unsigned long long>(rep.evictions),
+          static_cast<unsigned long long>(rep.degraded_admitted),
+          static_cast<unsigned long long>(rep.degraded_rejected),
+          pressure_capacity);
+      admission_reports.push_back(rep);
+    }
+  } else {
+    std::printf(
+        "[admission a/b] skipped (needs L2R_BENCH_ADMISSION=1, cache on, "
+        "budget > 0)\n");
+  }
+
+  // --- Overload sweep: offered load stepped from half to ten times the
+  // measured cache-off capacity, served by StreamRouter under the
+  // OverloadController with a 70/30 interactive/bulk class mix. Cache and
+  // memo stay off so capacity is flat across points and the controller —
+  // not the hit rate — is what absorbs the excess.
+  std::vector<OverloadPoint> overload_points;
+  bool overload_ok = true;
+  const bool overload_enabled = OverloadSweepEnabled();
+  constexpr double kBulkFraction = 0.3;
+  constexpr int64_t kOverloadSloUs = 50'000;
+  const double capacity_qps = 1e6 / std::max(serve_off.mean, 1.0);
+  if (overload_enabled) {
+    for (const double multiplier : {0.5, 1.0, 2.0, 4.0, 10.0}) {
+      // Fixed ~0.25 s of offered traffic per point, so every point spans
+      // dozens of control periods regardless of the rate.
+      const size_t ov_slots = std::min<size_t>(
+          60'000, std::max<size_t>(2'000, static_cast<size_t>(
+                                              capacity_qps * multiplier *
+                                              0.25)));
+      const bench::Scenario ov_order =
+          bench::UniformScenario(distinct, ov_slots, 1331);
+      const std::vector<QueryClass> classes =
+          bench::ClassMix(ov_slots, kBulkFraction, 1332);
+      const bench::ArrivalSchedule schedule = bench::OverloadArrivals(
+          ov_slots, serve_off.mean, multiplier, 1333);
+
+      ServingRouterOptions serving_options;
+      serving_options.enable_route_cache = false;
+      serving_options.enable_stitch_memo = false;
+      serving_options.deadline.fallback_budget_us = budget_us;
+      ServingRouter serving(&l2r, serving_options);
+
+      OverloadControllerOptions oc;
+      // The period bounds the flood a level drop can re-admit before the
+      // next tick reacts (period x offered rate), and that flood is
+      // served, late — so the period must be small next to the SLO.
+      oc.control_period_us = 2'000;
+      oc.slo_queue_wait_us = kOverloadSloUs;
+      oc.min_batch_deadline_us = 100;
+      oc.max_batch_deadline_us = 1000;
+      oc.trip_ticks = 1;
+      oc.release_ticks = 3;
+      // Depth thresholds sized to the measured capacity: shed once the
+      // backlog needs slo/8 to drain, panic at slo/4 — a served query's
+      // backlog wait stays well inside the SLO even stacked on top of a
+      // between-ticks admission flood.
+      oc.shed_depth = std::max<size_t>(
+          32, static_cast<size_t>(capacity_qps * kOverloadSloUs / 8e6));
+      oc.resume_depth = oc.shed_depth / 4;
+      oc.panic_depth = 2 * oc.shed_depth;
+      OverloadController controller(oc);
+
+      StreamOptions stream_options;
+      stream_options.max_batch = kStreamMaxBatch;
+      stream_options.dedup = false;
+      stream_options.num_threads = 1;
+      stream_options.overload = &controller;
+      stream_options.budget_sink = [&serving](double scale) {
+        serving.SetBudgetScale(scale);
+      };
+      StreamRouter stream(&serving, stream_options);
+
+      std::vector<double> drain_waits(ov_slots, 0.0);
+      std::vector<uint8_t> was_shed(ov_slots, 0);
+      std::vector<uint8_t> bad_shed_status(ov_slots, 0);
+      Timer wall;
+      int64_t due_us = 0;
+      for (size_t i = 0; i < ov_slots; ++i) {
+        due_us += schedule.gap_us[i];
+        while (wall.ElapsedSeconds() * 1e6 < static_cast<double>(due_us)) {
+          std::this_thread::yield();
+        }
+        BatchQuery q = queries[ov_order.order[i]];
+        q.query_class = classes[i];
+        stream.Submit(q, [&drain_waits, &was_shed, &bad_shed_status,
+                          i](const StreamResult& r) {
+          drain_waits[i] = static_cast<double>(r.drain_wait_us);
+          was_shed[i] = r.shed ? 1 : 0;
+          if (r.shed && r.result.status().code() !=
+                            StatusCode::kResourceExhausted) {
+            bad_shed_status[i] = 1;
+          }
+        });
+      }
+      const double submit_elapsed = wall.ElapsedSeconds();
+      for (;;) {
+        const StreamRouter::Stats s = stream.GetStats();
+        if (s.completed + s.shed + s.failed_on_shutdown >= ov_slots) break;
+        std::this_thread::yield();
+      }
+
+      const StreamRouter::Stats stats = stream.GetStats();
+      OverloadPoint point;
+      point.multiplier = multiplier;
+      point.slots = ov_slots;
+      point.offered_qps = static_cast<double>(ov_slots) / submit_elapsed;
+      point.goodput_qps =
+          static_cast<double>(stats.completed) / wall.ElapsedSeconds();
+      point.submitted = stats.submitted;
+      point.completed = stats.completed;
+      point.shed = stats.shed;
+      for (size_t c = 0; c < kNumQueryClasses; ++c) {
+        point.submitted_by_class[c] = stats.submitted_by_class[c];
+        point.shed_by_class[c] = stats.shed_by_class[c];
+      }
+      std::vector<double> served_interactive_waits;
+      served_interactive_waits.reserve(ov_slots);
+      for (size_t i = 0; i < ov_slots; ++i) {
+        if (bad_shed_status[i] != 0) point.shed_status_ok = false;
+        if (was_shed[i] == 0 && classes[i] == QueryClass::kInteractive) {
+          served_interactive_waits.push_back(drain_waits[i]);
+        }
+      }
+      point.interactive_drain_wait_us = Summarize(served_interactive_waits);
+      point.controller = controller.GetStats();
+      point.conserved = stats.submitted == stats.completed + stats.shed;
+      overload_ok =
+          overload_ok && point.conserved && point.shed_status_ok;
+      std::printf(
+          "[overload x%-4.1f] offered %.0f qps -> goodput %.0f qps, "
+          "shed %llu (bulk %llu / interactive %llu of %llu / %llu), "
+          "interactive drain wait p99 %.0f us, level %d after %llu ticks\n",
+          multiplier, point.offered_qps, point.goodput_qps,
+          static_cast<unsigned long long>(point.shed),
+          static_cast<unsigned long long>(
+              point.shed_by_class[static_cast<size_t>(QueryClass::kBulk)]),
+          static_cast<unsigned long long>(point.shed_by_class[
+              static_cast<size_t>(QueryClass::kInteractive)]),
+          static_cast<unsigned long long>(point.submitted_by_class[
+              static_cast<size_t>(QueryClass::kBulk)]),
+          static_cast<unsigned long long>(point.submitted_by_class[
+              static_cast<size_t>(QueryClass::kInteractive)]),
+          point.interactive_drain_wait_us.p99, point.controller.level,
+          static_cast<unsigned long long>(point.controller.ticks));
+      overload_points.push_back(point);
+    }
+    if (!overload_ok) {
+      std::printf("[overload] ACCOUNTING VIOLATION (see points above)\n");
+    }
+  } else {
+    std::printf("[overload sweep] skipped (L2R_BENCH_OVERLOAD=0)\n");
+  }
+
   // --- JSON artifact.
   const std::string out_path = OutPath();
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -684,6 +1022,124 @@ int main() {
   } else {
     std::fprintf(f, "  \"streaming\": null,\n");
   }
+  if (deadline_sweep_enabled) {
+    std::fprintf(f, "  \"deadline_sweep\": {\n");
+    std::fprintf(f, "    \"max_batch\": %zu, \"mean_gap_us\": %.2f,\n",
+                 kStreamMaxBatch, stream_gap_us);
+    std::fprintf(f, "    \"points\": [\n");
+    for (size_t i = 0; i < deadline_points.size(); ++i) {
+      const DeadlinePoint& p = deadline_points[i];
+      std::fprintf(
+          f,
+          "      {\"deadline_us\": %lld, \"qps\": %.1f, "
+          "\"mean_batch\": %.2f, \"closed_by_size\": %llu, "
+          "\"closed_by_deadline\": %llu,\n",
+          static_cast<long long>(p.deadline_us), p.qps, p.mean_batch,
+          static_cast<unsigned long long>(p.closed_by_size),
+          static_cast<unsigned long long>(p.closed_by_deadline));
+      std::fprintf(f,
+                   "       \"queue_wait_us\": {\"mean\": %.2f, "
+                   "\"p50\": %.2f, \"p95\": %.2f, \"p99\": %.2f}}%s\n",
+                   p.queue_wait_us.mean, p.queue_wait_us.p50,
+                   p.queue_wait_us.p95, p.queue_wait_us.p99,
+                   i + 1 == deadline_points.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]\n  },\n");
+  } else {
+    std::fprintf(f, "  \"deadline_sweep\": null,\n");
+  }
+  if (admission_enabled) {
+    std::fprintf(f, "  \"admission_ab\": {\n");
+    std::fprintf(f, "    \"capacity_bytes\": %zu, \"budget_us\": %.2f,\n",
+                 pressure_capacity, budget_us);
+    std::fprintf(f, "    \"policies\": [\n");
+    for (size_t i = 0; i < admission_reports.size(); ++i) {
+      const AdmissionReport& rep = admission_reports[i];
+      std::fprintf(
+          f,
+          "      {\"name\": \"%s\", \"mean_us\": %.2f, "
+          "\"hit_rate\": %.4f, \"hits\": %llu, \"misses\": %llu,\n",
+          rep.name.c_str(), rep.mean_us, rep.hit_rate,
+          static_cast<unsigned long long>(rep.hits),
+          static_cast<unsigned long long>(rep.misses));
+      std::fprintf(
+          f,
+          "       \"inserts\": %llu, \"evictions\": %llu, "
+          "\"degraded_admitted\": %llu, \"degraded_rejected\": %llu}%s\n",
+          static_cast<unsigned long long>(rep.inserts),
+          static_cast<unsigned long long>(rep.evictions),
+          static_cast<unsigned long long>(rep.degraded_admitted),
+          static_cast<unsigned long long>(rep.degraded_rejected),
+          i + 1 == admission_reports.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]\n  },\n");
+  } else {
+    std::fprintf(f, "  \"admission_ab\": null,\n");
+  }
+  if (overload_enabled) {
+    std::fprintf(f, "  \"overload_sweep\": {\n");
+    std::fprintf(
+        f,
+        "    \"capacity_qps\": %.1f, \"bulk_fraction\": %.2f, "
+        "\"slo_us\": %lld, \"ok\": %s,\n",
+        capacity_qps, kBulkFraction, static_cast<long long>(kOverloadSloUs),
+        overload_ok ? "true" : "false");
+    std::fprintf(f, "    \"points\": [\n");
+    for (size_t i = 0; i < overload_points.size(); ++i) {
+      const OverloadPoint& p = overload_points[i];
+      std::fprintf(
+          f,
+          "      {\"multiplier\": %.2f, \"slots\": %zu, "
+          "\"offered_qps\": %.1f, \"goodput_qps\": %.1f,\n",
+          p.multiplier, p.slots, p.offered_qps, p.goodput_qps);
+      std::fprintf(
+          f,
+          "       \"submitted\": %llu, \"completed\": %llu, "
+          "\"shed\": %llu, \"conserved\": %s, \"shed_status_ok\": %s,\n",
+          static_cast<unsigned long long>(p.submitted),
+          static_cast<unsigned long long>(p.completed),
+          static_cast<unsigned long long>(p.shed),
+          p.conserved ? "true" : "false",
+          p.shed_status_ok ? "true" : "false");
+      std::fprintf(
+          f,
+          "       \"interactive\": {\"submitted\": %llu, \"shed\": %llu}, "
+          "\"bulk\": {\"submitted\": %llu, \"shed\": %llu},\n",
+          static_cast<unsigned long long>(p.submitted_by_class[
+              static_cast<size_t>(QueryClass::kInteractive)]),
+          static_cast<unsigned long long>(p.shed_by_class[
+              static_cast<size_t>(QueryClass::kInteractive)]),
+          static_cast<unsigned long long>(
+              p.submitted_by_class[static_cast<size_t>(QueryClass::kBulk)]),
+          static_cast<unsigned long long>(
+              p.shed_by_class[static_cast<size_t>(QueryClass::kBulk)]));
+      std::fprintf(
+          f,
+          "       \"interactive_drain_wait_us\": {\"mean\": %.2f, "
+          "\"p50\": %.2f, \"p95\": %.2f, \"p99\": %.2f},\n",
+          p.interactive_drain_wait_us.mean, p.interactive_drain_wait_us.p50,
+          p.interactive_drain_wait_us.p95, p.interactive_drain_wait_us.p99);
+      std::fprintf(
+          f,
+          "       \"controller\": {\"ticks\": %llu, "
+          "\"overloaded_ticks\": %llu, \"deadline_cuts\": %llu, "
+          "\"deadline_recoveries\": %llu, \"level_raises\": %llu, "
+          "\"level_drops\": %llu, \"final_level\": %d, "
+          "\"final_deadline_us\": %lld}}%s\n",
+          static_cast<unsigned long long>(p.controller.ticks),
+          static_cast<unsigned long long>(p.controller.overloaded_ticks),
+          static_cast<unsigned long long>(p.controller.deadline_cuts),
+          static_cast<unsigned long long>(p.controller.deadline_recoveries),
+          static_cast<unsigned long long>(p.controller.level_raises),
+          static_cast<unsigned long long>(p.controller.level_drops),
+          p.controller.level,
+          static_cast<long long>(p.controller.batch_deadline_us),
+          i + 1 == overload_points.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]\n  },\n");
+  } else {
+    std::fprintf(f, "  \"overload_sweep\": null,\n");
+  }
   std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
                deterministic ? "true" : "false");
   std::fprintf(f, "  \"runs\": [\n");
@@ -697,5 +1153,6 @@ int main() {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("[json] wrote %s\n", out_path.c_str());
-  return deterministic && scenarios_ok && streaming_ok ? 0 : 2;
+  return deterministic && scenarios_ok && streaming_ok && overload_ok ? 0
+                                                                      : 2;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/serve_hooks.h"
 
 namespace l2r {
 namespace bench {
@@ -215,6 +216,37 @@ inline ArrivalSchedule BurstyArrivals(size_t slots, size_t burst,
     }
   }
   return a;
+}
+
+/// Overload arrivals: Poisson gaps whose mean is `capacity_gap_us /
+/// multiplier`, i.e. offered load at `multiplier` times the measured
+/// service capacity. The overload-sweep bench steps the multiplier from
+/// under- to far-over-capacity to trace goodput and shedding against
+/// offered load; the shape stays memoryless so the only variable across
+/// sweep points is the rate.
+inline ArrivalSchedule OverloadArrivals(size_t slots, double capacity_gap_us,
+                                        double multiplier, uint64_t seed) {
+  ArrivalSchedule a = PoissonArrivals(
+      slots, capacity_gap_us / std::max(multiplier, 1e-9), seed);
+  a.name = "overload_x" + std::to_string(multiplier);
+  a.summary = "Poisson arrivals at a multiple of service capacity";
+  return a;
+}
+
+/// Seeded per-slot priority classes: each slot is kBulk with probability
+/// `bulk_fraction`, independently. Pairs index-wise with a Scenario's
+/// slot order, so class assignment is reproducible and uncorrelated with
+/// which query a slot carries.
+inline std::vector<QueryClass> ClassMix(size_t slots, double bulk_fraction,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryClass> classes;
+  classes.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    classes.push_back(rng.Bernoulli(bulk_fraction) ? QueryClass::kBulk
+                                                   : QueryClass::kInteractive);
+  }
+  return classes;
 }
 
 /// The streaming arrival suite, in reporting order; seeded and

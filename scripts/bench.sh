@@ -11,12 +11,20 @@
 #        L2R_BENCH_BUDGET_US fallback budget, us (default 25; 0 = no budget)
 #        L2R_BENCH_STREAM    streaming pass      (default 1; 0 = skip)
 #        L2R_BENCH_STREAM_GAP_US  mean arrival gap, us (default 50)
+#        L2R_BENCH_DEADLINE_SWEEP batch-deadline sweep   (default 1; 0 = skip)
+#        L2R_BENCH_ADMISSION      admission-policy A/B   (default 1; 0 = skip)
+#        L2R_BENCH_OVERLOAD       offered-load overload sweep (default 1; 0 = skip)
 #
 # The bench reports per-query latency percentiles, the serving-cache
 # comparison (cache off vs on over a skewed repeated-query workload),
-# multi-core batch QPS for t = 1, 2, 4, 8, the scenario dedup suite, and
-# the streaming front-end replay (Poisson / bursty arrivals through
-# StreamRouter: QPS, batch-size histogram, queue-wait percentiles).
+# multi-core batch QPS for t = 1, 2, 4, 8, the scenario dedup suite, the
+# streaming front-end replay (Poisson / bursty arrivals through
+# StreamRouter: QPS, batch-size histogram, queue-wait percentiles), the
+# batch-deadline sweep (latency/throughput tradeoff the overload
+# controller's deadline bounds come from), the degraded-admission A/B
+# (kTagged / kNever / kAfterNMisses under eviction pressure), and the
+# overload sweep (OverloadController + per-class shedding at 0.5x-10x
+# measured capacity: goodput, shed split, drain-wait percentiles).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

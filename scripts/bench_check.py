@@ -20,7 +20,23 @@ Checks (per file):
     sums back to the submitted count (no query lost or double-counted);
   - the duplicate_heavy scenario shows a dedup-on improvement (QPS up and
     mean latency down vs dedup-off) — the structural win, stated as a
-    generous >= 1.2x bound so CI noise cannot flake it.
+    generous >= 1.2x bound so CI noise cannot flake it;
+  - the deadline_sweep block (unless L2R_BENCH_DEADLINE_SWEEP=0) has
+    strictly increasing deadlines, positive QPS, monotone queue-wait
+    percentiles, and a mean batch size that does not shrink as the
+    deadline grows (5% tolerance for timing noise);
+  - the admission_ab block (unless L2R_BENCH_ADMISSION=0 or the cache /
+    budget pass is off) covers the tagged/never/after_n_misses arms with
+    consistent hit rates, and the `never` arm really admitted zero
+    degraded entries;
+  - the overload_sweep block (unless L2R_BENCH_OVERLOAD=0) reports
+    ok=true (every point conserved callbacks and shed with
+    kResourceExhausted), per-class splits that sum to the totals,
+    interactive drain-wait p99 under the SLO (with a noise allowance
+    for contended CI cores) at every point, bulk shed at a rate >=
+    interactive wherever anything shed, and goodput at overload
+    multipliers (>= 2x capacity) within a generous factor of the peak
+    — the controller must not collapse under overload.
 
 Exits 0 when every file passes, 1 with a per-violation message otherwise.
 CI runs this after each bench pass so a malformed or regressed artifact
@@ -45,6 +61,9 @@ REQUIRED_TOP_KEYS = [
     "serving",
     "scenarios",
     "streaming",
+    "deadline_sweep",
+    "admission_ab",
+    "overload_sweep",
     "deterministic_across_threads",
     "runs",
 ]
@@ -65,6 +84,26 @@ EXPECTED_THREADS = [1, 2, 4, 8]
 # at least this factor. Far below the ~8x structural ceiling, far above
 # CI timing noise.
 MIN_DUP_HEAVY_SPEEDUP = 1.2
+
+ADMISSION_ARMS = ["tagged", "never", "after_n_misses"]
+
+# A longer batch deadline can only grow the mean batch; allow 5% noise.
+DEADLINE_BATCH_TOLERANCE = 0.95
+
+# Goodput at overload (multiplier >= 2) must stay within this factor of
+# the sweep's peak goodput. Clean runs hold within ~10% of peak; the
+# floor is far looser because the sweep measures real time on shared CI
+# cores (the capacity estimate itself swings run to run). The gate
+# exists to fail a controller that *collapses* under load — goodput
+# falling off a cliff past saturation — not to relitigate the tuned
+# margin, which the committed artifact documents.
+MIN_OVERLOAD_GOODPUT_FRACTION = 0.6
+
+# Same reasoning for the drain-wait SLO: the controller targets slo_us
+# and clean runs sit well inside it, but p99 on a contended CI machine
+# carries scheduling noise the controller cannot see. Gate at a modest
+# multiple so a controller that stops enforcing the SLO still fails.
+OVERLOAD_SLO_NOISE_FACTOR = 1.5
 
 
 class Violation(Exception):
@@ -268,6 +307,205 @@ def check_streaming(streaming):
         )
 
 
+def check_wait_block(wait, where):
+    for key in ("mean", "p50", "p95", "p99"):
+        require(key in wait, f"{where}: missing '{key}'")
+    require(wait["mean"] >= 0, f"{where}: negative mean")
+    require(
+        0 <= wait["p50"] <= wait["p95"] <= wait["p99"],
+        f"{where}: percentiles not monotone "
+        f"(p50={wait['p50']}, p95={wait['p95']}, p99={wait['p99']})",
+    )
+
+
+def check_deadline_sweep(sweep):
+    if sweep is None:
+        return  # skipped (L2R_BENCH_DEADLINE_SWEEP=0)
+    require(isinstance(sweep, dict), "deadline_sweep: not an object")
+    for key in ("max_batch", "mean_gap_us", "points"):
+        require(key in sweep, f"deadline_sweep: missing '{key}'")
+    require(sweep["max_batch"] > 0, "deadline_sweep: max_batch must be > 0")
+    points = sweep["points"]
+    require(
+        isinstance(points, list) and points,
+        "deadline_sweep: points missing or empty",
+    )
+    prev_deadline = 0
+    prev_mean_batch = 0.0
+    for p in points:
+        where = f"deadline_sweep[deadline_us={p.get('deadline_us')}]"
+        for key in (
+            "deadline_us",
+            "qps",
+            "mean_batch",
+            "closed_by_size",
+            "closed_by_deadline",
+            "queue_wait_us",
+        ):
+            require(key in p, f"{where}: missing '{key}'")
+        require(
+            p["deadline_us"] > prev_deadline,
+            f"{where}: deadlines not strictly increasing",
+        )
+        prev_deadline = p["deadline_us"]
+        require(p["qps"] > 0, f"{where}: non-positive qps")
+        require(
+            1.0 <= p["mean_batch"] <= sweep["max_batch"],
+            f"{where}: mean_batch {p['mean_batch']} outside "
+            f"[1, max_batch={sweep['max_batch']}]",
+        )
+        # The latency/throughput tradeoff the sweep exists to expose: a
+        # longer deadline can only accumulate bigger batches.
+        require(
+            p["mean_batch"] >= prev_mean_batch * DEADLINE_BATCH_TOLERANCE,
+            f"{where}: mean_batch {p['mean_batch']} shrank vs the shorter "
+            f"deadline's {prev_mean_batch}",
+        )
+        prev_mean_batch = max(prev_mean_batch, p["mean_batch"])
+        check_wait_block(p["queue_wait_us"], f"{where}.queue_wait_us")
+
+
+def check_admission_ab(block):
+    if block is None:
+        return  # skipped (L2R_BENCH_ADMISSION=0, cache off, or no budget)
+    require(isinstance(block, dict), "admission_ab: not an object")
+    for key in ("capacity_bytes", "budget_us", "policies"):
+        require(key in block, f"admission_ab: missing '{key}'")
+    require(
+        block["capacity_bytes"] > 0, "admission_ab: non-positive capacity"
+    )
+    policies = block["policies"]
+    names = [p.get("name") for p in policies]
+    require(
+        names == ADMISSION_ARMS,
+        f"admission_ab: arms {names} != {ADMISSION_ARMS}",
+    )
+    for p in policies:
+        where = f"admission_ab.{p['name']}"
+        require(p.get("mean_us", 0) > 0, f"{where}: non-positive mean_us")
+        hit_rate = p.get("hit_rate")
+        require(
+            hit_rate is not None and 0.0 <= hit_rate <= 1.0,
+            f"{where}: hit_rate outside [0, 1]",
+        )
+        hits, misses = p.get("hits", 0), p.get("misses", 0)
+        if hits + misses > 0:
+            require(
+                abs(hit_rate - hits / (hits + misses)) < 1e-3,
+                f"{where}: hit_rate {hit_rate} inconsistent with "
+                f"hits={hits}, misses={misses}",
+            )
+        if p["name"] == "never":
+            require(
+                p.get("degraded_admitted", 0) == 0,
+                f"{where}: kNever admitted degraded entries",
+            )
+
+
+def check_overload_sweep(sweep):
+    if sweep is None:
+        return  # skipped (L2R_BENCH_OVERLOAD=0)
+    require(isinstance(sweep, dict), "overload_sweep: not an object")
+    for key in ("capacity_qps", "bulk_fraction", "slo_us", "ok", "points"):
+        require(key in sweep, f"overload_sweep: missing '{key}'")
+    require(
+        sweep["capacity_qps"] > 0, "overload_sweep: non-positive capacity"
+    )
+    require(
+        sweep["ok"] is True,
+        "overload_sweep: ok is false — a point dropped a callback or shed "
+        "without kResourceExhausted",
+    )
+    points = sweep["points"]
+    require(
+        isinstance(points, list) and points,
+        "overload_sweep: points missing or empty",
+    )
+    slo_us = sweep["slo_us"]
+    peak_goodput = max(p.get("goodput_qps", 0) for p in points)
+    require(peak_goodput > 0, "overload_sweep: no point served anything")
+    for p in points:
+        where = f"overload_sweep[x{p.get('multiplier')}]"
+        for key in (
+            "multiplier",
+            "slots",
+            "offered_qps",
+            "goodput_qps",
+            "submitted",
+            "completed",
+            "shed",
+            "conserved",
+            "shed_status_ok",
+            "interactive",
+            "bulk",
+            "interactive_drain_wait_us",
+            "controller",
+        ):
+            require(key in p, f"{where}: missing '{key}'")
+        require(p["conserved"] is True, f"{where}: callbacks not conserved")
+        require(
+            p["shed_status_ok"] is True,
+            f"{where}: a shed callback lacked kResourceExhausted",
+        )
+        interactive, bulk = p["interactive"], p["bulk"]
+        require(
+            interactive["submitted"] + bulk["submitted"] == p["submitted"],
+            f"{where}: per-class submitted does not sum to the total",
+        )
+        require(
+            interactive["shed"] + bulk["shed"] == p["shed"],
+            f"{where}: per-class shed does not sum to the total",
+        )
+        require(
+            p["completed"] + p["shed"] == p["submitted"],
+            f"{where}: completed ({p['completed']}) + shed ({p['shed']}) "
+            f"!= submitted ({p['submitted']})",
+        )
+        wait = p["interactive_drain_wait_us"]
+        check_wait_block(wait, f"{where}.interactive_drain_wait_us")
+        require(
+            wait["p99"] <= slo_us * OVERLOAD_SLO_NOISE_FACTOR,
+            f"{where}: interactive drain-wait p99 {wait['p99']} breaks the "
+            f"{slo_us}us SLO even with the {OVERLOAD_SLO_NOISE_FACTOR}x "
+            "noise allowance",
+        )
+        # Bulk sheds first: wherever anything shed, the bulk shed *rate*
+        # must be at least the interactive one.
+        if p["shed"] > 0 and bulk["submitted"] > 0:
+            bulk_rate = bulk["shed"] / bulk["submitted"]
+            inter_rate = (
+                interactive["shed"] / interactive["submitted"]
+                if interactive["submitted"] > 0
+                else 0.0
+            )
+            require(
+                bulk_rate >= inter_rate,
+                f"{where}: bulk shed rate {bulk_rate:.3f} below "
+                f"interactive {inter_rate:.3f} — class priority inverted",
+            )
+        if p["multiplier"] >= 2.0:
+            require(
+                p["goodput_qps"]
+                >= MIN_OVERLOAD_GOODPUT_FRACTION * peak_goodput,
+                f"{where}: goodput {p['goodput_qps']:.0f} collapsed below "
+                f"{MIN_OVERLOAD_GOODPUT_FRACTION:.0%} of the sweep peak "
+                f"{peak_goodput:.0f}",
+            )
+        ctl = p["controller"]
+        for key in (
+            "ticks",
+            "overloaded_ticks",
+            "deadline_cuts",
+            "deadline_recoveries",
+            "level_raises",
+            "level_drops",
+            "final_level",
+            "final_deadline_us",
+        ):
+            require(key in ctl, f"{where}.controller: missing '{key}'")
+        require(ctl["ticks"] > 0, f"{where}: the controller never ticked")
+
+
 def check_file(path):
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
@@ -284,6 +522,9 @@ def check_file(path):
     check_runs(data["runs"])
     check_scenarios(data["scenarios"])
     check_streaming(data["streaming"])
+    check_deadline_sweep(data["deadline_sweep"])
+    check_admission_ab(data["admission_ab"])
+    check_overload_sweep(data["overload_sweep"])
     require(
         data["deterministic_across_threads"] is True,
         "deterministic_across_threads is not true",

@@ -20,6 +20,12 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 7,
   kIOError = 8,
   kDeadlineExceeded = 9,
+  /// The server refused work it could not absorb (admission-level load
+  /// shedding). Distinct from kFailedPrecondition (shutdown) and
+  /// kDeadlineExceeded (a search that ran out of budget): a
+  /// ResourceExhausted query was never attempted and is safe to retry
+  /// against a less-loaded replica or after backoff.
+  kResourceExhausted = 10,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -59,6 +65,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -17,6 +17,11 @@ struct BatchQuery {
   VertexId s = kInvalidVertex;
   VertexId d = kInvalidVertex;
   double departure_time = 0;
+  /// Priority class for admission-level load shedding (serve_hooks.h).
+  /// Routing itself ignores it: the answer is a pure function of
+  /// (s, d, period), so batch-level dedup collapses duplicates across
+  /// classes and results stay byte-identical either way.
+  QueryClass query_class = QueryClass::kInteractive;
 };
 
 struct BatchRouterOptions {

@@ -15,6 +15,29 @@
 
 namespace l2r {
 
+/// Priority class of a query, used by admission-level load shedding
+/// (serve/OverloadController + StreamRouter): when offered load exceeds
+/// capacity, kBulk work (batch travel-time estimation, prefetch,
+/// analytics) is shed before kInteractive work (a user waiting on a
+/// route) so the interactive latency SLO holds through overload. The
+/// class never reaches the search kernels — a route's bytes are a pure
+/// function of (s, d, period) regardless of who asked — so dedup,
+/// caching and single-flight all stay class-blind.
+enum class QueryClass : uint8_t {
+  kInteractive = 0,
+  kBulk = 1,
+};
+
+inline constexpr size_t kNumQueryClasses = 2;
+
+inline const char* QueryClassName(QueryClass cls) {
+  switch (cls) {
+    case QueryClass::kInteractive: return "interactive";
+    case QueryClass::kBulk: return "bulk";
+  }
+  return "unknown";
+}
+
 /// A query quantized to what the router actually consumes: Route's answer
 /// depends on (s, d) and the departure period only (all departure times
 /// mapping to one period share an answer — quantize with

@@ -51,6 +51,20 @@ class DeadlineBudget {
     return QueryBudget{MaxPreferenceSettles()};
   }
 
+  /// Settle cap under an overload-control scale in (0, 1] — the
+  /// controller's degraded-serving lever (OverloadDecision::budget_scale
+  /// via ServingRouter::SetBudgetScale). Keeps the min_settles floor, so
+  /// even panic-level scaling cannot starve rebuilds that would finish
+  /// well inside any real deadline. scale >= 1 is the plain cap.
+  size_t ScaledSettleCap(double scale) const {
+    if (!enabled()) return 0;
+    if (scale >= 1.0) return MaxPreferenceSettles();
+    const double settles =
+        options_.fallback_budget_us * options_.settles_per_us * scale;
+    const size_t cap = static_cast<size_t>(settles);
+    return cap < options_.min_settles ? options_.min_settles : cap;
+  }
+
   /// Replaces the settles_per_us guess with an observed sample — e.g. a
   /// configure-time warm-up batch timed on the injected Clock (virtual
   /// in tests, steady in production):

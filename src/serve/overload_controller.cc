@@ -1,0 +1,115 @@
+#include "serve/overload_controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace l2r {
+
+OverloadController::OverloadController(
+    const OverloadControllerOptions& options)
+    : options_(options), batch_deadline_us_(options.max_batch_deadline_us) {
+  L2R_CHECK(options_.control_period_us > 0);
+  L2R_CHECK(options_.slo_queue_wait_us > 0);
+  L2R_CHECK(options_.min_batch_deadline_us >= 0);
+  L2R_CHECK(options_.min_batch_deadline_us <= options_.max_batch_deadline_us);
+  L2R_CHECK(options_.deadline_backoff > 0 && options_.deadline_backoff < 1);
+  L2R_CHECK(options_.deadline_recover_us >= 0);
+  L2R_CHECK(options_.resume_depth <= options_.shed_depth);
+  L2R_CHECK(options_.shed_depth <= options_.panic_depth);
+  L2R_CHECK(options_.trip_ticks >= 1);
+  L2R_CHECK(options_.release_ticks >= 1);
+  L2R_CHECK(options_.degraded_budget_scale > 0 &&
+            options_.degraded_budget_scale <= 1);
+}
+
+OverloadDecision OverloadController::Tick(const OverloadObservation& obs) {
+  MutexLock guard(mu_);
+  ++ticks_;
+
+  // A tick is overloaded when interactive waits broke the SLO or the
+  // pending queue is deep enough that the *next* tick's waits will; it is
+  // calm only when both signals sit comfortably inside their bounds
+  // (half the SLO, the resume watermark). The middle ground advances
+  // neither streak, which is what keeps the ladder from oscillating.
+  const bool overloaded = (obs.wait_p99_us > options_.slo_queue_wait_us) ||
+                          obs.queue_depth >= options_.shed_depth;
+  const bool calm = obs.queue_depth <= options_.resume_depth &&
+                    (obs.wait_p99_us < 0 ||
+                     2 * obs.wait_p99_us <= options_.slo_queue_wait_us);
+
+  if (overloaded) {
+    ++overloaded_ticks_;
+    overload_streak_ += 1;
+    calm_streak_ = 0;
+    const int64_t cut = static_cast<int64_t>(
+        static_cast<double>(batch_deadline_us_) * options_.deadline_backoff);
+    const int64_t next = std::max(options_.min_batch_deadline_us, cut);
+    if (next < batch_deadline_us_) {
+      batch_deadline_us_ = next;
+      ++deadline_cuts_;
+    }
+  } else if (calm) {
+    calm_streak_ += 1;
+    overload_streak_ = 0;
+    const int64_t next = std::min(
+        options_.max_batch_deadline_us,
+        batch_deadline_us_ + options_.deadline_recover_us);
+    if (next > batch_deadline_us_) {
+      batch_deadline_us_ = next;
+      ++deadline_recoveries_;
+    }
+  } else {
+    overload_streak_ = 0;
+    calm_streak_ = 0;
+  }
+
+  if (obs.queue_depth >= options_.panic_depth && level_ < 3) {
+    // Waits this deep are already lost; jump to queue protection rather
+    // than walking the ladder one trip window at a time.
+    level_raises_ += static_cast<uint64_t>(3 - level_);
+    level_ = 3;
+    overload_streak_ = 0;
+  } else if (overload_streak_ >= options_.trip_ticks && level_ < 3) {
+    ++level_;
+    ++level_raises_;
+    overload_streak_ = 0;
+  } else if (calm_streak_ >= options_.release_ticks && level_ > 0) {
+    --level_;
+    ++level_drops_;
+    calm_streak_ = 0;
+  }
+
+  return DecisionLocked();
+}
+
+OverloadDecision OverloadController::DecisionLocked() const {
+  OverloadDecision d;
+  d.level = level_;
+  d.batch_deadline_us = batch_deadline_us_;
+  d.shed_bulk = level_ >= 1;
+  d.budget_scale = level_ >= 2 ? options_.degraded_budget_scale : 1.0;
+  d.shed_interactive = level_ >= 3;
+  return d;
+}
+
+OverloadDecision OverloadController::Current() const {
+  MutexLock guard(mu_);
+  return DecisionLocked();
+}
+
+OverloadController::Stats OverloadController::GetStats() const {
+  MutexLock guard(mu_);
+  Stats stats;
+  stats.ticks = ticks_;
+  stats.overloaded_ticks = overloaded_ticks_;
+  stats.deadline_cuts = deadline_cuts_;
+  stats.deadline_recoveries = deadline_recoveries_;
+  stats.level_raises = level_raises_;
+  stats.level_drops = level_drops_;
+  stats.level = level_;
+  stats.batch_deadline_us = batch_deadline_us_;
+  return stats;
+}
+
+}  // namespace l2r

@@ -1,0 +1,148 @@
+#ifndef L2R_SERVE_OVERLOAD_CONTROLLER_H_
+#define L2R_SERVE_OVERLOAD_CONTROLLER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace l2r {
+
+struct OverloadControllerOptions {
+  /// Tick length on the injected clock, microseconds. The stream batcher
+  /// feeds one OverloadObservation per tick.
+  int64_t control_period_us = 10'000;
+  /// SLO bound on the interactive drain-wait p99 (submit -> drain start
+  /// on the injected clock, backlog included). A tick whose observed p99
+  /// exceeds this is overloaded.
+  int64_t slo_queue_wait_us = 20'000;
+  /// Adaptive batch-deadline range. max is also the starting (calm)
+  /// deadline; min is where batches stop amortizing dispatch (take it
+  /// from the deadline_sweep bench block).
+  int64_t min_batch_deadline_us = 50;
+  int64_t max_batch_deadline_us = 1000;
+  /// Multiplicative deadline cut on an overloaded tick, in (0, 1).
+  double deadline_backoff = 0.5;
+  /// Additive deadline recovery per calm tick, microseconds.
+  int64_t deadline_recover_us = 100;
+  /// Pending-queue depth (open + closed-but-undrained queries) that marks
+  /// a tick overloaded even before waits blow past the SLO.
+  size_t shed_depth = 256;
+  /// Depth at or below which a tick counts as calm (hysteresis low
+  /// watermark; must be <= shed_depth).
+  size_t resume_depth = 64;
+  /// Depth that escalates straight to the top shedding level: waits are
+  /// already unsalvageable, protect the queue itself.
+  size_t panic_depth = 4096;
+  /// Consecutive overloaded ticks before the shed level rises one step.
+  int trip_ticks = 2;
+  /// Consecutive calm ticks before the shed level drops one step.
+  int release_ticks = 4;
+  /// DeadlineBudget settle-cap multiplier applied at level >= 2 (see
+  /// ServingRouter::SetBudgetScale): degraded-but-correct answers buy
+  /// capacity before interactive queries are shed.
+  double degraded_budget_scale = 0.25;
+};
+
+/// One control tick's worth of serving-stack signals, all on the
+/// injected clock so a scripted sequence reproduces bit-identical
+/// control decisions under ManualClock.
+struct OverloadObservation {
+  int64_t now_us = 0;
+  /// Callbacks completed (served) during the tick.
+  uint64_t served = 0;
+  /// Queries shed during the tick.
+  uint64_t shed = 0;
+  /// Pending depth at tick time: open batch + closed-but-undrained.
+  size_t queue_depth = 0;
+  /// p99 of interactive drain waits observed during the tick; -1 when no
+  /// interactive query completed (depth alone drives the decision then).
+  int64_t wait_p99_us = -1;
+  /// Budget-degraded fraction of the tick's served results, in [0, 1].
+  double degrade_fraction = 0;
+};
+
+/// What the serving stack should do until the next tick. Levels compose
+/// cumulatively — each keeps everything the previous level did:
+///   0  nominal: full deadline recovery toward max_batch_deadline_us;
+///   1  shed kBulk at admission;
+///   2  + scale the DeadlineBudget settle cap down (serve degraded);
+///   3  + shed kInteractive too (queue protection of last resort).
+struct OverloadDecision {
+  int level = 0;
+  int64_t batch_deadline_us = 0;
+  bool shed_bulk = false;
+  bool shed_interactive = false;
+  /// Multiplier for the DeadlineBudget settle cap, in (0, 1].
+  double budget_scale = 1.0;
+};
+
+/// Closed-loop overload control for the streaming serving stack. PR 5
+/// measured queue-wait p99 sitting exactly on the hand-set
+/// batch_deadline_us; this controller closes that loop: it watches
+/// served QPS, pending depth, drain-wait percentiles and the degrade
+/// rate (one OverloadObservation per tick) and decides the batch
+/// deadline, the shed set, and the budget scale for the next tick.
+///
+/// Control law: AIMD on the batch deadline (multiplicative cut while
+/// overloaded, additive recovery while calm) plus a hysteresis ladder of
+/// shed levels — `trip_ticks` consecutive overloaded ticks raise the
+/// level, `release_ticks` calm ticks lower it, and `panic_depth` jumps
+/// straight to the top. Bulk always sheds a full level before
+/// interactive, which is the per-class QoS contract.
+///
+/// Determinism: Tick is a pure function of the observation sequence (no
+/// clock reads, no randomness), so any arrival script replayed on
+/// ManualClock reproduces the exact decision trace — every control
+/// decision is unit-testable on virtual time.
+///
+/// Thread-safety: Tick/Current/GetStats are safe from any thread; mu_ is
+/// a leaf mutex (the controller never calls out while holding it), so
+/// callers may hold their own locks across these calls.
+class OverloadController {
+ public:
+  struct Stats {
+    uint64_t ticks = 0;
+    uint64_t overloaded_ticks = 0;
+    uint64_t deadline_cuts = 0;
+    uint64_t deadline_recoveries = 0;
+    uint64_t level_raises = 0;
+    uint64_t level_drops = 0;
+    int level = 0;
+    int64_t batch_deadline_us = 0;
+  };
+
+  explicit OverloadController(const OverloadControllerOptions& options = {});
+
+  /// Consumes one tick's observation and returns the decision to apply
+  /// until the next tick.
+  OverloadDecision Tick(const OverloadObservation& obs) L2R_EXCLUDES(mu_);
+
+  /// The decision of the most recent Tick (the calm defaults before any).
+  OverloadDecision Current() const L2R_EXCLUDES(mu_);
+
+  Stats GetStats() const L2R_EXCLUDES(mu_);
+  const OverloadControllerOptions& options() const { return options_; }
+
+ private:
+  OverloadDecision DecisionLocked() const L2R_REQUIRES(mu_);
+
+  const OverloadControllerOptions options_;
+
+  mutable Mutex mu_;
+  int level_ L2R_GUARDED_BY(mu_) = 0;
+  int64_t batch_deadline_us_ L2R_GUARDED_BY(mu_);
+  int overload_streak_ L2R_GUARDED_BY(mu_) = 0;
+  int calm_streak_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t ticks_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t overloaded_ticks_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t deadline_cuts_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t deadline_recoveries_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t level_raises_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t level_drops_ L2R_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_SERVE_OVERLOAD_CONTROLLER_H_

@@ -18,7 +18,15 @@ ServingRouter::ServingRouter(const L2RRouter* router,
     flights_ = std::make_unique<SingleFlight>(options.single_flight);
   }
   hooks_.memo = memo_.get();
-  hooks_.budget = budget_.ToQueryBudget();
+  settle_cap_.store(budget_.MaxPreferenceSettles(),
+                    std::memory_order_relaxed);
+}
+
+void ServingRouter::SetBudgetScale(double scale) {
+  if (!budget_.enabled()) return;
+  const double clamped = scale <= 0 ? 0 : scale;
+  settle_cap_.store(budget_.ScaledSettleCap(clamped),
+                    std::memory_order_relaxed);
 }
 
 Result<RouteResult> ServingRouter::Route(L2RQueryContext* ctx, VertexId s,
@@ -38,8 +46,11 @@ Result<RouteResult> ServingRouter::Route(L2RQueryContext* ctx, VertexId s,
   // admission). Runs once per flight when coalescing is on; followers of
   // that flight receive a copy without re-entering here.
   const auto cold = [&]() -> Result<RouteResult> {
+    ServeHooks hooks = hooks_;
+    hooks.budget.max_preference_settles =
+        settle_cap_.load(std::memory_order_relaxed);
     Result<RouteResult> result =
-        router_->Route(ctx, s, d, departure_time, hooks_);
+        router_->Route(ctx, s, d, departure_time, hooks);
     if (result.ok()) {
       if (result->budget_degraded) {
         budget_degraded_.fetch_add(1, std::memory_order_relaxed);

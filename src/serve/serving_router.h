@@ -69,6 +69,21 @@ class ServingRouter final : public QueryService {
   /// is immutable, so this is only needed when swapping routers).
   void Clear();
 
+  /// Overload-control seam: rescales the deadline budget's settle cap to
+  /// `scale` (clamped to (0, 1]; no-op when the budget is disabled).
+  /// Wire it to StreamOptions::budget_sink so the controller can trade
+  /// route fidelity for capacity at level >= 2. Safe from any thread;
+  /// applies to cold computations that start after the call. Degrade
+  /// decisions remain settle-count-based (never wall-clock), so a fixed
+  /// decision trace still reproduces results exactly — what changes
+  /// under overload is *which* queries degrade, recorded per result in
+  /// RouteResult::budget_degraded as always.
+  void SetBudgetScale(double scale);
+  /// The settle cap cold computations currently run under (0 = no cap).
+  size_t CurrentSettleCap() const {
+    return settle_cap_.load(std::memory_order_relaxed);
+  }
+
   bool cache_enabled() const { return cache_ != nullptr; }
   bool memo_enabled() const { return memo_ != nullptr; }
   bool single_flight_enabled() const { return flights_ != nullptr; }
@@ -80,7 +95,11 @@ class ServingRouter final : public QueryService {
   std::unique_ptr<StitchMemo> memo_;      ///< null when disabled
   std::unique_ptr<SingleFlight> flights_; ///< null when disabled
   DeadlineBudget budget_;
-  ServeHooks hooks_;  ///< memo + settle cap, fixed at construction
+  ServeHooks hooks_;  ///< memo, fixed at construction; settle cap below
+  /// Live settle cap (budget_'s cap under the current overload scale).
+  /// Relaxed everywhere: a pure knob read once per cold computation,
+  /// nothing is published through it (admission_policy.h rationale).
+  std::atomic<size_t> settle_cap_{0};
   /// Pure tallies (relaxed everywhere): nothing is published through
   /// them, and RMW atomicity alone keeps the counts exact — see
   /// admission_policy.h for the full memory-order rationale.

@@ -27,10 +27,22 @@ StreamRouter::StreamRouter(const L2RRouter* router,
     : options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : SystemClock::Shared()),
+      controller_(options.overload),
       batch_router_(router,
                     BatchRouterOptions{options.num_threads, options.dedup}) {
   L2R_CHECK(options_.max_batch >= 1);
   L2R_CHECK(options_.batch_deadline_us >= 0);
+  dyn_deadline_us_ = controller_ != nullptr
+                         ? controller_->options().max_batch_deadline_us
+                         : options_.batch_deadline_us;
+  // The first tick is anchored to construction time, before the batcher
+  // starts: anchoring it on the batcher thread instead would race thread
+  // startup against the first clock advance under ManualClock, making
+  // the first tick's timing scheduling-dependent.
+  if (controller_ != nullptr) {
+    next_tick_us_ =
+        clock_->NowMicros() + controller_->options().control_period_us;
+  }
   batcher_ = std::thread([this] { BatcherLoop(); });
 }
 
@@ -39,43 +51,78 @@ StreamRouter::StreamRouter(QueryService* service,
     : options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : SystemClock::Shared()),
+      controller_(options.overload),
       batch_router_(service,
                     BatchRouterOptions{options.num_threads, options.dedup}) {
   L2R_CHECK(options_.max_batch >= 1);
   L2R_CHECK(options_.batch_deadline_us >= 0);
+  dyn_deadline_us_ = controller_ != nullptr
+                         ? controller_->options().max_batch_deadline_us
+                         : options_.batch_deadline_us;
+  // The first tick is anchored to construction time, before the batcher
+  // starts: anchoring it on the batcher thread instead would race thread
+  // startup against the first clock advance under ManualClock, making
+  // the first tick's timing scheduling-dependent.
+  if (controller_ != nullptr) {
+    next_tick_us_ =
+        clock_->NowMicros() + controller_->options().control_period_us;
+  }
   batcher_ = std::thread([this] { BatcherLoop(); });
 }
 
 StreamRouter::~StreamRouter() { Shutdown(); }
 
 bool StreamRouter::Submit(const BatchQuery& query, StreamCallback done) {
-  MutexLock guard(mu_);
-  if (stopping_) {
-    ++rejected_;
-    return false;
+  const size_t cls = static_cast<size_t>(query.query_class);
+  {
+    MutexLock guard(mu_);
+    if (stopping_) {
+      ++rejected_;
+      return false;
+    }
+    ++submitted_;
+    ++submitted_by_class_[cls];
+    const bool shed = query.query_class == QueryClass::kBulk
+                          ? shed_bulk_
+                          : shed_interactive_;
+    if (!shed) {
+      const int64_t now = clock_->NowMicros();
+      const bool opened = open_.empty();
+      if (opened) {
+        open_deadline_us_ = BatchDeadline(now, dyn_deadline_us_);
+      }
+      open_.push_back(Pending{query, std::move(done), now});
+      bool closed = false;
+      if (open_.size() >= options_.max_batch) {
+        // Size closes happen here, not on the batcher, so batch
+        // composition is a pure function of the submission sequence: the
+        // submit that fills a batch always closes it, and the next submit
+        // always opens the next one — no race against a batcher observing
+        // "full".
+        CloseOpenLocked(CloseReason::kSize, now);
+        closed = true;
+      }
+      // The batcher only needs a wake when the state it is waiting on
+      // changed: a new batch (new deadline to arm) or a closed one (work
+      // to drain). Appending to a batch whose deadline the batcher
+      // already holds needs none — that keeps the hot path at one wakeup
+      // per batch-state change instead of one per query.
+      if (opened || closed) cv_.NotifyAll();
+      return true;
+    }
+    ++shed_;
+    ++shed_by_class_[cls];
+    ++tick_shed_;
   }
-  const int64_t now = clock_->NowMicros();
-  const bool opened = open_.empty();
-  if (opened) {
-    open_deadline_us_ = BatchDeadline(now, options_.batch_deadline_us);
-  }
-  open_.push_back(Pending{query, std::move(done), now});
-  ++submitted_;
-  bool closed = false;
-  if (open_.size() >= options_.max_batch) {
-    // Size closes happen here, not on the batcher, so batch composition
-    // is a pure function of the submission sequence: the submit that
-    // fills a batch always closes it, and the next submit always opens
-    // the next one — no race against a batcher observing "full".
-    CloseOpenLocked(CloseReason::kSize, now);
-    closed = true;
-  }
-  // The batcher only needs a wake when the state it is waiting on
-  // changed: a new batch (new deadline to arm) or a closed one (work to
-  // drain). Appending to a batch whose deadline the batcher already
-  // holds needs none — that keeps the hot path at one wakeup per
-  // batch-state change instead of one per query.
-  if (opened || closed) cv_.NotifyAll();
+  // Shed: the query was *accepted* (true return, counted in submitted)
+  // but refused service — its callback fires right here, synchronously on
+  // the submitting thread with no lock held, so overload never silently
+  // drops a callback and never queues work it has decided not to do.
+  StreamResult out;
+  out.result = Result<RouteResult>(Status::ResourceExhausted(
+      "stream router shed query under overload"));
+  out.shed = true;
+  done(out);
   return true;
 }
 
@@ -120,23 +167,84 @@ void StreamRouter::CloseOpenLocked(CloseReason reason, int64_t close_us) {
     case CloseReason::kShutdown: ++closed_by_shutdown_; break;
   }
   ++batch_size_hist_[batch.queries.size()];
+  undrained_ += batch.queries.size();
   closed_.push_back(std::move(batch));
 }
 
+OverloadDecision StreamRouter::ControllerTickLocked() {
+  OverloadObservation obs;
+  obs.now_us = clock_->NowMicros();
+  obs.served = tick_served_;
+  obs.shed = tick_shed_;
+  obs.queue_depth = open_.size() + undrained_;
+  if (!tick_waits_.empty()) {
+    std::sort(tick_waits_.begin(), tick_waits_.end());
+    const size_t idx =
+        std::min(tick_waits_.size() - 1, (tick_waits_.size() * 99) / 100);
+    obs.wait_p99_us = tick_waits_[idx];
+  }
+  if (tick_served_ > 0) {
+    obs.degrade_fraction = static_cast<double>(tick_degraded_) /
+                           static_cast<double>(tick_served_);
+  }
+  tick_served_ = 0;
+  tick_shed_ = 0;
+  tick_degraded_ = 0;
+  tick_waits_.clear();
+  // The controller's mutex is a leaf: Tick never calls back out, so
+  // holding mu_ across it cannot deadlock (see OverloadController docs).
+  const OverloadDecision decision = controller_->Tick(obs);
+  dyn_deadline_us_ = decision.batch_deadline_us;
+  shed_bulk_ = decision.shed_bulk;
+  shed_interactive_ = decision.shed_interactive;
+  overload_level_ = decision.level;
+  ++controller_ticks_;
+  // Anchor the next tick at "now", not at next_tick + period: after a
+  // long drain the clock may be many periods ahead, and one fresh
+  // observation is worth more than a burst of catch-up ticks over the
+  // same starved accumulators.
+  next_tick_us_ = obs.now_us + controller_->options().control_period_us;
+  return decision;
+}
+
 void StreamRouter::BatcherLoop() {
-  MutexLock lock(mu_);
+  MutexLock lock(mu_);  // next_tick_us_ was anchored by the constructor
   for (;;) {
+    // The tick outranks draining: under sustained overload closed_ never
+    // empties, and the tick is exactly the thing that decides to shed —
+    // starving it would wedge the stream at full queues and no relief.
+    if (controller_ != nullptr && clock_->NowMicros() >= next_tick_us_) {
+      const OverloadDecision decision = ControllerTickLocked();
+      if (options_.budget_sink) {
+        // Sink runs unlocked: it calls into the serving layer (and may
+        // read our stats), neither of which may happen under mu_.
+        lock.Unlock();
+        options_.budget_sink(decision.budget_scale);
+        lock.Lock();
+      }
+      continue;
+    }
     if (!closed_.empty()) {
       ClosedBatch batch = std::move(closed_.front());
       closed_.pop_front();
       lock.Unlock();
-      DrainBatch(std::move(batch));
+      DrainOutcome outcome = DrainBatch(std::move(batch));
       lock.Lock();
+      undrained_ -= outcome.queries;
+      tick_served_ += outcome.queries;
+      tick_degraded_ += outcome.degraded;
+      tick_waits_.insert(tick_waits_.end(), outcome.interactive_waits.begin(),
+                         outcome.interactive_waits.end());
       continue;
     }
     if (open_.empty()) {
       if (stopping_) return;
-      clock_->WaitUntil(cv_, mu_, Clock::kNoDeadline);
+      // Idle ticks still run when a controller is wired — that is how a
+      // tripped stream recovers (deadline growth, level drops) during a
+      // lull with no arrivals to drain.
+      clock_->WaitUntil(cv_, mu_,
+                        controller_ != nullptr ? next_tick_us_
+                                               : Clock::kNoDeadline);
       continue;
     }
     if (stopping_) {
@@ -158,16 +266,30 @@ void StreamRouter::BatcherLoop() {
       CloseOpenLocked(CloseReason::kDeadline, open_deadline_us_);
       continue;
     }
-    clock_->WaitUntil(cv_, mu_, open_deadline_us_);
+    clock_->WaitUntil(cv_, mu_,
+                      controller_ != nullptr
+                          ? std::min(open_deadline_us_, next_tick_us_)
+                          : open_deadline_us_);
   }
 }
 
-void StreamRouter::DrainBatch(ClosedBatch batch) {
+StreamRouter::DrainOutcome StreamRouter::DrainBatch(ClosedBatch batch) {
+  // Stamped before routing begins: close-to-drain lag is backlog time the
+  // batch spent queued behind earlier drains, which queue_wait_us (bounded
+  // by the deadline even under overload) cannot see.
+  const int64_t drain_start_us = clock_->NowMicros();
+  DrainOutcome outcome;
+  outcome.queries = batch.queries.size();
   std::vector<BatchQuery> queries;
   queries.reserve(batch.queries.size());
   for (const Pending& p : batch.queries) queries.push_back(p.query);
+  // RouteAll invokes `done` on this thread in slot order after the
+  // parallel routing finishes, so the outcome accumulation below needs no
+  // synchronization (BatchRouter::Completion contract).
   batch_router_.RouteAll(
-      queries, [this, &batch](size_t slot, Result<RouteResult> result) {
+      queries,
+      [this, &batch, &outcome, drain_start_us](size_t slot,
+                                               Result<RouteResult> result) {
         Pending& pending = batch.queries[slot];
         StreamResult out;
         out.result = std::move(result);
@@ -176,9 +298,20 @@ void StreamRouter::DrainBatch(ClosedBatch batch) {
         out.closed_by_deadline = batch.reason == CloseReason::kDeadline;
         out.queue_wait_us =
             std::max<int64_t>(0, batch.close_us - pending.submit_us);
+        out.drain_wait_us =
+            std::max<int64_t>(0, drain_start_us - pending.submit_us);
+        if (out.result.ok() && out.result->budget_degraded) {
+          ++outcome.degraded;
+        }
+        if (pending.query.query_class == QueryClass::kInteractive) {
+          outcome.interactive_waits.push_back(out.drain_wait_us);
+        }
         pending.done(out);
+        completed_by_class_[static_cast<size_t>(pending.query.query_class)]
+            .fetch_add(1, std::memory_order_relaxed);
         completed_.fetch_add(1, std::memory_order_release);
       });
+  return outcome;
 }
 
 void StreamRouter::FailPending(std::vector<Pending> pending) {
@@ -196,15 +329,27 @@ StreamRouter::Stats StreamRouter::GetStats() const {
   stats.completed = completed_.load(std::memory_order_acquire);
   stats.failed_on_shutdown =
       failed_on_shutdown_.load(std::memory_order_acquire);
+  for (size_t c = 0; c < kNumQueryClasses; ++c) {
+    stats.completed_by_class[c] =
+        completed_by_class_[c].load(std::memory_order_relaxed);
+  }
   MutexLock guard(mu_);
   stats.submitted = submitted_;
   stats.rejected = rejected_;
+  stats.shed = shed_;
+  for (size_t c = 0; c < kNumQueryClasses; ++c) {
+    stats.submitted_by_class[c] = submitted_by_class_[c];
+    stats.shed_by_class[c] = shed_by_class_[c];
+  }
   stats.batches = batches_;
   stats.closed_by_size = closed_by_size_;
   stats.closed_by_deadline = closed_by_deadline_;
   stats.closed_by_shutdown = closed_by_shutdown_;
   stats.batch_size_hist.assign(batch_size_hist_.begin(),
                                batch_size_hist_.end());
+  stats.controller_ticks = controller_ticks_;
+  stats.overload_level = overload_level_;
+  stats.batch_deadline_us = dyn_deadline_us_;
   return stats;
 }
 

@@ -16,6 +16,7 @@
 #include "core/batch_router.h"
 #include "core/l2r.h"
 #include "serve/clock.h"
+#include "serve/overload_controller.h"
 
 namespace l2r {
 
@@ -34,7 +35,9 @@ struct StreamOptions {
   size_t max_batch = 64;
   /// Close the open batch once its first query is this old (microseconds
   /// on the injected clock), even when below max_batch. 0 closes a batch
-  /// as soon as the batcher observes any queued query.
+  /// as soon as the batcher observes any queued query. Ignored when
+  /// `overload` is set: the controller owns the deadline then, starting
+  /// from its max_batch_deadline_us.
   int64_t batch_deadline_us = 1000;
   /// Drain parallelism (BatchRouter threads); 0 = DefaultThreadCount().
   unsigned num_threads = 0;
@@ -46,6 +49,20 @@ struct StreamOptions {
   /// Time + wakeup seam (serve/clock.h); null = SystemClock::Shared().
   /// Must outlive the StreamRouter.
   Clock* clock = nullptr;
+  /// Closed-loop overload control (serve/overload_controller.h); null =
+  /// fixed knobs, no shedding. Must outlive the StreamRouter. The
+  /// batcher thread feeds the controller one observation per
+  /// control_period_us on the injected clock and applies each decision:
+  /// the batch deadline (to subsequently opened batches), admission
+  /// shedding per QueryClass, and budget_scale through `budget_sink`.
+  /// The controller's mutex is a leaf, so sharing one across routers is
+  /// safe — but each Tick consumes the shared state, so don't.
+  OverloadController* overload = nullptr;
+  /// Receives each tick's OverloadDecision::budget_scale — wire it to
+  /// ServingRouter::SetBudgetScale so level >= 2 trades route fidelity
+  /// for capacity. Called on the batcher thread with no StreamRouter
+  /// lock held (it may call GetStats); must outlive the StreamRouter.
+  std::function<void(double)> budget_sink;
 };
 
 /// What a stream callback receives: the routing result plus the identity
@@ -54,51 +71,86 @@ struct StreamOptions {
 struct StreamResult {
   Result<RouteResult> result{Status::Internal("not routed")};
   /// 1-based sequence number of the closed batch (0 for callbacks failed
-  /// by StreamShutdownPolicy::kFail, which never joined a batch).
+  /// by StreamShutdownPolicy::kFail and for shed queries, which never
+  /// joined a batch).
   uint64_t batch_seq = 0;
   size_t batch_size = 0;
   bool closed_by_deadline = false;
+  /// True when admission-level load shedding refused this query: the
+  /// result status is kResourceExhausted, the query was never routed,
+  /// and the callback ran synchronously on the submitting thread.
+  bool shed = false;
   /// Submit -> batch close on the injected clock, clamped at 0. Close
   /// times are *logical*: a deadline close stamps the deadline itself and
   /// a size close stamps the submit that filled the batch, so the value
   /// is exact under ManualClock regardless of batcher scheduling.
   int64_t queue_wait_us = 0;
+  /// Submit -> drain start on the injected clock, clamped at 0. Unlike
+  /// queue_wait_us this includes time the closed batch spent queued
+  /// behind earlier drains — the backlog signal the overload controller
+  /// watches. 0 for shed and shutdown-failed callbacks.
+  int64_t drain_wait_us = 0;
 };
 
 using StreamCallback = std::function<void(const StreamResult&)>;
 
 /// Streaming front-end over the batch serving stack: accepts queries
 /// continuously via Submit, accumulates them into batches closed by
-/// whichever comes first of max_batch or batch_deadline_us, and drains
+/// whichever comes first of max_batch or the batch deadline, and drains
 /// each closed batch through a BatchRouter (dedup) into the configured
 /// QueryService (cache + single-flight + budget) — so all the batch-path
 /// machinery composes with arrival jitter.
 ///
+/// Overload control (opt-in via StreamOptions::overload): the batcher
+/// additionally runs the OverloadController once per control period on
+/// the injected clock, feeding it served/shed counts, pending depth,
+/// interactive drain-wait p99 and the degrade rate, and applying its
+/// decision — adaptive batch deadline, per-class admission shedding
+/// (bulk first), and the budget scale via budget_sink. A shed query's
+/// callback fires synchronously inside Submit with kResourceExhausted:
+/// the shutdown invariant (every accepted callback fires exactly once)
+/// extends to shedding, so submitted == completed + shed +
+/// failed_on_shutdown always reconciles.
+///
 /// Threading: Submit is safe from any thread and never blocks on
 /// routing; size-triggered closes happen inside Submit (so batch
 /// composition is a pure function of the submission sequence), while
-/// deadline closes and all draining happen on one internal batcher
-/// thread. Callbacks run on the batcher thread, in slot order within a
-/// batch and batch order across batches; they may Submit (pipelines) but
-/// must not call SubmitWait or Shutdown (self-deadlock).
+/// deadline closes, controller ticks and all draining happen on one
+/// internal batcher thread. Callbacks run on the batcher thread (shed
+/// callbacks on the submitting thread), in slot order within a batch and
+/// batch order across batches; they may Submit (pipelines) but must not
+/// call SubmitWait or Shutdown (self-deadlock).
 ///
 /// Determinism: a slot's result is a pure function of its query through
 /// the BatchRouter/QueryService contracts, so results are byte-identical
 /// to a pre-formed BatchRouter run of the same queries — whatever batch
-/// boundaries the arrival jitter produced and for any num_threads.
+/// boundaries the arrival jitter produced and for any num_threads. With
+/// overload control, the control trace itself is deterministic under
+/// ManualClock (controller decisions are pure functions of the
+/// observation sequence), so scripted overload scenarios replay exactly.
 class StreamRouter {
  public:
   struct Stats {
-    uint64_t submitted = 0;
+    uint64_t submitted = 0;  ///< accepted Submits, shed included
     uint64_t completed = 0;  ///< callbacks invoked with a routed result
     uint64_t rejected = 0;   ///< Submits refused after shutdown began
     uint64_t failed_on_shutdown = 0;  ///< callbacks failed by kFail
+    uint64_t shed = 0;  ///< callbacks refused with kResourceExhausted
+    uint64_t submitted_by_class[kNumQueryClasses] = {0, 0};
+    uint64_t completed_by_class[kNumQueryClasses] = {0, 0};
+    uint64_t shed_by_class[kNumQueryClasses] = {0, 0};
     uint64_t batches = 0;
     uint64_t closed_by_size = 0;
     uint64_t closed_by_deadline = 0;
     uint64_t closed_by_shutdown = 0;
     /// (batch size -> batches closed at that size), ascending by size.
     std::vector<std::pair<size_t, uint64_t>> batch_size_hist;
+    /// Overload-control snapshot (zeros when no controller is wired).
+    uint64_t controller_ticks = 0;
+    int overload_level = 0;
+    /// The deadline currently applied to newly opened batches (the
+    /// configured constant without a controller).
+    int64_t batch_deadline_us = 0;
   };
 
   /// `router`/`service` must outlive the StreamRouter.
@@ -112,9 +164,11 @@ class StreamRouter {
   StreamRouter(const StreamRouter&) = delete;
   StreamRouter& operator=(const StreamRouter&) = delete;
 
-  /// Enqueues one query; `done` fires exactly once, on the batcher
-  /// thread, when its batch drains (or when shutdown fails it). Returns
-  /// false — without invoking or keeping `done` — once shutdown began.
+  /// Enqueues one query; `done` fires exactly once — on the batcher
+  /// thread when its batch drains, on the calling thread with
+  /// kResourceExhausted when admission sheds it, or on shutdown per the
+  /// policy. Returns false — without invoking or keeping `done` — once
+  /// shutdown began.
   bool Submit(const BatchQuery& query, StreamCallback done)
       L2R_EXCLUDES(mu_);
 
@@ -147,42 +201,73 @@ class StreamRouter {
     CloseReason reason = CloseReason::kSize;
     int64_t close_us = 0;
   };
+  /// What one drained batch contributes to the controller's next
+  /// observation; carried back under mu_ by the batcher.
+  struct DrainOutcome {
+    size_t queries = 0;
+    uint64_t degraded = 0;
+    std::vector<int64_t> interactive_waits;
+  };
 
   /// Moves the open batch onto the closed queue and records the close
   /// accounting.
   void CloseOpenLocked(CloseReason reason, int64_t close_us)
       L2R_REQUIRES(mu_);
+  /// Feeds the controller one observation and applies its decision to
+  /// the stream knobs. Returns the decision so the caller can run the
+  /// budget sink outside the lock.
+  OverloadDecision ControllerTickLocked() L2R_REQUIRES(mu_);
   void BatcherLoop() L2R_EXCLUDES(mu_);
   /// Runs with mu_ released: routing and callbacks never hold the lock.
-  void DrainBatch(ClosedBatch batch) L2R_EXCLUDES(mu_);
+  DrainOutcome DrainBatch(ClosedBatch batch) L2R_EXCLUDES(mu_);
   /// Fails every pending callback with FailedPrecondition (kFail path).
   void FailPending(std::vector<Pending> pending) L2R_EXCLUDES(mu_);
 
   const StreamOptions options_;
   Clock* clock_;
+  OverloadController* controller_;  ///< null = overload control off
   BatchRouter batch_router_;
 
   mutable Mutex mu_;
   CondVar cv_;
   std::vector<Pending> open_ L2R_GUARDED_BY(mu_);  ///< accumulating batch
-  /// first submit + batch_deadline_us
+  /// first submit + the then-current batch deadline
   int64_t open_deadline_us_ L2R_GUARDED_BY(mu_) = 0;
   /// Awaiting drain, FIFO.
   std::deque<ClosedBatch> closed_ L2R_GUARDED_BY(mu_);
+  /// Queries closed but not yet drained (depth signal, with open_).
+  size_t undrained_ L2R_GUARDED_BY(mu_) = 0;
   bool stopping_ L2R_GUARDED_BY(mu_) = false;
   bool batcher_joined_ L2R_GUARDED_BY(mu_) = false;
-  // Counters guarded by mu_ except completed_/failed_on_shutdown_, which
+  // --- Overload-control state, all applied/read under mu_.
+  /// Deadline for newly opened batches; controller-owned when wired.
+  int64_t dyn_deadline_us_ L2R_GUARDED_BY(mu_);
+  bool shed_bulk_ L2R_GUARDED_BY(mu_) = false;
+  bool shed_interactive_ L2R_GUARDED_BY(mu_) = false;
+  int overload_level_ L2R_GUARDED_BY(mu_) = 0;
+  int64_t next_tick_us_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t controller_ticks_ L2R_GUARDED_BY(mu_) = 0;
+  // Per-tick accumulators, reset by every controller tick.
+  uint64_t tick_served_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t tick_shed_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t tick_degraded_ L2R_GUARDED_BY(mu_) = 0;
+  std::vector<int64_t> tick_waits_ L2R_GUARDED_BY(mu_);
+  // Counters guarded by mu_ except completed_*/failed_on_shutdown_, which
   // the drain path updates outside the lock (release order pairs with
   // the acquire load in GetStats, so a caller that observed completed ==
   // submitted also observes every callback's side effects).
   uint64_t submitted_ L2R_GUARDED_BY(mu_) = 0;
   uint64_t rejected_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t shed_ L2R_GUARDED_BY(mu_) = 0;
+  uint64_t submitted_by_class_[kNumQueryClasses] L2R_GUARDED_BY(mu_) = {0, 0};
+  uint64_t shed_by_class_[kNumQueryClasses] L2R_GUARDED_BY(mu_) = {0, 0};
   uint64_t batches_ L2R_GUARDED_BY(mu_) = 0;
   uint64_t closed_by_size_ L2R_GUARDED_BY(mu_) = 0;
   uint64_t closed_by_deadline_ L2R_GUARDED_BY(mu_) = 0;
   uint64_t closed_by_shutdown_ L2R_GUARDED_BY(mu_) = 0;
   std::map<size_t, uint64_t> batch_size_hist_ L2R_GUARDED_BY(mu_);
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> completed_by_class_[kNumQueryClasses];
   std::atomic<uint64_t> failed_on_shutdown_{0};
 
   std::thread batcher_;  ///< last member: starts after state is ready

@@ -21,7 +21,9 @@
 #include "core/batch_router.h"
 #include "core/l2r.h"
 #include "eval/datasets.h"
+#include "serve/chaos_service.h"
 #include "serve/clock.h"
+#include "serve/overload_controller.h"
 #include "serve/route_cache.h"
 #include "serve/serving_router.h"
 #include "serve/single_flight.h"
@@ -449,6 +451,105 @@ TEST_F(StreamStressTest, ConcurrentSubmittersThroughServingStack) {
   EXPECT_LE(serve_stats.queries, total);
   EXPECT_EQ(serve_stats.cache.hits + serve_stats.cache.misses,
             serve_stats.queries);
+}
+
+TEST_F(StreamStressTest, OverloadShedStressConservesCallbacks) {
+  // 8 submitter threads flood the stream on the system clock while the
+  // overload controller (tiny shed depths, trip after one tick) flips
+  // admission shedding and the budget scale under them, and a chaos layer
+  // injects backend errors under the drain. The invariants that must
+  // survive the races: every accepted query gets exactly one callback,
+  // every shed callback carries kResourceExhausted, and submitted ==
+  // completed + shed + failed_on_shutdown.
+  const std::vector<BatchQuery> queries = MakeQueries(16);
+  ASSERT_GE(queries.size(), 8u);
+
+  OverloadControllerOptions oc;
+  oc.control_period_us = 200;  // many ticks per run
+  oc.slo_queue_wait_us = 500;
+  oc.min_batch_deadline_us = 50;
+  oc.max_batch_deadline_us = 200;
+  oc.shed_depth = 16;  // small enough that the flood trips it for real
+  oc.resume_depth = 4;
+  oc.panic_depth = 64;
+  oc.trip_ticks = 1;
+  oc.release_ticks = 1;
+  OverloadController controller(oc);
+
+  ServingRouterOptions serve_options;
+  serve_options.deadline.fallback_budget_us = 25;
+  ServingRouter serving(router_, serve_options);
+  ChaosOptions chaos_options;
+  chaos_options.seed = 11;
+  chaos_options.error_rate = 0.2;
+  chaos_options.degrade_rate = 0.2;
+  ChaosService chaos(&serving, chaos_options);
+
+  StreamOptions options;
+  options.max_batch = 8;
+  options.num_threads = 2;
+  options.dedup = false;  // every served slot must reach the chaos layer
+  options.overload = &controller;
+  options.budget_sink = [&serving](double scale) {
+    serving.SetBudgetScale(scale);
+  };
+  StreamRouter stream(&chaos, options);
+
+  constexpr int kRoundsPerThread = 40;
+  constexpr size_t kTotal =
+      static_cast<size_t>(kThreads) * kRoundsPerThread;
+  std::vector<std::atomic<int>> callbacks(kTotal);
+  std::atomic<uint64_t> shed_seen{0};
+  std::atomic<uint64_t> shed_bad_status{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const size_t slot = static_cast<size_t>(t) * kRoundsPerThread +
+                            static_cast<size_t>(round);
+        BatchQuery q = queries[slot % queries.size()];
+        q.query_class =
+            slot % 3 == 0 ? QueryClass::kBulk : QueryClass::kInteractive;
+        const bool ok = stream.Submit(
+            q, [&callbacks, &shed_seen, &shed_bad_status,
+                slot](const StreamResult& r) {
+              callbacks[slot].fetch_add(1, std::memory_order_relaxed);
+              if (!r.shed) return;
+              shed_seen.fetch_add(1, std::memory_order_relaxed);
+              if (r.result.status().code() !=
+                  StatusCode::kResourceExhausted) {
+                shed_bad_status.fetch_add(1, std::memory_order_relaxed);
+              }
+            });
+        ASSERT_TRUE(ok);
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+
+  for (;;) {
+    const StreamRouter::Stats s = stream.GetStats();
+    if (s.completed + s.shed + s.failed_on_shutdown >= kTotal) break;
+    std::this_thread::yield();
+  }
+  stream.Shutdown();
+
+  for (size_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(callbacks[i].load(std::memory_order_acquire), 1)
+        << "slot " << i;
+  }
+  EXPECT_EQ(shed_bad_status.load(std::memory_order_acquire), 0u);
+  const StreamRouter::Stats stats = stream.GetStats();
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.shed + stats.failed_on_shutdown);
+  EXPECT_EQ(stats.shed, shed_seen.load(std::memory_order_acquire));
+  EXPECT_EQ(stats.shed_by_class[0] + stats.shed_by_class[1], stats.shed);
+  EXPECT_EQ(stats.completed_by_class[0] + stats.completed_by_class[1],
+            stats.completed);
+  // The controller really ran and the chaos layer really misbehaved.
+  EXPECT_GT(controller.GetStats().ticks, 0u);
+  EXPECT_EQ(chaos.GetStats().queries, stats.completed);
 }
 
 }  // namespace
