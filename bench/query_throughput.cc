@@ -23,6 +23,19 @@
 // 0.5x-10x measured capacity, reporting goodput, shed split and
 // interactive drain-wait percentiles).
 //
+// PR 8 adds the dynamic-world block ("dynamic_world"): live update
+// batches through world/WorldUpdateChannel with incremental repair
+// (world/RouteRepairer) across three scenarios — incident_injection
+// (cumulative waves of mid-route slowdowns tracing the staleness-vs-
+// recompute-cost curve), rush_hour_transition (period flip plus arterial
+// congestion) and rolling_closures (a moving work zone of closures and
+// reopenings). After every batch the repairer sweeps the invalidated
+// entries, and every served result is byte-compared against a cold
+// recompute on the new epoch (the no-stale-serve gate); each scenario
+// ends by restoring the world exactly, checked against the epoch-0
+// bytes. These scenarios run LAST because they mutate the until-then
+// frozen world.
+//
 // Environment knobs: L2R_BENCH_SCALE (default 0.3), L2R_BENCH_QUERIES
 // (default 1200), L2R_BENCH_OUT (default BENCH_query_throughput.json),
 // L2R_BENCH_CACHE (default 1; 0 skips the cache-on serving pass),
@@ -30,7 +43,9 @@
 // L2R_BENCH_STREAM (default 1; 0 skips the streaming pass),
 // L2R_BENCH_STREAM_GAP_US (default 50; mean inter-arrival gap),
 // L2R_BENCH_DEADLINE_SWEEP / L2R_BENCH_ADMISSION / L2R_BENCH_OVERLOAD
-// (default 1; 0 skips the corresponding PR 7 block).
+// (default 1; 0 skips the corresponding PR 7 block),
+// L2R_BENCH_DYNAMIC (default 1; 0 skips the dynamic-world block, which
+// also needs the cache on).
 
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +65,8 @@
 #include "serve/serving_router.h"
 #include "serve/stream_router.h"
 #include "workloads.h"
+#include "world/route_repairer.h"
+#include "world/update_channel.h"
 
 using namespace l2r;
 
@@ -98,6 +115,11 @@ bool AdmissionAbEnabled() {
 
 bool OverloadSweepEnabled() {
   const char* env = std::getenv("L2R_BENCH_OVERLOAD");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
+bool DynamicWorldEnabled() {
+  const char* env = std::getenv("L2R_BENCH_DYNAMIC");
   return env == nullptr || std::atoi(env) != 0;
 }
 
@@ -195,6 +217,37 @@ struct OverloadPoint {
   OverloadController::Stats controller;
   bool conserved = false;  ///< submitted == completed + shed
   bool shed_status_ok = true;  ///< every shed result was ResourceExhausted
+};
+
+/// One update batch of a dynamic-world scenario: how much of the warm
+/// cache the batch invalidated (staleness) against the cost of the
+/// incremental repair relative to a wholesale recompute, plus the
+/// no-stale-serve audit of the post-repair serve pass.
+struct DynamicPoint {
+  const char* kind = "inject";  ///< inject | transition | wave | restore
+  uint64_t epoch = 0;
+  size_t edges_touched = 0;
+  size_t cached_entries = 0;  ///< warm entries before the batch
+  size_t invalidated = 0;     ///< entries swept stale (repair candidates)
+  double staleness = 0;       ///< invalidated / cached_entries
+  size_t repaired = 0;        ///< converged in a bounded repair round
+  size_t full_recompute = 0;  ///< needed the serving-cap round
+  size_t unroutable = 0;
+  double convergence = 0;
+  uint64_t repair_settles = 0;     ///< settled vertices the repair spent
+  uint64_t wholesale_settles = 0;  ///< recomputing the whole pool cold
+  double repair_cost_ratio = 0;    ///< repair / wholesale settles
+  uint64_t stale_serves = 0;  ///< post-repair serves != cold recompute
+  uint64_t serve_misses = 0;  ///< cache misses in the post-repair pass
+};
+
+/// One named dynamic-world scenario (a sequence of update batches).
+struct DynamicReport {
+  std::string name;
+  std::vector<DynamicPoint> points;
+  bool epochs_monotone = true;
+  bool restored_identical = false;  ///< epoch-0 bytes back after restore
+  uint64_t stale_serves = 0;        ///< total across points (gate: 0)
 };
 
 LatencySummary Summarize(const std::vector<double>& latency_us) {
@@ -877,6 +930,246 @@ int main() {
     std::printf("[overload sweep] skipped (L2R_BENCH_OVERLOAD=0)\n");
   }
 
+  // --- Dynamic world: live weight updates, epoch-versioned invalidation
+  // and incremental re-route (world/WorldUpdateChannel + RouteRepairer).
+  // Runs last because these scenarios mutate the until-now frozen world;
+  // every mutation is paired with an exact restore, but the ordering
+  // keeps the earlier blocks trivially unaffected. Each update batch is
+  // followed by a repair pass and audited two ways: every served result
+  // is byte-compared against a cold recompute on the new epoch (the
+  // no-stale-serve gate), and the repair's settle count is reported
+  // relative to recomputing the whole warm pool (the staleness-vs-
+  // recompute-cost curve).
+  std::vector<DynamicReport> dynamic_reports;
+  bool dynamic_ok = true;
+  double incident_repair_cost_ratio = 0.0;
+  double incident_convergence = 1.0;
+  size_t dynamic_pool = 0;
+  size_t dynamic_sites = 0;
+  const bool dynamic_enabled = DynamicWorldEnabled() && cache_enabled;
+  if (dynamic_enabled) {
+    WorldUpdateChannel channel(&built->world.net, router->get());
+
+    ServingRouterOptions dyn_options;
+    // Budget off: the byte-identity gates compare exact routes, and the
+    // repair convergence ladder is then independent of
+    // L2R_BENCH_BUDGET_US.
+    dyn_options.deadline.fallback_budget_us = 0;
+    dyn_options.world = &channel;
+    ServingRouter serving(&l2r, dyn_options);
+    RouteRepairer repairer(&serving);
+    L2RQueryContext serve_ctx = l2r.MakeContext();
+    L2RQueryContext cold_ctx = l2r.MakeContext();
+
+    const size_t pool = std::min<size_t>(distinct, 400);
+    dynamic_pool = pool;
+
+    // Warm pass: populates the cache and records the epoch-0 bytes the
+    // conservation checks restore to.
+    std::vector<Result<RouteResult>> baseline;
+    baseline.reserve(pool);
+    for (size_t i = 0; i < pool; ++i) {
+      baseline.push_back(serving.Route(&serve_ctx, queries[i].s,
+                                       queries[i].d,
+                                       queries[i].departure_time));
+    }
+
+    // Incident sites: distinct mid-edges of the warm routes, so every
+    // batch hits an edge some cached entry actually rides.
+    std::vector<EdgeId> sites;
+    {
+      std::unordered_set<EdgeId> seen;
+      for (size_t i = 0; i < pool; ++i) {
+        if (!baseline[i].ok() || baseline[i]->path.vertices.size() < 2) {
+          continue;
+        }
+        const std::vector<VertexId>& v = baseline[i]->path.vertices;
+        size_t m = v.size() / 2;
+        if (m + 1 >= v.size()) m = v.size() - 2;
+        const EdgeId e = net.FindEdge(v[m], v[m + 1]);
+        if (e != kInvalidEdge && seen.insert(e).second) sites.push_back(e);
+      }
+    }
+    dynamic_sites = sites.size();
+    size_t next_site = 0;
+    auto take_sites = [&](size_t n) {
+      std::vector<EdgeId> out;
+      while (out.size() < n && next_site < sites.size()) {
+        out.push_back(sites[next_site++]);
+      }
+      return out;
+    };
+
+    WorldEpoch prev_epoch = channel.CurrentEpoch();
+    auto run_point = [&](const WorldUpdateBatch& batch, const char* kind,
+                         DynamicReport* rep) {
+      DynamicPoint p;
+      p.kind = kind;
+      p.cached_entries = serving.GetStats().cache.entries;
+      const WorldUpdateChannel::ApplyReport applied = channel.Apply(batch);
+      p.epoch = applied.epoch;
+      p.edges_touched = applied.edges_touched;
+      if (applied.epoch <= prev_epoch) rep->epochs_monotone = false;
+      prev_epoch = applied.epoch;
+
+      const RouteRepairer::Report rr = repairer.RepairAll();
+      p.invalidated = rr.candidates;
+      p.staleness = p.cached_entries == 0
+                        ? 0
+                        : static_cast<double>(rr.candidates) /
+                              static_cast<double>(p.cached_entries);
+      p.repaired = rr.repaired;
+      p.full_recompute = rr.full_recompute;
+      p.unroutable = rr.unroutable;
+      p.convergence = rr.ConvergenceRate();
+      p.repair_settles = rr.repair_settles;
+
+      // Wholesale comparator: recompute the whole pool cold on the new
+      // epoch. The settle count is the "just flush everything" price the
+      // repair pass is up against, and the results are the oracle for
+      // the no-stale-serve audit below.
+      const uint64_t settles_before = cold_ctx.TotalSettles();
+      std::vector<Result<RouteResult>> fresh;
+      fresh.reserve(pool);
+      for (size_t i = 0; i < pool; ++i) {
+        fresh.push_back(l2r.Route(&cold_ctx, queries[i].s, queries[i].d,
+                                  queries[i].departure_time));
+      }
+      p.wholesale_settles = cold_ctx.TotalSettles() - settles_before;
+      p.repair_cost_ratio =
+          p.wholesale_settles == 0
+              ? 0
+              : static_cast<double>(p.repair_settles) /
+                    static_cast<double>(p.wholesale_settles);
+
+      const uint64_t misses_before = serving.GetStats().cache.misses;
+      for (size_t i = 0; i < pool; ++i) {
+        const auto served = serving.Route(&serve_ctx, queries[i].s,
+                                          queries[i].d,
+                                          queries[i].departure_time);
+        if (!SameResult(served, fresh[i])) ++p.stale_serves;
+      }
+      p.serve_misses = serving.GetStats().cache.misses - misses_before;
+      rep->stale_serves += p.stale_serves;
+
+      std::printf(
+          "[dynamic %-20s] epoch %llu (%s, %zu edges): %zu/%zu stale, "
+          "repaired %zu + full %zu + unroutable %zu (conv %.2f), settles "
+          "%llu vs wholesale %llu (ratio %.3f), stale serves %llu\n",
+          rep->name.c_str(), static_cast<unsigned long long>(p.epoch),
+          kind, p.edges_touched, p.invalidated, p.cached_entries,
+          p.repaired, p.full_recompute, p.unroutable, p.convergence,
+          static_cast<unsigned long long>(p.repair_settles),
+          static_cast<unsigned long long>(p.wholesale_settles),
+          p.repair_cost_ratio,
+          static_cast<unsigned long long>(p.stale_serves));
+      rep->points.push_back(p);
+    };
+    auto check_restored = [&](DynamicReport* rep) {
+      bool same = true;
+      for (size_t i = 0; i < pool; ++i) {
+        const auto served = serving.Route(&serve_ctx, queries[i].s,
+                                          queries[i].d,
+                                          queries[i].departure_time);
+        if (!SameResult(served, baseline[i])) same = false;
+      }
+      rep->restored_identical = same;
+    };
+
+    // 1) incident_injection: cumulative waves of mid-route slowdowns
+    // (speed x0.5: cost-increasing, so invalidation is selective), then
+    // one recovery batch (x2.0, wholesale). The inject points trace the
+    // staleness-vs-recompute-cost curve: repair wins decisively at low
+    // staleness (the incident case the subsystem exists for) and loses
+    // past the crossover where most of the cache is dirty — so the CI
+    // gate (ratio < 0.3 at convergence >= 0.7) reads the single-incident
+    // point, and the rest of the curve is the recorded tradeoff.
+    // Power-of-two scales make the recovery restore the exact epoch-0
+    // weight bytes.
+    {
+      DynamicReport rep;
+      rep.name = "incident_injection";
+      for (const size_t n : {1u, 2u, 4u, 8u, 16u}) {
+        const std::vector<EdgeId> wave = take_sites(n);
+        if (wave.empty()) break;
+        WorldUpdateBatch batch;
+        for (const EdgeId e : wave) batch.deltas.push_back({e, 0.5});
+        run_point(batch, "inject", &rep);
+      }
+      if (!rep.points.empty()) {
+        incident_repair_cost_ratio = rep.points.front().repair_cost_ratio;
+        incident_convergence = rep.points.front().convergence;
+      }
+      WorldUpdateBatch restore;
+      for (size_t i = 0; i < next_site; ++i) {
+        restore.deltas.push_back({sites[i], 2.0});
+      }
+      run_point(restore, "restore", &rep);
+      check_restored(&rep);
+      dynamic_ok = dynamic_ok && !rep.points.empty() &&
+                   rep.epochs_monotone && rep.stale_serves == 0 &&
+                   rep.restored_identical &&
+                   incident_repair_cost_ratio < 0.3 &&
+                   incident_convergence >= 0.7;
+      dynamic_reports.push_back(rep);
+    }
+
+    // 2) rush_hour_transition: the clock crosses into rush hour (peak
+    // period dirtied wholesale) while a handful of arterials congest,
+    // then the transition back out lifts the congestion exactly.
+    {
+      DynamicReport rep;
+      rep.name = "rush_hour_transition";
+      const std::vector<EdgeId> arterials = take_sites(4);
+      WorldUpdateBatch begin;
+      begin.period_transition = TimePeriod::kPeak;
+      for (const EdgeId e : arterials) begin.deltas.push_back({e, 0.5});
+      run_point(begin, "transition", &rep);
+      WorldUpdateBatch end_batch;
+      end_batch.period_transition = TimePeriod::kOffPeak;
+      for (const EdgeId e : arterials) end_batch.deltas.push_back({e, 2.0});
+      run_point(end_batch, "restore", &rep);
+      check_restored(&rep);
+      dynamic_ok = dynamic_ok && rep.epochs_monotone &&
+                   rep.stale_serves == 0 && rep.restored_identical;
+      dynamic_reports.push_back(rep);
+    }
+
+    // 3) rolling_closures: a moving work zone — each wave closes two
+    // fresh edges and reopens the previous wave's, then the final batch
+    // reopens the last pair, restoring the closure bitmap byte-exactly.
+    {
+      DynamicReport rep;
+      rep.name = "rolling_closures";
+      std::vector<EdgeId> open_next;
+      for (int wave = 0; wave < 3; ++wave) {
+        WorldUpdateBatch batch;
+        batch.reopenings = open_next;
+        open_next = take_sites(2);
+        batch.closures = open_next;
+        if (batch.empty()) break;
+        run_point(batch, "wave", &rep);
+      }
+      if (!open_next.empty()) {
+        WorldUpdateBatch fin;
+        fin.reopenings = open_next;
+        run_point(fin, "restore", &rep);
+      }
+      check_restored(&rep);
+      dynamic_ok = dynamic_ok && !rep.points.empty() &&
+                   rep.epochs_monotone && rep.stale_serves == 0 &&
+                   rep.restored_identical;
+      dynamic_reports.push_back(rep);
+    }
+    if (!dynamic_ok) {
+      std::printf("[dynamic world] GATE VIOLATION (see points above)\n");
+    }
+  } else {
+    std::printf(
+        "[dynamic world] skipped (needs L2R_BENCH_DYNAMIC=1 and cache "
+        "on)\n");
+  }
+
   // --- JSON artifact.
   const std::string out_path = OutPath();
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -1140,6 +1433,60 @@ int main() {
   } else {
     std::fprintf(f, "  \"overload_sweep\": null,\n");
   }
+  if (dynamic_enabled) {
+    std::fprintf(f, "  \"dynamic_world\": {\n");
+    std::fprintf(f,
+                 "    \"pool_queries\": %zu, \"incident_sites\": %zu, "
+                 "\"ok\": %s,\n",
+                 dynamic_pool, dynamic_sites, dynamic_ok ? "true" : "false");
+    std::fprintf(f,
+                 "    \"incident_repair_cost_ratio\": %.4f, "
+                 "\"incident_convergence\": %.4f,\n",
+                 incident_repair_cost_ratio, incident_convergence);
+    std::fprintf(f, "    \"scenarios\": [\n");
+    for (size_t s = 0; s < dynamic_reports.size(); ++s) {
+      const DynamicReport& rep = dynamic_reports[s];
+      std::fprintf(
+          f,
+          "      {\"name\": \"%s\", \"epochs_monotone\": %s, "
+          "\"stale_serves\": %llu, \"restored_identical\": %s,\n",
+          rep.name.c_str(), rep.epochs_monotone ? "true" : "false",
+          static_cast<unsigned long long>(rep.stale_serves),
+          rep.restored_identical ? "true" : "false");
+      std::fprintf(f, "       \"points\": [\n");
+      for (size_t i = 0; i < rep.points.size(); ++i) {
+        const DynamicPoint& p = rep.points[i];
+        std::fprintf(
+            f,
+            "        {\"kind\": \"%s\", \"epoch\": %llu, "
+            "\"edges_touched\": %zu, \"cached_entries\": %zu, "
+            "\"invalidated\": %zu, \"staleness\": %.4f,\n",
+            p.kind, static_cast<unsigned long long>(p.epoch),
+            p.edges_touched, p.cached_entries, p.invalidated, p.staleness);
+        std::fprintf(
+            f,
+            "         \"repaired\": %zu, \"full_recompute\": %zu, "
+            "\"unroutable\": %zu, \"convergence\": %.4f,\n",
+            p.repaired, p.full_recompute, p.unroutable, p.convergence);
+        std::fprintf(
+            f,
+            "         \"repair_settles\": %llu, \"wholesale_settles\": "
+            "%llu, \"repair_cost_ratio\": %.4f, \"stale_serves\": %llu, "
+            "\"serve_misses\": %llu}%s\n",
+            static_cast<unsigned long long>(p.repair_settles),
+            static_cast<unsigned long long>(p.wholesale_settles),
+            p.repair_cost_ratio,
+            static_cast<unsigned long long>(p.stale_serves),
+            static_cast<unsigned long long>(p.serve_misses),
+            i + 1 == rep.points.size() ? "" : ",");
+      }
+      std::fprintf(f, "       ]}%s\n",
+                   s + 1 == dynamic_reports.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]\n  },\n");
+  } else {
+    std::fprintf(f, "  \"dynamic_world\": null,\n");
+  }
   std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
                deterministic ? "true" : "false");
   std::fprintf(f, "  \"runs\": [\n");
@@ -1153,6 +1500,8 @@ int main() {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("[json] wrote %s\n", out_path.c_str());
-  return deterministic && scenarios_ok && streaming_ok && overload_ok ? 0
-                                                                      : 2;
+  return deterministic && scenarios_ok && streaming_ok && overload_ok &&
+                 dynamic_ok
+             ? 0
+             : 2;
 }

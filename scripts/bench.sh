@@ -4,16 +4,31 @@
 # BENCH_query_throughput.json in the repo root.
 #
 # Usage: scripts/bench.sh [build-dir]          (default: build-bench)
-# Knobs: L2R_BENCH_SCALE     workload scale      (default 0.3)
-#        L2R_BENCH_QUERIES   query count         (default 1200)
-#        L2R_BENCH_OUT       output JSON path    (default BENCH_query_throughput.json)
-#        L2R_BENCH_CACHE     serving-cache pass  (default 1; 0 = cache-off only)
-#        L2R_BENCH_BUDGET_US fallback budget, us (default 25; 0 = no budget)
-#        L2R_BENCH_STREAM    streaming pass      (default 1; 0 = skip)
-#        L2R_BENCH_STREAM_GAP_US  mean arrival gap, us (default 50)
-#        L2R_BENCH_DEADLINE_SWEEP batch-deadline sweep   (default 1; 0 = skip)
-#        L2R_BENCH_ADMISSION      admission-policy A/B   (default 1; 0 = skip)
-#        L2R_BENCH_OVERLOAD       offered-load overload sweep (default 1; 0 = skip)
+#
+# Global knobs:
+#   L2R_BENCH_SCALE     workload scale      (default 0.3)
+#   L2R_BENCH_QUERIES   query count         (default 1200)
+#   L2R_BENCH_OUT       output JSON path    (default BENCH_query_throughput.json)
+#   L2R_BENCH_BUDGET_US fallback budget, us (default 25; 0 = no budget)
+#   L2R_BENCH_STREAM_GAP_US  mean arrival gap, us (default 50)
+#
+# Gated-block matrix — each knob is INDEPENDENT (default 1 = run;
+# 0 = skip; setting one never re-enables or disables another):
+#   knob                      block                 JSON key
+#   L2R_BENCH_CACHE           cache-on serving pass serving.cache_on
+#   L2R_BENCH_STREAM          streaming replay      streaming
+#   L2R_BENCH_DEADLINE_SWEEP  batch-deadline sweep  deadline_sweep
+#   L2R_BENCH_ADMISSION       admission A/B (*)     admission_ab
+#   L2R_BENCH_OVERLOAD        overload sweep        overload_sweep
+#   L2R_BENCH_DYNAMIC         dynamic world (*)     dynamic_world
+#   (*) also requires the cache pass on (and, for admission, budget > 0).
+#
+# To run a SINGLE gated block, set L2R_BENCH_ONLY to a comma-separated
+# subset of {cache,stream,deadline_sweep,admission,overload,dynamic}:
+# every gated knob you did not set explicitly defaults to 0 and the
+# listed blocks are forced on. Example — just the dynamic-world block:
+#   L2R_BENCH_ONLY=cache,dynamic scripts/bench.sh
+# (dynamic and admission imply the cache pass; list it explicitly.)
 #
 # The bench reports per-query latency percentiles, the serving-cache
 # comparison (cache off vs on over a skewed repeated-query workload),
@@ -22,14 +37,46 @@
 # StreamRouter: QPS, batch-size histogram, queue-wait percentiles), the
 # batch-deadline sweep (latency/throughput tradeoff the overload
 # controller's deadline bounds come from), the degraded-admission A/B
-# (kTagged / kNever / kAfterNMisses under eviction pressure), and the
+# (kTagged / kNever / kAfterNMisses under eviction pressure), the
 # overload sweep (OverloadController + per-class shedding at 0.5x-10x
-# measured capacity: goodput, shed split, drain-wait percentiles).
+# measured capacity: goodput, shed split, drain-wait percentiles), and
+# the dynamic-world scenarios (incident_injection / rush_hour_transition
+# / rolling_closures: epoch-versioned invalidation, incremental repair
+# vs wholesale recompute, no-stale-serve byte audits).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
 BENCH_OUT="${L2R_BENCH_OUT:-BENCH_query_throughput.json}"
+
+# L2R_BENCH_ONLY: run just the listed gated blocks (see header matrix).
+# Explicitly exported knobs keep their values for the off side; listed
+# blocks are forced on.
+if [[ -n "${L2R_BENCH_ONLY:-}" ]]; then
+  declare -A KNOB_FOR_BLOCK=(
+    [cache]=L2R_BENCH_CACHE
+    [stream]=L2R_BENCH_STREAM
+    [deadline_sweep]=L2R_BENCH_DEADLINE_SWEEP
+    [admission]=L2R_BENCH_ADMISSION
+    [overload]=L2R_BENCH_OVERLOAD
+    [dynamic]=L2R_BENCH_DYNAMIC
+  )
+  for knob in "${KNOB_FOR_BLOCK[@]}"; do
+    if [[ -z "${!knob:-}" ]]; then
+      export "$knob"=0
+    fi
+  done
+  IFS=',' read -ra ONLY_BLOCKS <<< "$L2R_BENCH_ONLY"
+  for block in "${ONLY_BLOCKS[@]}"; do
+    knob="${KNOB_FOR_BLOCK[$block]:-}"
+    if [[ -z "$knob" ]]; then
+      echo "error: unknown L2R_BENCH_ONLY block '$block'" >&2
+      echo "       (expected a subset of: ${!KNOB_FOR_BLOCK[*]})" >&2
+      exit 1
+    fi
+    export "$knob"=1
+  done
+fi
 
 # Fail fast when the output path is unwritable: the bench only discovers
 # this after running the whole workload, and the stale JSON it leaves

@@ -36,7 +36,16 @@ Checks (per file):
     for contended CI cores) at every point, bulk shed at a rate >=
     interactive wherever anything shed, and goodput at overload
     multipliers (>= 2x capacity) within a generous factor of the peak
-    — the controller must not collapse under overload.
+    — the controller must not collapse under overload;
+  - the dynamic_world block (unless L2R_BENCH_DYNAMIC=0 or the cache is
+    off) covers incident_injection / rush_hour_transition /
+    rolling_closures with strictly increasing epoch numbers across the
+    whole suite, zero stale serves at every point (the no-stale-serve
+    gate: every post-repair serve byte-matched a cold recompute on the
+    new epoch), per-point repair conservation (repaired + full_recompute
+    + unroutable == invalidated), every scenario's world restore
+    reproducing the epoch-0 bytes, and the single-incident point showing
+    repair cost < 30% of a wholesale recompute at >= 70% convergence.
 
 Exits 0 when every file passes, 1 with a per-violation message otherwise.
 CI runs this after each bench pass so a malformed or regressed artifact
@@ -64,6 +73,7 @@ REQUIRED_TOP_KEYS = [
     "deadline_sweep",
     "admission_ab",
     "overload_sweep",
+    "dynamic_world",
     "deterministic_across_threads",
     "runs",
 ]
@@ -104,6 +114,37 @@ MIN_OVERLOAD_GOODPUT_FRACTION = 0.6
 # carries scheduling noise the controller cannot see. Gate at a modest
 # multiple so a controller that stops enforcing the SLO still fails.
 OVERLOAD_SLO_NOISE_FACTOR = 1.5
+
+DYNAMIC_SCENARIOS = [
+    "incident_injection",
+    "rush_hour_transition",
+    "rolling_closures",
+]
+
+# The incident case the repair pass exists for: a single incident's
+# repair must cost well under a wholesale recompute and converge for
+# most candidates in a bounded round. Settle counts are deterministic,
+# so these are exact gates, not noise-padded ones.
+MAX_INCIDENT_REPAIR_COST_RATIO = 0.3
+MIN_INCIDENT_CONVERGENCE = 0.7
+
+DYNAMIC_POINT_KEYS = [
+    "kind",
+    "epoch",
+    "edges_touched",
+    "cached_entries",
+    "invalidated",
+    "staleness",
+    "repaired",
+    "full_recompute",
+    "unroutable",
+    "convergence",
+    "repair_settles",
+    "wholesale_settles",
+    "repair_cost_ratio",
+    "stale_serves",
+    "serve_misses",
+]
 
 
 class Violation(Exception):
@@ -506,6 +547,121 @@ def check_overload_sweep(sweep):
         require(ctl["ticks"] > 0, f"{where}: the controller never ticked")
 
 
+def check_dynamic_world(block):
+    if block is None:
+        return  # skipped (L2R_BENCH_DYNAMIC=0 or cache off)
+    require(isinstance(block, dict), "dynamic_world: not an object")
+    for key in (
+        "pool_queries",
+        "incident_sites",
+        "ok",
+        "incident_repair_cost_ratio",
+        "incident_convergence",
+        "scenarios",
+    ):
+        require(key in block, f"dynamic_world: missing '{key}'")
+    require(
+        block["ok"] is True,
+        "dynamic_world: ok is false — an in-bench gate tripped "
+        "(stale serve, broken restore, non-monotone epoch, or the "
+        "incident repair bound)",
+    )
+    require(
+        block["pool_queries"] > 0, "dynamic_world: empty query pool"
+    )
+    require(
+        block["incident_sites"] > 0, "dynamic_world: no incident sites"
+    )
+    scenarios = block["scenarios"]
+    names = [s.get("name") for s in scenarios]
+    require(
+        names == DYNAMIC_SCENARIOS,
+        f"dynamic_world: scenarios {names} != {DYNAMIC_SCENARIOS}",
+    )
+    prev_epoch = 0
+    for sc in scenarios:
+        where = f"dynamic_world.{sc['name']}"
+        require(
+            sc.get("epochs_monotone") is True,
+            f"{where}: epochs not monotone within the scenario",
+        )
+        require(
+            sc.get("stale_serves") == 0,
+            f"{where}: {sc.get('stale_serves')} serves diverged from the "
+            "cold recompute — a stale entry was answered",
+        )
+        require(
+            sc.get("restored_identical") is True,
+            f"{where}: the restore batch did not reproduce the epoch-0 "
+            "bytes — an update leaked into the restored world",
+        )
+        points = sc.get("points")
+        require(
+            isinstance(points, list) and points,
+            f"{where}: points missing or empty",
+        )
+        for p in points:
+            pwhere = f"{where}[epoch={p.get('epoch')}]"
+            for key in DYNAMIC_POINT_KEYS:
+                require(key in p, f"{pwhere}: missing '{key}'")
+            require(
+                p["epoch"] > prev_epoch,
+                f"{pwhere}: epoch not strictly increasing across the "
+                f"suite (prev {prev_epoch})",
+            )
+            prev_epoch = p["epoch"]
+            require(
+                p["stale_serves"] == 0,
+                f"{pwhere}: {p['stale_serves']} stale serves",
+            )
+            require(
+                p["repaired"] + p["full_recompute"] + p["unroutable"]
+                == p["invalidated"],
+                f"{pwhere}: repaired ({p['repaired']}) + full_recompute "
+                f"({p['full_recompute']}) + unroutable "
+                f"({p['unroutable']}) != invalidated "
+                f"({p['invalidated']}) — repair candidates leaked",
+            )
+            require(
+                p["invalidated"] <= p["cached_entries"],
+                f"{pwhere}: invalidated exceeds the cached entries",
+            )
+            require(
+                0.0 <= p["staleness"] <= 1.0,
+                f"{pwhere}: staleness outside [0, 1]",
+            )
+            require(
+                0.0 <= p["convergence"] <= 1.0,
+                f"{pwhere}: convergence outside [0, 1]",
+            )
+            require(
+                p["wholesale_settles"] > 0,
+                f"{pwhere}: wholesale recompute settled nothing",
+            )
+    first = scenarios[0]["points"][0]
+    require(
+        first["kind"] == "inject",
+        "dynamic_world: first incident point is not an inject",
+    )
+    ratio = block["incident_repair_cost_ratio"]
+    conv = block["incident_convergence"]
+    require(
+        abs(first["repair_cost_ratio"] - ratio) < 1e-6,
+        "dynamic_world: incident_repair_cost_ratio inconsistent with the "
+        "first inject point",
+    )
+    require(
+        ratio < MAX_INCIDENT_REPAIR_COST_RATIO,
+        f"dynamic_world: single-incident repair cost ratio {ratio} not "
+        f"under {MAX_INCIDENT_REPAIR_COST_RATIO}",
+    )
+    require(
+        conv >= MIN_INCIDENT_CONVERGENCE,
+        f"dynamic_world: single-incident convergence {conv} below "
+        f"{MIN_INCIDENT_CONVERGENCE}",
+    )
+
+
 def check_file(path):
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
@@ -525,6 +681,7 @@ def check_file(path):
     check_deadline_sweep(data["deadline_sweep"])
     check_admission_ab(data["admission_ab"])
     check_overload_sweep(data["overload_sweep"])
+    check_dynamic_world(data["dynamic_world"])
     require(
         data["deterministic_across_threads"] is True,
         "deterministic_across_threads is not true",

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Lock-discipline lint for the l2r tree (run by CI's lint step).
 
-Three checks, all textual (no compiler needed), tuned to this repo's
+Five checks, all textual (no compiler needed), tuned to this repo's
 conventions:
 
 1. src/: no raw ``std::mutex`` / ``std::condition_variable`` members —
@@ -10,10 +10,11 @@ conventions:
    see every acquisition. The wrapper itself is exempted with a
    ``// lint:allow-raw-mutex`` marker on the member's line.
 
-2. src/: every ``Mutex`` member declaration must have a visible
-   relationship with the analysis — either some ``L2R_GUARDED_BY(that
-   mutex)`` / ``L2R_REQUIRES`` / ``L2R_ACQUIRE`` / ``L2R_EXCLUDES``
-   mention of it elsewhere in the same file, or a justification marker
+2. src/: every ``Mutex`` / ``SharedMutex`` member declaration must have
+   a visible relationship with the analysis — either some
+   ``L2R_GUARDED_BY(that mutex)`` / ``L2R_REQUIRES`` / ``L2R_ACQUIRE``
+   / ``L2R_EXCLUDES`` mention of it (shared variants included) elsewhere
+   in the same file, or a justification marker
    ``// lint:standalone-mutex(reason)`` on its line (for mutexes that
    guard an effect rather than data, e.g. log interleaving).
 
@@ -22,7 +23,15 @@ conventions:
    reviewed decision, not a silent seq_cst default (see
    serve/admission_policy.h for the reference rationale).
 
-4. tests/: no ``sleep_for`` — timing tests must use the Clock seam
+4. src/: every atomic access to an epoch field (identifier containing
+   ``epoch``) must carry a documented memory-order rationale — a comment
+   on the same line or within the preceding few lines mentioning
+   acquire / release / relaxed / seq_cst or "order". Epoch numbers are
+   the dynamic world's publication protocol (world/update_channel.h):
+   an epoch load pairing with the wrong store order silently serves
+   stale bytes, so the pairing must be written down where the access is.
+
+5. tests/: no ``sleep_for`` — timing tests must use the Clock seam
    (serve/clock.h) or observable-state spin loops; real sleeps make the
    suite slow and flaky in equal measure.
 
@@ -44,15 +53,29 @@ RAW_MUTEX_RE = re.compile(
     r"\bstd::(mutex|shared_mutex|recursive_mutex|condition_variable"
     r"|condition_variable_any)\s+\w+\s*;"
 )
-# A `Mutex foo;` / `mutable Mutex foo;` member or local declaration.
-MUTEX_DECL_RE = re.compile(r"\b(?:mutable\s+)?Mutex\s+(\w+)\s*;")
+# A `Mutex foo;` / `mutable SharedMutex foo;` member or local declaration.
+MUTEX_DECL_RE = re.compile(r"\b(?:mutable\s+)?(?:Shared)?Mutex\s+(\w+)\s*;")
 ANNOTATION_RE = re.compile(
-    r"\bL2R_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|TRY_ACQUIRE"
-    r"|EXCLUDES|RETURN_CAPABILITY)\s*\(([^)]*)\)"
+    r"\bL2R_(GUARDED_BY|PT_GUARDED_BY|REQUIRES(?:_SHARED)?"
+    r"|ACQUIRE(?:_SHARED)?|RELEASE(?:_SHARED)?|TRY_ACQUIRE(?:_SHARED)?"
+    r"|EXCLUDES|RETURN_CAPABILITY|ASSERT_CAPABILITY)\s*\(([^)]*)\)"
 )
 NAKED_LOAD_RE = re.compile(r"\.\s*load\s*\(\s*\)")
 NAKED_STORE_RE = re.compile(r"\.\s*store\s*\(\s*[^,()]*(\([^()]*\)[^,()]*)?\)\s*;")
 SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
+# An atomic access whose object identifier names an epoch (the dynamic
+# world's publication counters): epoch_.load(...), floor epoch tables
+# indexed as last_epoch[p].store(...), fetch_add bumps, CAS maxes.
+EPOCH_ATOMIC_RE = re.compile(
+    r"\b\w*[Ee]poch\w*(?:\s*\[[^\]]*\])?\s*\.\s*"
+    r"(load|store|exchange|fetch_add|fetch_sub|compare_exchange_\w+)\s*\("
+)
+# What counts as a documented order rationale near the access.
+ORDER_COMMENT_RE = re.compile(
+    r"acquire|release|relaxed|seq_cst|order", re.IGNORECASE
+)
+# How many raw lines above the access the rationale may sit.
+EPOCH_COMMENT_WINDOW = 6
 
 
 def strip_comments(text: str) -> str:
@@ -112,6 +135,29 @@ def strip_comments(text: str) -> str:
     return "".join(out)
 
 
+def _has_order_comment(raw_lines: list[str], code_lines: list[str],
+                       idx: int) -> bool:
+    """True when a comment on line `idx` or within the preceding window
+    states the ordering rationale. Only comment text counts: the spelled
+    std::memory_order argument in the code is check 3's business, the
+    epoch rule wants the *pairing* written down."""
+    lo = max(0, idx - EPOCH_COMMENT_WINDOW)
+    for j in range(lo, idx + 1):
+        raw = raw_lines[j] if j < len(raw_lines) else ""
+        code = code_lines[j] if j < len(code_lines) else ""
+        if "//" in raw:
+            comment = raw[raw.index("//"):]
+        elif not code.strip():
+            # Inside a /* */ block (the stripped line is blank): the raw
+            # line is all comment.
+            comment = raw
+        else:
+            continue
+        if ORDER_COMMENT_RE.search(comment):
+            return True
+    return False
+
+
 def lint_src_file(path: Path) -> list[str]:
     raw_text = path.read_text(encoding="utf-8")
     raw_lines = raw_text.splitlines()
@@ -147,6 +193,15 @@ def lint_src_file(path: Path) -> list[str]:
                     f"L2R_GUARDED_BY/REQUIRES/ACQUIRE/EXCLUDES relationship "
                     f"in this file — annotate what it protects, or mark "
                     f"`// {STANDALONE}(reason)`"
+                )
+
+        if EPOCH_ATOMIC_RE.search(line):
+            if not _has_order_comment(raw_lines, code_lines, idx):
+                findings.append(
+                    f"{rel}:{lineno}: atomic epoch access without a "
+                    f"documented memory-order rationale — comment the "
+                    f"acquire/release/relaxed pairing on or just above "
+                    f"the access (see world/update_channel.h)"
                 )
 
         if NAKED_LOAD_RE.search(line):

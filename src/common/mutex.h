@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/thread_annotations.h"
 
@@ -79,6 +80,59 @@ class L2R_SCOPED_CAPABILITY MutexLock {
  private:
   Mutex& mu_;
   bool held_;
+};
+
+/// Reader-writer capability: a std::shared_mutex wrapped the same way
+/// Mutex wraps std::mutex, so shared (reader) and exclusive (writer)
+/// acquisitions are both machine-checked under -Wthread-safety. The
+/// archetypal user is the world update channel (world/update_channel.h):
+/// queries hold the gate shared for their whole run, so every in-flight
+/// query completes on the epoch it started on, while an update batch
+/// holds it exclusive — weight mutation can never tear under a reader.
+class L2R_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() L2R_ACQUIRE() { mu_.lock(); }
+  void Unlock() L2R_RELEASE() { mu_.unlock(); }
+  void LockShared() L2R_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() L2R_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;  // lint:allow-raw-mutex (the capability wrapper)
+};
+
+/// RAII exclusive lock over a SharedMutex (the writer side).
+class L2R_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) L2R_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() L2R_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock over a SharedMutex (the reader side).
+class L2R_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) L2R_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() L2R_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 /// Condition variable paired with Mutex. Waits *require* the mutex: the

@@ -44,13 +44,26 @@
 #define L2R_REQUIRES(...) \
   L2R_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
 
+/// Function requires the listed capabilities to be held *shared* on
+/// entry (reader side of a SharedMutex).
+#define L2R_REQUIRES_SHARED(...) \
+  L2R_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
 /// Function acquires the listed capabilities (held on return).
 #define L2R_ACQUIRE(...) \
   L2R_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
 
+/// Function acquires the listed capabilities in shared mode.
+#define L2R_ACQUIRE_SHARED(...) \
+  L2R_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
 /// Function releases the listed capabilities.
 #define L2R_RELEASE(...) \
   L2R_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function releases capabilities held in shared mode.
+#define L2R_RELEASE_SHARED(...) \
+  L2R_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
 
 /// Function attempts to acquire; the first argument is the return value
 /// that signals success, e.g. L2R_TRY_ACQUIRE(true).

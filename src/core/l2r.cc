@@ -510,4 +510,25 @@ Result<RouteResult> L2RRouter::Route(L2RQueryContext* ctx, VertexId s,
   return finish(std::move(path), RouteMethod::kRegionGraph);
 }
 
+void L2RRouter::RefreshEdgeWeights(std::span<const EdgeId> edges) {
+  for (int p = 0; p < kNumTimePeriods; ++p) {
+    for (EdgeId e : edges) weights_[p].RefreshEdge(*net_, e);
+  }
+}
+
+std::vector<RegionId> RouteRegionFootprint(const L2RRouter& router,
+                                           const RouteResult& result,
+                                           TimePeriod period) {
+  if (result.budget_degraded) return {kAllRegionsBucket};
+  const RegionGraph& graph = router.region_graph(period);
+  std::vector<RegionId> regions;
+  regions.reserve(8);
+  for (VertexId v : result.path.vertices) {
+    regions.push_back(graph.RegionOf(v));
+  }
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  return regions;
+}
+
 }  // namespace l2r

@@ -92,6 +92,14 @@ class L2RQueryContext {
   explicit L2RQueryContext(const RoadNetwork& net)
       : dijkstra(net), pref_dijkstra(net) {}
 
+  /// Vertices settled by this context over its lifetime, across both
+  /// search kernels — the deterministic work measure behind the
+  /// repair-vs-recompute cost curve (world/RouteRepairer) and
+  /// DeadlineBudget calibration.
+  uint64_t TotalSettles() const {
+    return dijkstra.LifetimeSettles() + pref_dijkstra.LifetimeSettles();
+  }
+
  private:
   friend class L2RRouter;
   DijkstraSearch dijkstra;
@@ -130,6 +138,11 @@ class L2RRouter {
   const RegionGraph& region_graph(TimePeriod p) const {
     return *graphs_[static_cast<int>(p)];
   }
+  /// False for the peak period when the router was built time-independent
+  /// (EffectivePeriod never selects such a period).
+  bool has_region_graph(TimePeriod p) const {
+    return graphs_[static_cast<int>(p)] != nullptr;
+  }
   /// Final (learned or transferred) preference of each region edge of the
   /// period graph, index-aligned with region_graph(p).edges().
   const std::vector<std::optional<RoutingPreference>>& edge_preferences(
@@ -140,6 +153,16 @@ class L2RRouter {
     return weights_[static_cast<int>(p)];
   }
   const PreferenceFeatureSpace& feature_space() const { return space_; }
+  const RoadNetwork& net() const { return *net_; }
+
+  /// Recomputes the cached per-edge weight arrays (both periods, all three
+  /// cost features) for `edges` after the underlying network's attributes
+  /// changed — the router half of the dynamic-world mutation seam
+  /// (RoadNetwork::SetEdgeSpeeds / SetEdgeClosed mutate the source of
+  /// truth; this propagates it into the arrays the search kernels read).
+  /// Not synchronized: callers must hold the world update channel's
+  /// exclusive gate, which excludes all in-flight queries.
+  void RefreshEdgeWeights(std::span<const EdgeId> edges);
 
  private:
   L2RRouter(const RoadNetwork* net, PreferenceFeatureSpace space)
@@ -215,7 +238,23 @@ class QueryService {
 
   virtual Result<RouteResult> Route(L2RQueryContext* ctx, VertexId s,
                                     VertexId d, double departure_time) = 0;
+
+  /// Per-epoch serving counters (dynamic world): how many queries were
+  /// answered on the current epoch vs on a stale-but-still-valid stamp.
+  /// Default: no world attached, nothing to count.
+  virtual EpochServeCounts GetEpochServeCounts() const { return {}; }
 };
+
+/// The set of region buckets `result` depends on, sorted and unique —
+/// the invalidation footprint its cache entry is stamped with. A
+/// budget-degraded result returns {kAllRegionsBucket}: its degrade bit is
+/// a function of the search's exploration pattern, not just the final
+/// path, so only a period-wide validity check is sound. Otherwise the
+/// footprint is RegionOf over the path's vertices (kNoRegion included as
+/// its own bucket when the path leaves the region cover).
+std::vector<RegionId> RouteRegionFootprint(const L2RRouter& router,
+                                           const RouteResult& result,
+                                           TimePeriod period);
 
 }  // namespace l2r
 

@@ -3,9 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/hash.h"
+#include "region/clustering.h"
 #include "roadnet/road_network.h"
 
 /// Extension points the serving layer (src/serve/) plugs into the core
@@ -64,6 +66,109 @@ struct QueryKeyHash {
         Mix64(packed ^ (0x9e3779b97f4a7c15ULL * (key.period + 1))));
   }
 };
+
+/// Version number of the mutable world. Epoch 0 is the frozen world the
+/// router was built against; every applied update batch
+/// (world/WorldUpdateChannel) bumps it by exactly one. Serving-layer
+/// entries (route cache, stitch memo, single-flight) are stamped with the
+/// epoch they were computed on and stay servable until some region they
+/// depend on is dirtied by a later epoch.
+using WorldEpoch = uint64_t;
+
+/// Footprint sentinel for results whose bytes depend on more than the
+/// regions their path touches — budget-degraded routes, whose degrade bit
+/// is a function of the search's exploration pattern, not just the final
+/// path. An entry stamped with this bucket is invalidated by *any* dirty
+/// event in its period. (Distinct from kNoRegion, which marks a vertex
+/// outside every region and gets its own ordinary bucket.)
+inline constexpr RegionId kAllRegionsBucket = 0xFFFFFFFEu;
+
+/// One applied update batch as seen by invalidation listeners.
+struct WorldDirtyEvent {
+  /// The epoch this batch produced (the first stale epoch for the dirtied
+  /// regions is `epoch`; entries stamped >= epoch are current).
+  WorldEpoch epoch = 0;
+  int period_index = 0;
+  /// Regions whose cached routes may have changed, sorted and unique. May
+  /// contain kNoRegion (out-of-region vertices) — never kAllRegionsBucket.
+  std::vector<RegionId> regions;
+  /// True when the whole period is dirtied (cost-decreasing updates and
+  /// period transitions, where an improvement can reroute paths that never
+  /// touched the improved region); `regions` still lists the directly
+  /// touched regions for diagnostics.
+  bool wholesale = false;
+};
+
+/// Read-side view of the dynamic world, consulted by the serving layer.
+/// Core defines the interface (like StitchMemoIface); world/ implements
+/// it, so the dependency arrow stays world -> serve -> core.
+///
+/// Concurrency contract: AcquireRead pins the world — no update batch is
+/// applied while any reader holds a pin, so every query runs start to
+/// finish on the epoch AcquireRead returned. CurrentEpoch/LastDirtyEpoch
+/// are wait-free snapshots, safe from any thread, pinned or not.
+class WorldViewIface {
+ public:
+  virtual ~WorldViewIface() = default;
+
+  /// Epoch of the most recently applied batch (0 = frozen seed world).
+  virtual WorldEpoch CurrentEpoch() const = 0;
+
+  /// The largest epoch that dirtied `region` in `period_index` (0 if it
+  /// was never dirtied). A cached entry with footprint F and stamp e is
+  /// valid iff LastDirtyEpoch(p, r) <= e for every r in F.
+  /// kAllRegionsBucket returns the period-wide maximum; kNoRegion is a
+  /// regular bucket.
+  virtual WorldEpoch LastDirtyEpoch(int period_index,
+                                    RegionId region) const = 0;
+
+  /// Blocks out update application until the matching ReleaseRead; returns
+  /// the pinned epoch. Reentrant pins are not supported; use WorldReadPin.
+  virtual WorldEpoch AcquireRead() = 0;
+  virtual void ReleaseRead() = 0;
+
+  /// Listeners fire synchronously under the channel's exclusive gate
+  /// (i.e. with no readers pinned), once per applied batch. Returns a
+  /// token for RemoveInvalidationListener; remove before the listener's
+  /// captures die.
+  using InvalidationListener = std::function<void(const WorldDirtyEvent&)>;
+  virtual int AddInvalidationListener(InvalidationListener fn) = 0;
+  virtual void RemoveInvalidationListener(int token) = 0;
+};
+
+/// RAII read pin. Null-world tolerant: with no world attached the pin is
+/// a no-op reporting epoch 0, so frozen-world serving pays nothing.
+class WorldReadPin {
+ public:
+  explicit WorldReadPin(WorldViewIface* world) : world_(world) {
+    if (world_ != nullptr) epoch_ = world_->AcquireRead();
+  }
+  ~WorldReadPin() {
+    if (world_ != nullptr) world_->ReleaseRead();
+  }
+  WorldReadPin(const WorldReadPin&) = delete;
+  WorldReadPin& operator=(const WorldReadPin&) = delete;
+
+  /// The epoch every lookup/compute/insert of this query runs on.
+  WorldEpoch epoch() const { return epoch_; }
+
+ private:
+  WorldViewIface* world_;
+  WorldEpoch epoch_ = 0;
+};
+
+/// How many queries a serving stack answered on the current epoch vs on an
+/// older-but-still-valid epoch stamp (entry untouched by later dirty
+/// sets). `stale_valid` is the payoff of selective invalidation: with
+/// wholesale flushing those would all have been recomputed.
+struct EpochServeCounts {
+  uint64_t current_epoch = 0;
+  uint64_t stale_valid_epoch = 0;
+};
+
+/// Maps a path vertex to its region, for footprint-based invalidation
+/// sweeps (serve/StitchMemo::SetRegionResolver). May return kNoRegion.
+using RegionResolver = std::function<RegionId(int period_index, VertexId v)>;
 
 /// Memoization surface consulted while stitching a region path
 /// (L2RRouter::StitchRegionPath). Both tables cache pure functions of the

@@ -19,6 +19,25 @@ double RoadNetwork::EdgeFuelMl(EdgeId e, TimePeriod p) const {
   return FuelMilliliters(r.length_m, r.SpeedKmh(p));
 }
 
+void RoadNetwork::SetEdgeSpeeds(EdgeId e, double offpeak_kmh,
+                                double peak_kmh) {
+  L2R_CHECK(e < edges_.size());
+  EdgeRecord& r = edges_[e];
+  r.speed_offpeak_kmh = static_cast<float>(offpeak_kmh < 1 ? 1 : offpeak_kmh);
+  r.speed_peak_kmh = static_cast<float>(peak_kmh < 1 ? 1 : peak_kmh);
+}
+
+void RoadNetwork::SetEdgeClosed(EdgeId e, bool closed) {
+  L2R_CHECK(e < edges_.size());
+  if (closed_.empty()) {
+    if (!closed) return;  // reopening on an all-open network: no-op
+    closed_.assign(edges_.size(), 0);
+  }
+  if (closed_[e] == static_cast<uint8_t>(closed)) return;
+  closed_[e] = closed ? 1 : 0;
+  num_closed_ += closed ? 1 : -1;
+}
+
 Result<double> RoadNetwork::PathLengthM(
     const std::vector<VertexId>& path) const {
   L2R_ASSIGN_OR_RETURN(std::vector<EdgeId> edges, PathToEdges(path));

@@ -2,6 +2,7 @@
 #define L2R_ROADNET_ROAD_NETWORK_H_
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -51,9 +52,18 @@ struct BoundingBox {
   double height() const { return max.y - min.y; }
 };
 
-/// Immutable directed road network G = (V, E, W) with CSR adjacency in both
+/// Directed road network G = (V, E, W) with CSR adjacency in both
 /// directions. Weight functions W (distance, travel time, fuel, road type)
 /// are exposed per edge; bulk weight arrays live in roadnet/weights.h.
+///
+/// The *topology* (vertices, CSR adjacency) is immutable after Build; the
+/// per-edge attributes W are mutable through the narrow seam below
+/// (SetEdgeSpeeds / SetEdgeClosed) so a dynamic world
+/// (world/update_channel.h) can absorb rush-hour weight shifts and
+/// closures without rebuilding. Mutation is not synchronized here: the
+/// update channel serializes it against in-flight queries with its epoch
+/// gate, which is the only supported way to mutate a network that is
+/// being served.
 class RoadNetwork {
  public:
   RoadNetwork() = default;
@@ -90,13 +100,31 @@ class RoadNetwork {
 
   /// Weight functions (Sec. III): wDI, wTT, wFC, wRT.
   double EdgeLengthM(EdgeId e) const { return edges_[e].length_m; }
+  /// Travel time in seconds; +infinity while the edge is closed, so any
+  /// path cost through a closure is unmistakably poisoned.
   double EdgeTravelTimeS(EdgeId e, TimePeriod p) const {
+    if (!closed_.empty() && closed_[e]) {
+      return std::numeric_limits<double>::infinity();
+    }
     const EdgeRecord& r = edges_[e];
     return static_cast<double>(r.length_m) / (r.SpeedKmh(p) / 3.6);
   }
   /// Fuel consumption in milliliters (see FuelMilliliters in weights.h).
   double EdgeFuelMl(EdgeId e, TimePeriod p) const;
   RoadType EdgeRoadType(EdgeId e) const { return edges_[e].road_type; }
+
+  // --- Dynamic-world mutation seam (see the class comment). ---
+
+  /// Replaces both period speeds of `e` (km/h, clamped to >= 1 so travel
+  /// times stay finite on open edges).
+  void SetEdgeSpeeds(EdgeId e, double offpeak_kmh, double peak_kmh);
+  /// Marks `e` closed (travel time +inf; searches refuse to label through
+  /// it) or reopens it. Idempotent.
+  void SetEdgeClosed(EdgeId e, bool closed);
+  bool EdgeClosed(EdgeId e) const {
+    return !closed_.empty() && closed_[e] != 0;
+  }
+  size_t NumClosedEdges() const { return num_closed_; }
 
   const BoundingBox& bounds() const { return bounds_; }
 
@@ -119,6 +147,10 @@ class RoadNetwork {
   std::vector<uint32_t> in_offsets_;   // size n+1
   std::vector<EdgeId> in_ids_;
   BoundingBox bounds_;
+  /// Closure bitmap, allocated lazily on the first SetEdgeClosed so the
+  /// (frozen-world) common case pays nothing.
+  std::vector<uint8_t> closed_;
+  size_t num_closed_ = 0;
 };
 
 /// Accumulates vertices/edges and finalizes into an immutable RoadNetwork.

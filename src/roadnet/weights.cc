@@ -28,18 +28,24 @@ EdgeWeights::EdgeWeights(const RoadNetwork& net, CostFeature feature,
                          TimePeriod period)
     : feature_(feature), period_(period) {
   values_.resize(net.NumEdges());
-  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
-    switch (feature) {
-      case CostFeature::kDistance:
-        values_[e] = net.EdgeLengthM(e);
-        break;
-      case CostFeature::kTravelTime:
-        values_[e] = net.EdgeTravelTimeS(e, period);
-        break;
-      case CostFeature::kFuel:
-        values_[e] = net.EdgeFuelMl(e, period);
-        break;
-    }
+  for (EdgeId e = 0; e < net.NumEdges(); ++e) RefreshEdge(net, e);
+}
+
+void EdgeWeights::RefreshEdge(const RoadNetwork& net, EdgeId e) {
+  if (net.EdgeClosed(e)) {
+    values_[e] = std::numeric_limits<double>::infinity();
+    return;
+  }
+  switch (feature_) {
+    case CostFeature::kDistance:
+      values_[e] = net.EdgeLengthM(e);
+      break;
+    case CostFeature::kTravelTime:
+      values_[e] = net.EdgeTravelTimeS(e, period_);
+      break;
+    case CostFeature::kFuel:
+      values_[e] = net.EdgeFuelMl(e, period_);
+      break;
   }
 }
 

@@ -49,6 +49,12 @@ class EdgeWeights {
   double operator[](EdgeId e) const { return values_[e]; }
   size_t size() const { return values_.size(); }
 
+  /// Recomputes the value of one edge from the network's current
+  /// attributes (speeds, closure bit) — the dynamic-world seam. A closed
+  /// edge becomes +infinity in every feature, so searches under any
+  /// master dimension refuse to label through it.
+  void RefreshEdge(const RoadNetwork& net, EdgeId e);
+
  private:
   CostFeature feature_ = CostFeature::kDistance;
   TimePeriod period_ = TimePeriod::kOffPeak;
@@ -77,6 +83,13 @@ struct WeightSet {
   }
 
   TimePeriod period() const { return period_; }
+
+  /// Refreshes all three feature arrays for one edge (dynamic world).
+  void RefreshEdge(const RoadNetwork& net, EdgeId e) {
+    distance.RefreshEdge(net, e);
+    time.RefreshEdge(net, e);
+    fuel.RefreshEdge(net, e);
+  }
 
   EdgeWeights distance;
   EdgeWeights time;

@@ -98,6 +98,10 @@ class DijkstraSearch {
 
   /// Number of vertices settled by the last query (work measure).
   size_t LastSettledCount() const { return ws_.settled_count; }
+  /// Settles accumulated over this instance's lifetime — deltas around a
+  /// call sequence give its deterministic total work (budget calibration,
+  /// repair cost accounting).
+  uint64_t LifetimeSettles() const { return ws_.lifetime_settles; }
 
  private:
   const RoadNetwork& net_;

@@ -41,6 +41,10 @@ class PreferenceDijkstra {
                                      RoadTypeMask slave_mask,
                                      size_t max_settles = 0);
 
+  /// Settles accumulated over this instance's lifetime (see
+  /// DijkstraSearch::LifetimeSettles).
+  uint64_t LifetimeSettles() const { return ws_.lifetime_settles; }
+
  private:
   VertexId Run(VertexId s, VertexId t, const EdgeWeights& master,
                RoadTypeMask slave_mask, size_t max_settles, bool* exhausted);

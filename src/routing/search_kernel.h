@@ -59,6 +59,10 @@ struct SearchWorkspace {
   uint32_t current_stamp = 0;
   IndexedMinHeap<double> heap;
   size_t settled_count = 0;
+  /// Settles accumulated over the workspace's lifetime (across queries) —
+  /// the deterministic work measure behind DeadlineBudget calibration and
+  /// the repair-vs-recompute cost curve (world/route_repairer.h).
+  uint64_t lifetime_settles = 0;
 };
 
 /// Direction policies: which adjacency list to scan and which endpoint a
@@ -122,6 +126,11 @@ inline void RelaxVertex(const RoadNetwork& net, SearchWorkspace& ws,
     if (!explore.ShouldExplore(e)) continue;
     const VertexId x = Expand::Head(net, e);
     const double nd = du + weight(e);
+    // Closed edges (dynamic world, world/update_channel.h) carry kInfCost:
+    // never label through them, so closures are invisible to extraction
+    // and a closed-off destination reports NotFound instead of an
+    // infinite-cost path.
+    if (nd == kInfCost) continue;
     if (ws.stamp[x] != ws.current_stamp) {
       ws.stamp[x] = ws.current_stamp;
       ws.dist[x] = nd;
@@ -157,6 +166,7 @@ inline VertexId RunSearchKernel(const RoadNetwork& net, SearchWorkspace& ws,
     const auto [u, ku] = ws.heap.Pop();
     if (ku > max_key) return kInvalidVertex;
     ++ws.settled_count;
+    ++ws.lifetime_settles;
     if (stop(u)) return u;
     RelaxVertex<Expand>(net, ws, u, ws.dist[u], weight, key, explore,
                         IgnoreLabel{});

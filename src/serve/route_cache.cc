@@ -10,11 +10,21 @@ uint64_t RouteCache::HashKey(const RouteCacheKey& key) {
   return static_cast<uint64_t>(QueryKeyHash{}(key));
 }
 
-size_t RouteCache::EntryBytes(const RouteResult& value) {
-  // Fixed struct + path payload + list/map node overhead estimate.
+size_t RouteCache::EntryBytes(const RouteResult& value, size_t num_regions) {
+  // Fixed struct + path payload + footprint + list/map node overhead
+  // estimate.
   constexpr size_t kNodeOverhead = 96;
   return sizeof(RouteResult) +
-         value.path.vertices.capacity() * sizeof(VertexId) + kNodeOverhead;
+         value.path.vertices.capacity() * sizeof(VertexId) +
+         num_regions * sizeof(RegionId) + kNodeOverhead;
+}
+
+bool RouteCache::EntryValid(const Entry& e) const {
+  if (world_ == nullptr) return true;
+  for (RegionId r : e.regions) {
+    if (world_->LastDirtyEpoch(e.key.period, r) > e.epoch) return false;
+  }
+  return true;
 }
 
 RouteCache::RouteCache(const RouteCacheOptions& options)
@@ -28,7 +38,8 @@ RouteCache::RouteCache(const RouteCacheOptions& options)
   shard_capacity_ = options.capacity_bytes / shards;
 }
 
-bool RouteCache::Lookup(const RouteCacheKey& key, RouteResult* out) {
+bool RouteCache::Lookup(const RouteCacheKey& key, RouteResult* out,
+                        WorldEpoch* epoch_out) {
   Shard& shard = ShardFor(HashKey(key));
   MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
@@ -36,36 +47,57 @@ bool RouteCache::Lookup(const RouteCacheKey& key, RouteResult* out) {
     ++shard.misses;
     return false;
   }
+  if (!EntryValid(*it->second)) {
+    // A later epoch dirtied this entry's footprint: serving it would
+    // violate the no-stale-serve contract. Drop it and report a miss so
+    // the caller recomputes on the current epoch.
+    shard.bytes -= EntryCharge(*it->second);
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    ++shard.invalidated;
+    ++shard.misses;
+    return false;
+  }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  *out = it->second->second;
+  *out = it->second->result;
+  if (epoch_out != nullptr) *epoch_out = it->second->epoch;
   return true;
 }
 
-void RouteCache::Insert(const RouteCacheKey& key, const RouteResult& value) {
+void RouteCache::Insert(const RouteCacheKey& key, const RouteResult& value,
+                        WorldEpoch epoch, std::vector<RegionId> regions) {
   if (!admission_.Admit(key, value)) return;
   // Copy outside the lock, and charge the byte budget from the stored
   // copy: the caller's path vector may carry excess capacity, and the
-  // charge must equal the refund EntryBytes(victim.second) computes at
+  // charge must equal the refund EntryCharge(victim) computes at
   // eviction time or the shard's accounting drifts under churn.
-  std::list<std::pair<RouteCacheKey, RouteResult>> node;
-  node.emplace_back(key, value);
-  const size_t bytes = EntryBytes(node.back().second);
+  std::list<Entry> node;
+  node.push_back(Entry{key, value, epoch, std::move(regions)});
+  const size_t bytes = EntryCharge(node.back());
 
   Shard& shard = ShardFor(HashKey(key));
   MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
-    // Raced with another miss on the same key: the stored value is
-    // byte-identical (deterministic cold path), so just touch it.
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+    if (it->second->epoch >= epoch) {
+      // Raced with another miss on the same key at the same (or a newer)
+      // epoch: the stored value is byte-identical (deterministic cold
+      // path), so just touch it.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    // Same key recomputed on a newer epoch (repair pass or post-update
+    // miss): replace the stale entry.
+    shard.bytes -= EntryCharge(*it->second);
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
   }
   if (bytes > shard_capacity_) return;  // would never fit
   while (shard.bytes + bytes > shard_capacity_ && !shard.lru.empty()) {
     auto& victim = shard.lru.back();
-    shard.bytes -= EntryBytes(victim.second);
-    shard.map.erase(victim.first);
+    shard.bytes -= EntryCharge(victim);
+    shard.map.erase(victim.key);
     shard.lru.pop_back();
     ++shard.evictions;
   }
@@ -73,6 +105,24 @@ void RouteCache::Insert(const RouteCacheKey& key, const RouteResult& value) {
   shard.map.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
   ++shard.inserts;
+}
+
+void RouteCache::ExtractInvalid(std::vector<StaleEntry>* out) {
+  if (world_ == nullptr) return;
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (EntryValid(*it)) {
+        ++it;
+        continue;
+      }
+      shard->bytes -= EntryCharge(*it);
+      shard->map.erase(it->key);
+      out->push_back(StaleEntry{it->key, std::move(it->result)});
+      it = shard->lru.erase(it);
+      ++shard->invalidated;
+    }
+  }
 }
 
 void RouteCache::Clear() {
@@ -93,6 +143,7 @@ RouteCache::Stats RouteCache::GetStats() const {
     stats.misses += shard->misses;
     stats.inserts += shard->inserts;
     stats.evictions += shard->evictions;
+    stats.invalidated += shard->invalidated;
     stats.entries += shard->lru.size();
     stats.bytes += shard->bytes;
   }

@@ -34,9 +34,16 @@ struct RouteCacheOptions {
 
 /// Sharded, mutex-striped LRU cache of complete RouteResults. Serves
 /// repeated (source, dest, period) queries without touching the search
-/// kernels. The underlying router is immutable after Build, so entries
-/// never go stale; Clear() exists for completeness (e.g. swapping in a
-/// rebuilt router).
+/// kernels.
+///
+/// Dynamic world: each entry carries the WorldEpoch it was computed on
+/// plus its region footprint (RouteRegionFootprint). When a world view is
+/// attached (SetWorld), Lookup validates the entry against the world's
+/// per-region dirty table and treats a stale entry as a miss, erasing it
+/// in place — invalidation is *selective* and lazy, never a wholesale
+/// flush. ExtractInvalid sweeps stale entries out eagerly so the repair
+/// pass (world/RouteRepairer) can re-route them. Without a world attached
+/// entries never go stale (the frozen-world seed behavior).
 ///
 /// Inserts pass through the AdmissionPolicy first: full-fidelity results
 /// always enter, budget-degraded ones only when the configured
@@ -46,7 +53,8 @@ struct RouteCacheOptions {
 /// the serving layer only stores cold-path Route outputs — so a hit is
 /// byte-identical to recomputation and batch results stay independent of
 /// hit/miss interleaving. Admission decisions change *which* keys hit,
-/// never the bytes any query receives.
+/// never the bytes any query receives; epoch validation only ever
+/// *removes* hit opportunities, so it preserves the contract too.
 class RouteCache {
  public:
   struct Stats {
@@ -54,22 +62,51 @@ class RouteCache {
     uint64_t misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
+    /// Entries dropped because a later epoch dirtied their footprint
+    /// (lazy at Lookup or eager via ExtractInvalid).
+    uint64_t invalidated = 0;
     AdmissionPolicy::Stats admission;
     size_t entries = 0;
     size_t bytes = 0;
   };
 
+  /// A stale entry removed by ExtractInvalid: the key to re-route and the
+  /// stale result that seeds the repair pass's bounded re-search.
+  struct StaleEntry {
+    RouteCacheKey key;
+    RouteResult stale;
+  };
+
   explicit RouteCache(const RouteCacheOptions& options = {});
 
+  /// Attaches the dynamic-world view entries are validated against.
+  /// Must be called before concurrent use (not synchronized itself); pass
+  /// nullptr to detach. The view must outlive the cache or be detached
+  /// first.
+  void SetWorld(const WorldViewIface* world) { world_ = world; }
+
   /// Copies the cached result for `key` into `*out` and marks the entry
-  /// most-recently-used. False on miss. (Non-const: a hit touches LRU
-  /// state.)
-  bool Lookup(const RouteCacheKey& key, RouteResult* out);
+  /// most-recently-used. False on miss — including when the entry exists
+  /// but a later epoch dirtied its footprint (the entry is erased, never
+  /// served). On a hit `*epoch_out` (when non-null) receives the epoch
+  /// the entry was computed on, for stale-but-valid serve accounting.
+  /// (Non-const: a hit touches LRU state.)
+  bool Lookup(const RouteCacheKey& key, RouteResult* out,
+              WorldEpoch* epoch_out = nullptr);
 
   /// Inserts (or refreshes) `key` if the admission policy lets `value`
   /// in; evicts least-recently-used entries of the shard until it fits.
-  /// An entry larger than a whole shard is not cached.
-  void Insert(const RouteCacheKey& key, const RouteResult& value);
+  /// An entry larger than a whole shard is not cached. `epoch` is the
+  /// world epoch `value` was computed on; `regions` its invalidation
+  /// footprint (sorted unique, from RouteRegionFootprint). The frozen
+  /// world is epoch 0 with an empty footprint (never invalidated).
+  void Insert(const RouteCacheKey& key, const RouteResult& value,
+              WorldEpoch epoch = 0, std::vector<RegionId> regions = {});
+
+  /// Removes every entry whose footprint was dirtied after its epoch and
+  /// appends them to `*out` (any order). Used by the repair pass to turn
+  /// lazy invalidation into an explicit re-route work list.
+  void ExtractInvalid(std::vector<StaleEntry>* out);
 
   void Clear();
 
@@ -83,9 +120,19 @@ class RouteCache {
 
   /// Approximate heap footprint of one cached entry (used for the byte
   /// budget; exposed so tests can reason about eviction thresholds).
-  static size_t EntryBytes(const RouteResult& value);
+  /// `num_regions` is the entry's footprint length.
+  static size_t EntryBytes(const RouteResult& value, size_t num_regions = 0);
 
  private:
+  struct Entry {
+    RouteCacheKey key;
+    RouteResult result;
+    WorldEpoch epoch = 0;
+    /// Sorted unique region buckets the result depends on (may contain
+    /// kNoRegion or the kAllRegionsBucket sentinel).
+    std::vector<RegionId> regions;
+  };
+
   /// One lock stripe. Every field is under the shard mutex: the LRU
   /// list and its index move together on every hit, so there is no
   /// read-only fast path to carve out (that rework is ROADMAP item 1,
@@ -93,20 +140,25 @@ class RouteCache {
   struct Shard {
     Mutex mu;
     /// Front = most recently used.
-    std::list<std::pair<RouteCacheKey, RouteResult>> lru L2R_GUARDED_BY(mu);
-    std::unordered_map<
-        RouteCacheKey,
-        std::list<std::pair<RouteCacheKey, RouteResult>>::iterator,
-        QueryKeyHash>
+    std::list<Entry> lru L2R_GUARDED_BY(mu);
+    std::unordered_map<RouteCacheKey, std::list<Entry>::iterator,
+                       QueryKeyHash>
         map L2R_GUARDED_BY(mu);
     size_t bytes L2R_GUARDED_BY(mu) = 0;
     uint64_t hits L2R_GUARDED_BY(mu) = 0;
     uint64_t misses L2R_GUARDED_BY(mu) = 0;
     uint64_t inserts L2R_GUARDED_BY(mu) = 0;
     uint64_t evictions L2R_GUARDED_BY(mu) = 0;
+    uint64_t invalidated L2R_GUARDED_BY(mu) = 0;
   };
 
   static uint64_t HashKey(const RouteCacheKey& key);
+  static size_t EntryCharge(const Entry& e) {
+    return EntryBytes(e.result, e.regions.capacity());
+  }
+  /// True when no region of `e`'s footprint was dirtied after `e.epoch`.
+  bool EntryValid(const Entry& e) const;
+
   Shard& ShardFor(uint64_t hash) {
     return *shards_[hash & (shards_.size() - 1)];
   }
@@ -116,6 +168,8 @@ class RouteCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_capacity_ = 0;
   AdmissionPolicy admission_;
+  /// Set once at configure time, read on every Lookup (see SetWorld).
+  const WorldViewIface* world_ = nullptr;
 };
 
 }  // namespace l2r

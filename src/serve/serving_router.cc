@@ -1,18 +1,36 @@
 #include "serve/serving_router.h"
 
 #include "common/check.h"
+#include "routing/dijkstra.h"
 
 namespace l2r {
 
 ServingRouter::ServingRouter(const L2RRouter* router,
                              const ServingRouterOptions& options)
-    : router_(router), budget_(options.deadline) {
+    : router_(router), budget_(options.deadline), world_(options.world) {
   L2R_CHECK(router != nullptr);
   if (options.enable_route_cache) {
     cache_ = std::make_unique<RouteCache>(options.route_cache);
+    cache_->SetWorld(world_);
   }
   if (options.enable_stitch_memo) {
     memo_ = std::make_unique<StitchMemo>(options.stitch_memo);
+    if (world_ != nullptr) {
+      // The memo's invalidation sweep resolves stored path vertices to
+      // regions at sweep time (see StitchMemo::InvalidateRegions).
+      memo_->SetRegionResolver([router](int period_index, VertexId v) {
+        const TimePeriod p = static_cast<TimePeriod>(period_index);
+        if (!router->has_region_graph(p)) return kNoRegion;
+        return router->region_graph(p).RegionOf(v);
+      });
+      // Fires under the channel's exclusive gate (no queries in flight),
+      // once per applied batch.
+      world_listener_ = world_->AddInvalidationListener(
+          [memo = memo_.get()](const WorldDirtyEvent& event) {
+            memo->InvalidateRegions(event.period_index, event.regions,
+                                    event.wholesale);
+          });
+    }
   }
   if (options.enable_single_flight) {
     flights_ = std::make_unique<SingleFlight>(options.single_flight);
@@ -22,6 +40,12 @@ ServingRouter::ServingRouter(const L2RRouter* router,
                     std::memory_order_relaxed);
 }
 
+ServingRouter::~ServingRouter() {
+  if (world_ != nullptr && world_listener_ >= 0) {
+    world_->RemoveInvalidationListener(world_listener_);
+  }
+}
+
 void ServingRouter::SetBudgetScale(double scale) {
   if (!budget_.enabled()) return;
   const double clamped = scale <= 0 ? 0 : scale;
@@ -29,18 +53,56 @@ void ServingRouter::SetBudgetScale(double scale) {
                     std::memory_order_relaxed);
 }
 
+size_t ServingRouter::CalibrateBudget(
+    const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    double departure_time, Clock* clock) {
+  L2R_CHECK(clock != nullptr);
+  if (!budget_.enabled() || pairs.empty()) {
+    return settle_cap_.load(std::memory_order_relaxed);
+  }
+  const TimePeriod period = router_->EffectivePeriod(departure_time);
+  const EdgeWeights& time_w = router_->weights(period).time;
+  DijkstraSearch search(router_->net());
+  const int64_t t0 = clock->NowMicros();
+  for (const auto& [s, t] : pairs) {
+    // Unreachable pairs still settle vertices; their searches count.
+    (void)search.ShortestPath(s, t, time_w);
+  }
+  const int64_t elapsed_us = clock->NowMicros() - t0;
+  budget_.Calibrate(search.LifetimeSettles(), elapsed_us);
+  const size_t cap = budget_.MaxPreferenceSettles();
+  settle_cap_.store(cap, std::memory_order_relaxed);
+  return cap;
+}
+
 Result<RouteResult> ServingRouter::Route(L2RQueryContext* ctx, VertexId s,
                                          VertexId d, double departure_time) {
   queries_.fetch_add(1, std::memory_order_relaxed);
+  // Pin the world for the whole query: lookups, the cold computation and
+  // the cache insert all run on pin.epoch() — no update batch can land in
+  // between, so "in-flight queries finish on the epoch they started on"
+  // holds structurally. Null world = frozen epoch 0, no locking.
+  WorldReadPin pin(world_);
+  const WorldEpoch epoch = pin.epoch();
+  const TimePeriod period = router_->EffectivePeriod(departure_time);
   QueryKey key;
   if (cache_ != nullptr || flights_ != nullptr) {
-    key = QueryKey{
-        s, d,
-        static_cast<uint8_t>(router_->EffectivePeriod(departure_time))};
+    key = QueryKey{s, d, static_cast<uint8_t>(period)};
   }
   if (cache_ != nullptr) {
     RouteResult hit;
-    if (cache_->Lookup(key, &hit)) return hit;
+    WorldEpoch hit_epoch = 0;
+    if (cache_->Lookup(key, &hit, &hit_epoch)) {
+      // Valid hit: stamped either on this epoch or on an older epoch no
+      // later batch dirtied (the payoff of selective invalidation).
+      // Relaxed: pure serve tallies, documented order in the header.
+      if (hit_epoch == epoch) {
+        current_epoch_serves_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stale_valid_epoch_serves_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return hit;
+    }
   }
   // Cold path: compute, count the degrade, populate the cache (through
   // admission). Runs once per flight when coalescing is on; followers of
@@ -55,12 +117,20 @@ Result<RouteResult> ServingRouter::Route(L2RQueryContext* ctx, VertexId s,
       if (result->budget_degraded) {
         budget_degraded_.fetch_add(1, std::memory_order_relaxed);
       }
-      if (cache_ != nullptr) cache_->Insert(key, *result);
+      if (cache_ != nullptr) {
+        cache_->Insert(key, *result, epoch,
+                       world_ != nullptr
+                           ? RouteRegionFootprint(*router_, *result, period)
+                           : std::vector<RegionId>{});
+      }
     }
     return result;
   };
+  // Every cold/error dispatch runs on the pinned (current) epoch.
+  // Relaxed: pure serve tally, documented order in the header.
+  current_epoch_serves_.fetch_add(1, std::memory_order_relaxed);
   if (flights_ == nullptr) return cold();
-  return flights_->Do(key, cold);
+  return flights_->Do(key, epoch, cold);
 }
 
 ServingRouter::Stats ServingRouter::GetStats() const {
@@ -70,7 +140,19 @@ ServingRouter::Stats ServingRouter::GetStats() const {
   if (flights_ != nullptr) stats.single_flight = flights_->GetStats();
   stats.queries = queries_.load(std::memory_order_relaxed);
   stats.budget_degraded = budget_degraded_.load(std::memory_order_relaxed);
+  stats.epoch_serves = GetEpochServeCounts();
   return stats;
+}
+
+EpochServeCounts ServingRouter::GetEpochServeCounts() const {
+  EpochServeCounts counts;
+  // Relaxed loads: pure tallies, nothing is published through them (this
+  // comment is the documented memory order for the epoch counters).
+  counts.current_epoch =
+      current_epoch_serves_.load(std::memory_order_relaxed);
+  counts.stale_valid_epoch =
+      stale_valid_epoch_serves_.load(std::memory_order_relaxed);
+  return counts;
 }
 
 void ServingRouter::Clear() {

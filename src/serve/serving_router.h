@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/l2r.h"
 #include "serve/deadline_budget.h"
@@ -23,6 +25,13 @@ struct ServingRouterOptions {
   bool enable_single_flight = true;
   SingleFlightOptions single_flight;
   DeadlineBudgetOptions deadline;
+  /// Dynamic world view (world/WorldUpdateChannel), or null for the
+  /// frozen-world seed behavior. When set, every query runs under a read
+  /// pin (start-to-finish on one epoch), cache entries are stamped with
+  /// epoch + region footprint and validated on lookup, single-flights are
+  /// keyed per epoch, and the stitch memo is swept selectively from the
+  /// channel's dirty events. Must outlive the ServingRouter.
+  WorldViewIface* world = nullptr;
 };
 
 /// The serving layer: sits between BatchRouter (or any front-end) and
@@ -53,11 +62,14 @@ class ServingRouter final : public QueryService {
     /// Cold-path computations that degraded (coalesced followers of a
     /// degraded flight are not re-counted).
     uint64_t budget_degraded = 0;
+    /// Per-epoch serve split (dynamic world; all-current when frozen).
+    EpochServeCounts epoch_serves;
   };
 
   /// `router` must outlive the ServingRouter.
   explicit ServingRouter(const L2RRouter* router,
                          const ServingRouterOptions& options = {});
+  ~ServingRouter() override;
 
   const L2RRouter& router() const override { return *router_; }
 
@@ -65,6 +77,21 @@ class ServingRouter final : public QueryService {
                             double departure_time) override;
 
   Stats GetStats() const;
+  EpochServeCounts GetEpochServeCounts() const override;
+
+  /// Satellite of the deadline budget: replaces the configured
+  /// settles_per_us guess with a rate measured on this machine. Runs a
+  /// warm-up batch of plain fastest-path searches over `pairs` (departing
+  /// at `departure_time`), times it on `clock` (virtual in tests, steady
+  /// in production), feeds the observed settles/us into
+  /// DeadlineBudget::Calibrate and re-derives the live settle cap.
+  /// Call at configure time, before serving traffic (not synchronized
+  /// against in-flight queries; the cap store itself is atomic). Returns
+  /// the recalibrated cap (0 = budget disabled). Empty samples (no pairs,
+  /// zero elapsed) leave the configuration unchanged.
+  size_t CalibrateBudget(
+      const std::vector<std::pair<VertexId, VertexId>>& pairs,
+      double departure_time, Clock* clock);
   /// Drops cached routes and memoized stitch state (the underlying router
   /// is immutable, so this is only needed when swapping routers).
   void Clear();
@@ -88,6 +115,13 @@ class ServingRouter final : public QueryService {
   bool memo_enabled() const { return memo_ != nullptr; }
   bool single_flight_enabled() const { return flights_ != nullptr; }
   const DeadlineBudget& deadline_budget() const { return budget_; }
+  WorldViewIface* world() const { return world_; }
+  /// The repair pass (world/RouteRepairer) sweeps + reinserts here; null
+  /// when the cache is disabled.
+  RouteCache* route_cache() { return cache_.get(); }
+  /// The warm stitch memo the repair pass routes with (already swept
+  /// selectively by the invalidation listener); null when disabled.
+  StitchMemoIface* stitch_memo() { return memo_.get(); }
 
  private:
   const L2RRouter* router_;
@@ -96,6 +130,11 @@ class ServingRouter final : public QueryService {
   std::unique_ptr<SingleFlight> flights_; ///< null when disabled
   DeadlineBudget budget_;
   ServeHooks hooks_;  ///< memo, fixed at construction; settle cap below
+  /// Dynamic world view; immutable after construction (null = frozen).
+  WorldViewIface* world_ = nullptr;
+  /// Token of the memo-invalidation listener registered on world_
+  /// (removed in the destructor); -1 when none.
+  int world_listener_ = -1;
   /// Live settle cap (budget_'s cap under the current overload scale).
   /// Relaxed everywhere: a pure knob read once per cold computation,
   /// nothing is published through it (admission_policy.h rationale).
@@ -105,6 +144,10 @@ class ServingRouter final : public QueryService {
   /// admission_policy.h for the full memory-order rationale.
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> budget_degraded_{0};
+  /// Per-epoch serve tallies (relaxed: pure counters, like the above;
+  /// this comment is the documented order for the lint's epoch rule).
+  std::atomic<uint64_t> current_epoch_serves_{0};
+  std::atomic<uint64_t> stale_valid_epoch_serves_{0};
 };
 
 }  // namespace l2r

@@ -14,7 +14,7 @@ SingleFlight::SingleFlight(const SingleFlightOptions& options) {
   }
 }
 
-std::shared_ptr<SingleFlight::Flight> SingleFlight::Join(const QueryKey& key,
+std::shared_ptr<SingleFlight::Flight> SingleFlight::Join(const FlightKey& key,
                                                          bool* leader) {
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
@@ -35,7 +35,7 @@ Result<RouteResult> SingleFlight::Await(Flight& flight) {
   return *flight.result;  // copy out under the flight lock
 }
 
-void SingleFlight::Publish(const QueryKey& key, Flight& flight,
+void SingleFlight::Publish(const FlightKey& key, Flight& flight,
                            const Result<RouteResult>& result) {
   {
     Shard& shard = ShardFor(key);

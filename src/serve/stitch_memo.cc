@@ -103,6 +103,62 @@ void StitchMemo::RememberConnector(int period_index, VertexId from,
   if (inserted) shard.bytes += bytes;
 }
 
+void StitchMemo::InvalidateRegions(int period_index,
+                                   const std::vector<RegionId>& dirty,
+                                   bool wholesale) {
+  L2R_DCHECK(period_index >= 0 && period_index < kNumTimePeriods);
+  // Footprints are computed at sweep time from the stored path: the memo
+  // is insert-only and sweeps are rare, so paying the resolver here keeps
+  // the hot Remember path free of footprint bookkeeping.
+  const auto path_is_dirty = [&](const std::vector<VertexId>& path) {
+    for (VertexId v : path) {
+      if (std::binary_search(dirty.begin(), dirty.end(),
+                             resolver_(period_index, v))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    if (wholesale) {
+      const size_t removed = shard->edge_choice[period_index].size() +
+                             shard->connector[period_index].size();
+      for (const auto& [k, path] : shard->edge_choice[period_index]) {
+        shard->bytes -= PathBytes(path);
+      }
+      for (const auto& [k, path] : shard->connector[period_index]) {
+        shard->bytes -= PathBytes(path);
+      }
+      shard->edge_choice[period_index].clear();
+      shard->connector[period_index].clear();
+      shard->invalidated += removed;
+      continue;
+    }
+    L2R_CHECK(resolver_ != nullptr);
+    for (auto it = shard->edge_choice[period_index].begin();
+         it != shard->edge_choice[period_index].end();) {
+      if (path_is_dirty(it->second)) {
+        shard->bytes -= PathBytes(it->second);
+        it = shard->edge_choice[period_index].erase(it);
+        ++shard->invalidated;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = shard->connector[period_index].begin();
+         it != shard->connector[period_index].end();) {
+      if (path_is_dirty(it->second)) {
+        shard->bytes -= PathBytes(it->second);
+        it = shard->connector[period_index].erase(it);
+        ++shard->invalidated;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
 void StitchMemo::Clear() {
   for (auto& shard : shards_) {
     MutexLock lock(shard->mu);
@@ -123,6 +179,7 @@ StitchMemo::Stats StitchMemo::GetStats() const {
     stats.connector_hits += shard->connector_hits;
     stats.connector_misses += shard->connector_misses;
     stats.rejected_full += shard->rejected_full;
+    stats.invalidated += shard->invalidated;
     stats.bytes += shard->bytes;
     for (int p = 0; p < kNumTimePeriods; ++p) {
       stats.entries +=

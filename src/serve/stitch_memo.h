@@ -40,11 +40,31 @@ class StitchMemo final : public StitchMemoIface {
     uint64_t connector_hits = 0;
     uint64_t connector_misses = 0;
     uint64_t rejected_full = 0;  ///< inserts dropped by the byte budget
+    /// Entries removed by InvalidateRegions (dynamic world).
+    uint64_t invalidated = 0;
     size_t entries = 0;
     size_t bytes = 0;
   };
 
   explicit StitchMemo(const StitchMemoOptions& options = {});
+
+  /// Attaches the vertex-to-region resolver InvalidateRegions uses to
+  /// compute a stored path's footprint at sweep time (memo entries do not
+  /// carry footprints; they are insert-only and sweeps are rare). Must be
+  /// set before the first InvalidateRegions; not synchronized itself.
+  void SetRegionResolver(RegionResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+
+  /// Removes every entry of `period_index` whose stored path touches a
+  /// region in `dirty` (sorted unique; may contain kNoRegion). With
+  /// `wholesale` the period's tables are dropped entirely — the
+  /// cost-decreasing-update case, where an improvement can reroute paths
+  /// that never touched the improved region. Called from the world update
+  /// channel's invalidation listener, i.e. under its exclusive gate with
+  /// no queries in flight.
+  void InvalidateRegions(int period_index, const std::vector<RegionId>& dirty,
+                         bool wholesale);
 
   bool FindEdgeChoice(int period_index, uint32_t edge, VertexId cur,
                       VertexId dest,
@@ -86,6 +106,7 @@ class StitchMemo final : public StitchMemoIface {
     mutable uint64_t connector_hits L2R_GUARDED_BY(mu) = 0;
     mutable uint64_t connector_misses L2R_GUARDED_BY(mu) = 0;
     uint64_t rejected_full L2R_GUARDED_BY(mu) = 0;
+    uint64_t invalidated L2R_GUARDED_BY(mu) = 0;
   };
 
   static size_t PathBytes(const std::vector<VertexId>& path);
@@ -99,6 +120,8 @@ class StitchMemo final : public StitchMemoIface {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_capacity_ = 0;
+  /// Set once at configure time (see SetRegionResolver).
+  RegionResolver resolver_;
 };
 
 }  // namespace l2r

@@ -326,6 +326,12 @@ void StreamRouter::FailPending(std::vector<Pending> pending) {
 
 StreamRouter::Stats StreamRouter::GetStats() const {
   Stats stats;
+  // Sampled before mu_: the service keeps its own thread-safe counters
+  // (ServingRouter's relaxed tallies), and holding mu_ here would add a
+  // lock-order edge for nothing.
+  if (QueryService* service = batch_router_.service()) {
+    stats.epoch_serves = service->GetEpochServeCounts();
+  }
   stats.completed = completed_.load(std::memory_order_acquire);
   stats.failed_on_shutdown =
       failed_on_shutdown_.load(std::memory_order_acquire);

@@ -151,6 +151,12 @@ class StreamRouter {
     /// The deadline currently applied to newly opened batches (the
     /// configured constant without a controller).
     int64_t batch_deadline_us = 0;
+    /// Per-epoch serve split sampled from the backing QueryService
+    /// (dynamic world): queries answered on the current world epoch vs on
+    /// an older-but-still-valid epoch stamp. Zeros when the stream drains
+    /// into a bare router (no QueryService); a service with no world
+    /// attached reports every serve on the current (frozen) epoch.
+    EpochServeCounts epoch_serves;
   };
 
   /// `router`/`service` must outlive the StreamRouter.

@@ -1,0 +1,114 @@
+#include "world/route_repairer.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "traj/trajectory.h"
+
+namespace l2r {
+
+namespace {
+
+/// A departure time mapping to `period` under PeriodOf (noon is off-peak,
+/// 08:00 is morning rush) — the cache key stores only the period, so the
+/// repairer reconstructs a representative departure time to route with.
+double DepartureTimeFor(uint8_t period) {
+  return period == static_cast<uint8_t>(TimePeriod::kPeak) ? 8 * 3600.0
+                                                           : 12 * 3600.0;
+}
+
+}  // namespace
+
+RouteRepairer::RouteRepairer(ServingRouter* serving,
+                             const RouteRepairOptions& options)
+    : serving_(serving), options_(options) {
+  L2R_CHECK(serving != nullptr);
+  L2R_CHECK(serving->route_cache() != nullptr);
+  L2R_CHECK(serving->world() != nullptr);
+}
+
+RouteRepairer::Report RouteRepairer::RepairAll() {
+  Report report;
+  // Pin the world: the epoch (and the weights repairs run against) cannot
+  // move mid-pass, so every reinserted stamp is consistent.
+  WorldReadPin pin(serving_->world());
+  report.epoch = pin.epoch();
+
+  std::vector<RouteCache::StaleEntry> stale;
+  serving_->route_cache()->ExtractInvalid(&stale);
+  report.candidates = stale.size();
+  if (stale.empty()) return report;
+
+  const L2RRouter& router = serving_->router();
+  L2RQueryContext ctx = router.MakeContext();
+  const size_t serving_cap = serving_->CurrentSettleCap();
+
+  ServeHooks hooks;
+  hooks.memo = serving_->stitch_memo();  // warm, selectively swept
+
+  for (RouteCache::StaleEntry& entry : stale) {
+    const double departure_time = DepartureTimeFor(entry.key.period);
+    const TimePeriod period = router.EffectivePeriod(departure_time);
+    const uint64_t settles_before = ctx.TotalSettles();
+
+    // Bounded-radius re-search seeded from the stale route: start with a
+    // cap proportional to the path being replaced, double per round, and
+    // finish at exactly the serving cap so the fallback recompute (and
+    // its degrade bit, if any) reproduces the serving cold path.
+    size_t cap = static_cast<size_t>(options_.cap_per_stale_vertex *
+                                     entry.stale.path.vertices.size());
+    if (cap < options_.min_initial_cap) cap = options_.min_initial_cap;
+
+    Result<RouteResult> repaired = Status::Internal("unrun");
+    bool converged = false;
+    bool unroutable = false;
+    for (int round = 0; round < options_.max_rounds; ++round, cap *= 2) {
+      if (serving_cap != 0 && cap >= serving_cap) break;
+      ServeHooks round_hooks = hooks;
+      round_hooks.budget.max_preference_settles = cap;
+      repaired = router.Route(&ctx, entry.key.s, entry.key.d,
+                              departure_time, round_hooks);
+      if (!repaired.ok()) {
+        // Route errors (e.g. destination closed off) are cap-independent:
+        // escalating the budget cannot restore routability.
+        unroutable = true;
+        break;
+      }
+      if (!repaired->budget_degraded) {
+        // Converged under a cap below the serving cap: identical to the
+        // uncapped search, hence to the serving-cap cold path.
+        converged = true;
+        break;
+      }
+    }
+    if (!converged && !unroutable) {
+      // Full recompute at exactly the serving cap — byte-identical to
+      // what ServingRouter's cold path would produce (never an uncapped
+      // search beyond it).
+      ServeHooks final_hooks = hooks;
+      final_hooks.budget.max_preference_settles = serving_cap;
+      repaired = router.Route(&ctx, entry.key.s, entry.key.d,
+                              departure_time, final_hooks);
+      unroutable = !repaired.ok();
+    }
+    report.repair_settles += ctx.TotalSettles() - settles_before;
+    if (unroutable) {
+      // The serving cold path would return the same error and cache
+      // nothing, so the entry is simply dropped.
+      report.unroutable += 1;
+      continue;
+    }
+    if (converged) {
+      report.repaired += 1;
+    } else {
+      report.full_recompute += 1;
+    }
+    serving_->route_cache()->Insert(
+        entry.key, *repaired, report.epoch,
+        RouteRegionFootprint(router, *repaired, period));
+  }
+  return report;
+}
+
+}  // namespace l2r

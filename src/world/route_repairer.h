@@ -1,0 +1,77 @@
+#ifndef L2R_WORLD_ROUTE_REPAIRER_H_
+#define L2R_WORLD_ROUTE_REPAIRER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/serving_router.h"
+#include "world/update_channel.h"
+
+namespace l2r {
+
+struct RouteRepairOptions {
+  /// Floor of the seeded settle cap, so tiny stale paths still get a
+  /// useful first round.
+  size_t min_initial_cap = 512;
+  /// Initial cap = max(min_initial_cap, this * |stale path vertices|) —
+  /// the bounded-radius re-search is sized by the route it replaces.
+  double cap_per_stale_vertex = 8.0;
+  /// Cap-doubling rounds before falling back to the full serving-cap
+  /// recompute.
+  int max_rounds = 3;
+};
+
+/// Incremental ripup-and-reroute repair pass (the global-routing loop of
+/// rip-up/re-route, transplanted to serving): after an update batch,
+/// sweeps the stale entries out of the route cache and re-routes each on
+/// the new epoch with the selectively-invalidated warm stitch memo, under
+/// a bounded settle cap seeded from the stale route's length. A route
+/// whose detour is local converges in a cheap early round; rounds double
+/// the cap, and the final round runs at *exactly* the serving settle cap
+/// — never beyond it — so every reinserted result is byte-identical to
+/// what ServingRouter's cold path would produce for the same query on the
+/// same epoch (a bounded round that converges without degrading equals
+/// the uncapped search, which equals the serving-cap search; the final
+/// round is the serving-cap search).
+///
+/// Single-threaded by design: run from the update/maintenance thread
+/// after Apply, not from query threads. Cost is measured in settled
+/// vertices (deterministic), so repair-vs-recompute ratios are stable
+/// across machines and CI-gateable.
+class RouteRepairer {
+ public:
+  struct Report {
+    WorldEpoch epoch = 0;       ///< epoch the repairs were computed on
+    size_t candidates = 0;      ///< stale entries swept from the cache
+    size_t repaired = 0;        ///< converged within a bounded round
+    size_t full_recompute = 0;  ///< needed the final serving-cap round
+    size_t unroutable = 0;      ///< no longer routable (e.g. closed off)
+    uint64_t repair_settles = 0;  ///< total settled vertices spent
+
+    double ConvergenceRate() const {
+      return candidates == 0
+                 ? 1.0
+                 : static_cast<double>(repaired) /
+                       static_cast<double>(candidates);
+    }
+  };
+
+  /// `serving` must have the route cache enabled and a world attached;
+  /// must outlive the repairer.
+  explicit RouteRepairer(ServingRouter* serving,
+                         const RouteRepairOptions& options = {});
+
+  /// Sweeps every invalidated cache entry and re-routes it on the current
+  /// epoch, reinserting the repaired result with its new stamp +
+  /// footprint. Holds a world read pin throughout, so the epoch cannot
+  /// move mid-pass.
+  Report RepairAll();
+
+ private:
+  ServingRouter* serving_;
+  RouteRepairOptions options_;
+};
+
+}  // namespace l2r
+
+#endif  // L2R_WORLD_ROUTE_REPAIRER_H_

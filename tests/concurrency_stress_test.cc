@@ -175,6 +175,131 @@ TEST(RouteCacheStress, ConcurrentLookupInsertChurn) {
 }
 
 // ---------------------------------------------------------------------------
+// RouteCache: dirty-set invalidation racing Insert/Lookup under eviction
+// pressure (dynamic world).
+
+/// Scripted wait-free world view: bumper threads publish dirty epochs
+/// while workers validate entries against them.
+class AtomicWorld final : public WorldViewIface {
+ public:
+  static constexpr RegionId kRegions = 8;
+
+  WorldEpoch CurrentEpoch() const override {
+    // Acquire pairs with Bump's release store (documented order).
+    return epoch_.load(std::memory_order_acquire);
+  }
+  WorldEpoch LastDirtyEpoch(int period_index,
+                            RegionId region) const override {
+    if (region == kAllRegionsBucket) {
+      // Acquire pairs with Bump's release store (documented order).
+      return max_dirty_[period_index].load(std::memory_order_acquire);
+    }
+    if (region >= kRegions) return 0;
+    // Acquire pairs with Bump's release store (documented order).
+    return dirty_[period_index][region].load(std::memory_order_acquire);
+  }
+  WorldEpoch AcquireRead() override { return CurrentEpoch(); }
+  void ReleaseRead() override {}
+  int AddInvalidationListener(InvalidationListener) override { return 0; }
+  void RemoveInvalidationListener(int) override {}
+
+  void Bump(int period_index, RegionId region) {
+    // Relaxed RMW allots the number; the release stores below publish it.
+    const WorldEpoch e = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Release: pairs with the acquire loads in LastDirtyEpoch.
+    dirty_[period_index][region].store(e, std::memory_order_release);
+    WorldEpoch cur = max_dirty_[period_index].load(std::memory_order_relaxed);
+    while (cur < e && !max_dirty_[period_index].compare_exchange_weak(
+                          cur, e, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<WorldEpoch> epoch_{0};
+  std::atomic<WorldEpoch> dirty_[kNumTimePeriods][kRegions] = {};
+  std::atomic<WorldEpoch> max_dirty_[kNumTimePeriods] = {};
+};
+
+TEST(RouteCacheStress, DirtySetInvalidationRacesChurnUnderEviction) {
+  // 6 worker threads churn Insert/Lookup through a cache small enough to
+  // evict constantly while 2 bumper threads dirty regions, so selective
+  // invalidation races both hits and evictions. Two contracts under
+  // fire, checked value-level here and lock-level under TSan:
+  //  - a hit's bytes are a pure function of its key (no torn entries);
+  //  - no hit is served from an entry whose footprint was already dirty
+  //    past its stamp *before* the lookup began (monotone dirty epochs
+  //    make the pre-sampled floor a sound race-free lower bound).
+  RouteCacheOptions options;
+  options.num_shards = 4;              // fewer shards than threads
+  options.capacity_bytes = 64u << 10;  // small: constant eviction churn
+  RouteCache cache(options);
+  AtomicWorld world;
+  cache.SetWorld(&world);
+
+  constexpr VertexId kKeySpace = 64;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kWorkers = kThreads - 2;
+  constexpr int kBumpsPerThread = 2000;
+  std::atomic<uint64_t> wrong_bytes{0};
+  std::atomic<uint64_t> stale_serves{0};
+  std::atomic<uint64_t> lookups{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const VertexId s =
+            static_cast<VertexId>((i * 31 + t * 17) % kKeySpace);
+        const RouteCacheKey key{s, s + 1, static_cast<uint8_t>(s % 2)};
+        const RegionId region = s % AtomicWorld::kRegions;
+        const RouteResult want = MakeResult(s, 3 + s % 5);
+        const WorldEpoch floor = world.LastDirtyEpoch(key.period, region);
+        RouteResult got;
+        WorldEpoch stamp = 0;
+        lookups.fetch_add(1, std::memory_order_relaxed);
+        if (cache.Lookup(key, &got, &stamp)) {
+          if (!(got == want)) {
+            wrong_bytes.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (stamp < floor) {
+            stale_serves.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          cache.Insert(key, want, world.CurrentEpoch(), {region});
+        }
+      }
+    });
+  }
+  for (int b = 0; b < kThreads - kWorkers; ++b) {
+    threads.emplace_back([&, b] {
+      for (int i = 0; i < kBumpsPerThread; ++i) {
+        world.Bump(i % kNumTimePeriods,
+                   static_cast<RegionId>((i * 7 + b) % AtomicWorld::kRegions));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(wrong_bytes.load(std::memory_order_acquire), 0u);
+  EXPECT_EQ(stale_serves.load(std::memory_order_acquire), 0u);
+  RouteCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_LE(stats.bytes, cache.CapacityBytes());
+
+  // Quiesced: one eager sweep drains everything stale, after which every
+  // resident entry is valid and a second sweep finds nothing.
+  std::vector<RouteCache::StaleEntry> stale;
+  cache.ExtractInvalid(&stale);
+  for (const RouteCache::StaleEntry& e : stale) {
+    EXPECT_EQ(e.stale.path.vertices.front(), e.key.s);  // intact bytes
+  }
+  std::vector<RouteCache::StaleEntry> again;
+  cache.ExtractInvalid(&again);
+  EXPECT_TRUE(again.empty());
+}
+
+// ---------------------------------------------------------------------------
 // SingleFlight: many threads coalescing on few keys.
 
 TEST(SingleFlightStress, EveryCallerGetsTheKeyedResult) {

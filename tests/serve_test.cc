@@ -4,12 +4,15 @@
 #include <memory>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/batch_router.h"
 #include "core/l2r.h"
 #include "eval/datasets.h"
+#include "routing/dijkstra.h"
 #include "serve/admission_policy.h"
+#include "serve/clock.h"
 #include "serve/deadline_budget.h"
 #include "serve/route_cache.h"
 #include "serve/serving_router.h"
@@ -160,6 +163,137 @@ TEST(RouteCacheTest, ConcurrentMixedLoadStaysConsistent) {
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
   EXPECT_LE(stats.bytes, options.capacity_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// RouteCache epoch validation (dynamic world). A scripted WorldViewIface
+// stands in for the update channel so the invalidation predicate can be
+// exercised one dirty event at a time.
+
+class FakeWorld final : public WorldViewIface {
+ public:
+  WorldEpoch CurrentEpoch() const override { return epoch_; }
+  WorldEpoch LastDirtyEpoch(int period_index,
+                            RegionId region) const override {
+    if (region == kAllRegionsBucket) return max_dirty_[period_index];
+    const auto it = dirty_[period_index].find(region);
+    return it == dirty_[period_index].end() ? 0 : it->second;
+  }
+  WorldEpoch AcquireRead() override { return epoch_; }
+  void ReleaseRead() override {}
+  int AddInvalidationListener(InvalidationListener) override { return 0; }
+  void RemoveInvalidationListener(int) override {}
+
+  void MarkDirty(int period_index, RegionId region, WorldEpoch epoch) {
+    dirty_[period_index][region] = epoch;
+    if (epoch > max_dirty_[period_index]) max_dirty_[period_index] = epoch;
+    if (epoch > epoch_) epoch_ = epoch;
+  }
+
+ private:
+  WorldEpoch epoch_ = 0;
+  std::unordered_map<RegionId, WorldEpoch> dirty_[kNumTimePeriods];
+  WorldEpoch max_dirty_[kNumTimePeriods] = {0, 0};
+};
+
+TEST(RouteCacheTest, EpochInvalidationIsSelectivePerFootprint) {
+  FakeWorld world;
+  RouteCache cache;
+  cache.SetWorld(&world);
+  const RouteCacheKey touched{1, 2, 0};
+  const RouteCacheKey untouched{3, 4, 0};
+  cache.Insert(touched, MakeResult(1, 4), 0, {1, 2});
+  cache.Insert(untouched, MakeResult(3, 4), 0, {5});
+
+  world.MarkDirty(0, 2, 1);  // region 2: touches only the first footprint
+  RouteResult got;
+  WorldEpoch epoch = 99;
+  EXPECT_FALSE(cache.Lookup(touched, &got));  // erased, never served
+  ASSERT_TRUE(cache.Lookup(untouched, &got, &epoch));
+  EXPECT_TRUE(got == MakeResult(3, 4));
+  EXPECT_EQ(epoch, 0u);  // stale-but-valid stamp, surfaced for accounting
+  const RouteCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.invalidated, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // Reinserting on the new epoch makes the key servable again.
+  cache.Insert(touched, MakeResult(9, 4), 1, {1, 2});
+  ASSERT_TRUE(cache.Lookup(touched, &got, &epoch));
+  EXPECT_TRUE(got == MakeResult(9, 4));
+  EXPECT_EQ(epoch, 1u);
+}
+
+TEST(RouteCacheTest, PeriodsInvalidateIndependently) {
+  FakeWorld world;
+  RouteCache cache;
+  cache.SetWorld(&world);
+  cache.Insert(RouteCacheKey{1, 2, 0}, MakeResult(1, 3), 0, {7});
+  cache.Insert(RouteCacheKey{1, 2, 1}, MakeResult(100, 3), 0, {7});
+  world.MarkDirty(1, 7, 1);  // peak only
+  RouteResult got;
+  EXPECT_TRUE(cache.Lookup(RouteCacheKey{1, 2, 0}, &got));
+  EXPECT_FALSE(cache.Lookup(RouteCacheKey{1, 2, 1}, &got));
+}
+
+TEST(RouteCacheTest, AllRegionsFootprintDiesOnAnyDirtyInItsPeriod) {
+  FakeWorld world;
+  RouteCache cache;
+  cache.SetWorld(&world);
+  const RouteCacheKey key{1, 2, 0};
+  // Degraded results carry the whole-period sentinel footprint (their
+  // degrade bit depends on exploration, not just the final path).
+  cache.Insert(key, MakeDegradedResult(1, 4), 0, {kAllRegionsBucket});
+  world.MarkDirty(0, 42, 1);  // any region of the period suffices
+  RouteResult got;
+  EXPECT_FALSE(cache.Lookup(key, &got));
+  EXPECT_EQ(cache.GetStats().invalidated, 1u);
+}
+
+TEST(RouteCacheTest, InsertPrefersTheNewestEpochStamp) {
+  FakeWorld world;
+  RouteCache cache;
+  cache.SetWorld(&world);
+  const RouteCacheKey key{1, 2, 0};
+  cache.Insert(key, MakeResult(1, 4), 2, {3});
+  cache.Insert(key, MakeResult(50, 4), 1, {3});  // stale racer: ignored
+  RouteResult got;
+  WorldEpoch epoch = 0;
+  ASSERT_TRUE(cache.Lookup(key, &got, &epoch));
+  EXPECT_TRUE(got == MakeResult(1, 4));
+  EXPECT_EQ(epoch, 2u);
+  cache.Insert(key, MakeResult(70, 4), 3, {3});  // newer: replaces
+  ASSERT_TRUE(cache.Lookup(key, &got, &epoch));
+  EXPECT_TRUE(got == MakeResult(70, 4));
+  EXPECT_EQ(epoch, 3u);
+}
+
+TEST(RouteCacheTest, ExtractInvalidSweepsExactlyTheStaleEntries) {
+  FakeWorld world;
+  RouteCache cache;
+  cache.SetWorld(&world);
+  cache.Insert(RouteCacheKey{1, 2, 0}, MakeResult(1, 4), 0, {1});
+  cache.Insert(RouteCacheKey{3, 4, 0}, MakeResult(3, 4), 0, {2});
+  cache.Insert(RouteCacheKey{5, 6, 0}, MakeResult(5, 4), 0, {1, 9});
+  world.MarkDirty(0, 1, 1);
+
+  std::vector<RouteCache::StaleEntry> stale;
+  cache.ExtractInvalid(&stale);
+  ASSERT_EQ(stale.size(), 2u);
+  for (const RouteCache::StaleEntry& entry : stale) {
+    EXPECT_TRUE(entry.key == (RouteCacheKey{1, 2, 0}) ||
+                entry.key == (RouteCacheKey{5, 6, 0}));
+    // The swept value seeds the repair pass's bounded re-search.
+    EXPECT_EQ(entry.stale.path.vertices.front(), entry.key.s);
+  }
+  const RouteCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.invalidated, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  RouteResult got;
+  EXPECT_TRUE(cache.Lookup(RouteCacheKey{3, 4, 0}, &got));
+  // A second sweep finds nothing left to repair.
+  stale.clear();
+  cache.ExtractInvalid(&stale);
+  EXPECT_TRUE(stale.empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -369,6 +503,35 @@ TEST(SingleFlightTest, DistinctKeysDoNotCoalesce) {
   ASSERT_TRUE(again.ok());
   const SingleFlight::Stats stats = flights.GetStats();
   EXPECT_EQ(stats.leaders, 4u);
+  EXPECT_EQ(stats.coalesced, 0u);
+}
+
+TEST(SingleFlightTest, DifferentEpochsOfOneKeyNeverCoalesce) {
+  SingleFlight flights;
+  const QueryKey key{1, 2, 0};
+  std::atomic<bool> leader_started{false};
+  std::atomic<bool> release_leader{false};
+  std::thread leader([&] {
+    const auto r = flights.Do(key, WorldEpoch{0}, [&] {
+      leader_started.store(true);
+      while (!release_leader.load()) std::this_thread::yield();
+      return Result<RouteResult>(MakeResult(1, 2));
+    });
+    EXPECT_TRUE(r.ok());
+  });
+  while (!leader_started.load()) std::this_thread::yield();
+  // The epoch-1 call for the same key must start its own flight, not
+  // join the in-progress epoch-0 one (joining would deadlock right here:
+  // the epoch-0 leader publishes only after this call returns).
+  const auto r = flights.Do(key, WorldEpoch{1}, [&] {
+    return Result<RouteResult>(MakeResult(9, 3));
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r == MakeResult(9, 3));
+  release_leader.store(true);
+  leader.join();
+  const SingleFlight::Stats stats = flights.GetStats();
+  EXPECT_EQ(stats.leaders, 2u);
   EXPECT_EQ(stats.coalesced, 0u);
 }
 
@@ -852,6 +1015,68 @@ TEST_F(ServeTest, DegradedRoutesAreCachedConsistently) {
                                      queries[i].departure_time);
     ExpectSameResult(first[i], again, i);
   }
+}
+
+// A Clock whose time advances a fixed step per NowMicros() call — the
+// deterministic stopwatch CalibrateBudget's warm-up batch is timed on.
+class SteppingClock final : public Clock {
+ public:
+  explicit SteppingClock(int64_t step_us) : step_us_(step_us) {}
+  int64_t NowMicros() const override { return now_us_ += step_us_; }
+  std::cv_status WaitUntil(CondVar& cv, Mutex& mu,
+                           int64_t deadline_us) override L2R_REQUIRES(mu) {
+    (void)cv;
+    (void)mu;
+    (void)deadline_us;
+    return std::cv_status::timeout;
+  }
+
+ private:
+  const int64_t step_us_;
+  mutable int64_t now_us_ = 0;
+};
+
+TEST_F(ServeTest, CalibrateBudgetPinsTheCapFromAVirtualClockSample) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (const BatchQuery& q : MakeQueries(9)) {
+    if (q.s != q.d) pairs.emplace_back(q.s, q.d);
+  }
+  ASSERT_GE(pairs.size(), 4u);
+  const double departure = 12 * 3600.0;  // off-peak
+
+  ServingRouterOptions options;
+  options.deadline.fallback_budget_us = 500;
+  options.deadline.settles_per_us = 80;  // the guess calibration replaces
+  ServingRouter serving(router_, options);
+  const size_t guessed_cap = serving.CurrentSettleCap();
+  ASSERT_GT(guessed_cap, 0u);
+
+  // Replicate the warm-up measurement: the same plain searches settle the
+  // same vertex count (search determinism), and the stepping clock makes
+  // the elapsed time exactly one step (one NowMicros() call on each side
+  // of the warm-up loop) — so the calibrated cap is pinned exactly.
+  const TimePeriod period = router_->EffectivePeriod(departure);
+  DijkstraSearch probe(router_->net());
+  for (const auto& [s, d] : pairs) {
+    (void)probe.ShortestPath(s, d, router_->weights(period).time);
+  }
+  constexpr int64_t kStepUs = 100;
+  DeadlineBudget expected_budget(options.deadline);
+  expected_budget.Calibrate(probe.LifetimeSettles(), kStepUs);
+  const size_t expected_cap = expected_budget.MaxPreferenceSettles();
+
+  SteppingClock clock(kStepUs);
+  EXPECT_EQ(serving.CalibrateBudget(pairs, departure, &clock), expected_cap);
+  EXPECT_EQ(serving.CurrentSettleCap(), expected_cap);
+  EXPECT_NE(serving.CurrentSettleCap(), guessed_cap)
+      << "calibration sample happened to reproduce the configured guess; "
+         "pick a different kStepUs";
+
+  // Disabled budget: calibration is a no-op reporting cap 0 (uncapped).
+  ServingRouter unbudgeted(router_, ServingRouterOptions{});
+  SteppingClock clock2(kStepUs);
+  EXPECT_EQ(unbudgeted.CalibrateBudget(pairs, departure, &clock2), 0u);
+  EXPECT_EQ(unbudgeted.CurrentSettleCap(), 0u);
 }
 
 }  // namespace

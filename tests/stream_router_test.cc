@@ -509,5 +509,38 @@ TEST_F(StreamRouterTest, SubmitWaitRoundTripsThroughTheBatchPath) {
   EXPECT_TRUE(got.closed_by_deadline);
 }
 
+TEST_F(StreamRouterTest, StatsSampleTheEpochServeSplitFromTheService) {
+  const std::vector<BatchQuery> queries = MakeQueries(4);
+  ASSERT_GE(queries.size(), 2u);
+
+  // Draining into a QueryService: the split is sampled through it. With
+  // no world attached the world is frozen at epoch 0, so every serve —
+  // cold inserts and warm hits alike — counts as current-epoch.
+  ServingRouter serving(router_);
+  StreamOptions options;
+  options.max_batch = 1;
+  options.num_threads = 1;
+  StreamRouter stream(&serving, options);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const BatchQuery& q : queries) {
+      EXPECT_TRUE(stream.SubmitWait(q).result.ok());
+    }
+  }
+  AwaitCompleted(stream, 2 * queries.size());
+  const StreamRouter::Stats stats = stream.GetStats();
+  EXPECT_EQ(stats.completed, 2 * queries.size());
+  EXPECT_EQ(stats.epoch_serves.current_epoch, stats.completed);
+  EXPECT_EQ(stats.epoch_serves.stale_valid_epoch, 0u);
+
+  // Draining into a bare router: no service to sample, zeros.
+  StreamRouter bare(router_, options);
+  EXPECT_TRUE(bare.SubmitWait(queries[0]).result.ok());
+  AwaitCompleted(bare, 1);
+  const StreamRouter::Stats bare_stats = bare.GetStats();
+  EXPECT_EQ(bare_stats.completed, 1u);
+  EXPECT_EQ(bare_stats.epoch_serves.current_epoch, 0u);
+  EXPECT_EQ(bare_stats.epoch_serves.stale_valid_epoch, 0u);
+}
+
 }  // namespace
 }  // namespace l2r
