@@ -61,6 +61,11 @@
 #include "common/stats.h"
 #include "common/timer.h"
 #include "core/batch_router.h"
+#include "roadnet/generator.h"
+#include "roadnet/io.h"
+#include "roadnet/snapshot.h"
+#include "roadnet/weights.h"
+#include "routing/dijkstra.h"
 #include "serve/overload_controller.h"
 #include "serve/serving_router.h"
 #include "serve/stream_router.h"
@@ -122,6 +127,47 @@ bool DynamicWorldEnabled() {
   const char* env = std::getenv("L2R_BENCH_DYNAMIC");
   return env == nullptr || std::atoi(env) != 0;
 }
+
+bool ScaleLadderEnabled() {
+  const char* env = std::getenv("L2R_BENCH_SCALE_LADDER");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
+/// Generator scales for the metro ladder, smallest first
+/// (L2R_BENCH_LADDER_SCALES, comma-separated, default "0.3,1.0,3.0").
+std::vector<double> LadderScales() {
+  const char* env = std::getenv("L2R_BENCH_LADDER_SCALES");
+  const std::string spec = env != nullptr ? env : "0.3,1.0,3.0";
+  std::vector<double> scales;
+  const char* p = spec.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p) break;
+    if (v > 0) scales.push_back(v);
+    p = *end == ',' ? end + 1 : end;
+  }
+  return scales;
+}
+
+/// One rung of the metro-scale ladder (see the snapshot format in
+/// roadnet/snapshot.h): world size, steady-state footprint, cold-start
+/// timings CSV-vs-mmap, and plain Dijkstra QPS on the generated world.
+struct LadderPoint {
+  double scale = 0;
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  size_t world_bytes = 0;     ///< steady-state CSR footprint
+  size_t snapshot_bytes = 0;  ///< on-disk snapshot image
+  double gen_seconds = 0;
+  double csv_cold_start_seconds = 0;
+  double mmap_cold_start_seconds = 0;
+  double cold_start_speedup = 0;
+  bool zero_copy = false;
+  size_t queries = 0;
+  double qps = 0;
+  double mean_query_us = 0;
+};
 
 /// True when the two result slots are byte-equivalent routing outcomes.
 bool SameResult(const Result<RouteResult>& a, const Result<RouteResult>& b) {
@@ -1170,6 +1216,96 @@ int main() {
         "on)\n");
   }
 
+  // --- Metro-scale ladder: generate at each scale, then compare cold
+  // starts — parse-and-rebuild from CSV vs mmap of the binary snapshot —
+  // and measure plain Dijkstra QPS on the generated world. This is the
+  // serving story for large worlds: the snapshot maps in milliseconds
+  // regardless of size, while the CSV rebuild grows linearly.
+  const bool ladder_enabled = ScaleLadderEnabled();
+  std::vector<LadderPoint> ladder_points;
+  if (ladder_enabled) {
+    for (const double ladder_scale : LadderScales()) {
+      LadderPoint p;
+      p.scale = ladder_scale;
+      Timer gen_timer;
+      auto metro = GenerateNetwork(MetroScaleConfig(ladder_scale));
+      if (!metro.ok()) {
+        std::fprintf(stderr, "[scale ladder] generate %.2f: %s\n",
+                     ladder_scale, metro.status().ToString().c_str());
+        return 1;
+      }
+      p.gen_seconds = gen_timer.ElapsedSeconds();
+      const size_t n = metro->net.NumVertices();
+      const size_t m = metro->net.NumEdges();
+      p.num_vertices = n;
+      p.num_edges = m;
+      p.world_bytes = n * sizeof(Point) + m * sizeof(EdgeRecord) +
+                      2 * (n + 1) * sizeof(uint32_t) +
+                      2 * m * sizeof(EdgeId) + n * sizeof(uint8_t);
+
+      const std::string snap_path =
+          OutPath() + ".ladder.snap";  // next to the artifact
+      const std::string csv_prefix = OutPath() + ".ladder";
+      if (auto s = WorldSnapshot::Write(*metro, snap_path); !s.ok()) {
+        std::fprintf(stderr, "[scale ladder] write: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      if (auto s = ExportWorldCsv(*metro, csv_prefix); !s.ok()) {
+        std::fprintf(stderr, "[scale ladder] csv: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+
+      Timer csv_timer;
+      auto from_csv = ImportWorldCsv(csv_prefix);
+      p.csv_cold_start_seconds = csv_timer.ElapsedSeconds();
+      Timer mmap_timer;
+      auto mapped = WorldSnapshot::Open(snap_path);
+      p.mmap_cold_start_seconds = mmap_timer.ElapsedSeconds();
+      if (!from_csv.ok() || !mapped.ok()) {
+        std::fprintf(stderr, "[scale ladder] reload failed at %.2f\n",
+                     ladder_scale);
+        return 1;
+      }
+      p.snapshot_bytes = mapped->file_bytes();
+      p.cold_start_speedup =
+          p.csv_cold_start_seconds / p.mmap_cold_start_seconds;
+      p.zero_copy = mapped->world().net.snapshot_backed();
+
+      // QPS on the mapped image: plain Dijkstra on random pairs — the
+      // number that shows the mapped world routes at full speed.
+      const RoadNetwork& mnet = mapped->world().net;
+      const EdgeWeights weights(mnet, CostFeature::kTravelTime,
+                                TimePeriod::kOffPeak);
+      DijkstraSearch dijkstra(mnet);
+      Rng ladder_rng(0x5ca1eULL + static_cast<uint64_t>(ladder_scale * 100));
+      p.queries = 24;
+      Timer qps_timer;
+      for (size_t q = 0; q < p.queries; ++q) {
+        const VertexId s = static_cast<VertexId>(ladder_rng.Index(n));
+        const VertexId t = static_cast<VertexId>(ladder_rng.Index(n));
+        (void)dijkstra.ShortestPath(s, t, weights);
+      }
+      const double qps_s = qps_timer.ElapsedSeconds();
+      p.qps = static_cast<double>(p.queries) / qps_s;
+      p.mean_query_us = qps_s * 1e6 / static_cast<double>(p.queries);
+
+      std::remove(snap_path.c_str());
+      std::remove((csv_prefix + ".vertices.csv").c_str());
+      std::remove((csv_prefix + ".edges.csv").c_str());
+      std::printf(
+          "[scale ladder] scale %.2f: %zu vertices, %zu edges, "
+          "%.1f MB world, csv %.3fs vs mmap %.5fs (%.0fx), %.1f qps\n",
+          ladder_scale, n, m, static_cast<double>(p.world_bytes) / 1e6,
+          p.csv_cold_start_seconds, p.mmap_cold_start_seconds,
+          p.cold_start_speedup, p.qps);
+      ladder_points.push_back(p);
+    }
+  } else {
+    std::printf("[scale ladder] skipped (L2R_BENCH_SCALE_LADDER=0)\n");
+  }
+
   // --- JSON artifact.
   const std::string out_path = OutPath();
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -1486,6 +1622,35 @@ int main() {
     std::fprintf(f, "    ]\n  },\n");
   } else {
     std::fprintf(f, "  \"dynamic_world\": null,\n");
+  }
+  if (ladder_enabled) {
+    std::fprintf(f, "  \"scale_ladder\": {\n");
+    std::fprintf(f, "    \"scales\": [\n");
+    for (size_t i = 0; i < ladder_points.size(); ++i) {
+      const LadderPoint& p = ladder_points[i];
+      std::fprintf(f,
+                   "      {\"scale\": %.2f, \"num_vertices\": %zu, "
+                   "\"num_edges\": %zu, \"world_bytes\": %zu, "
+                   "\"snapshot_bytes\": %zu,\n",
+                   p.scale, p.num_vertices, p.num_edges, p.world_bytes,
+                   p.snapshot_bytes);
+      std::fprintf(f,
+                   "       \"gen_seconds\": %.3f, "
+                   "\"csv_cold_start_seconds\": %.4f, "
+                   "\"mmap_cold_start_seconds\": %.6f, "
+                   "\"cold_start_speedup\": %.1f, \"zero_copy\": %s,\n",
+                   p.gen_seconds, p.csv_cold_start_seconds,
+                   p.mmap_cold_start_seconds, p.cold_start_speedup,
+                   p.zero_copy ? "true" : "false");
+      std::fprintf(f,
+                   "       \"queries\": %zu, \"qps\": %.1f, "
+                   "\"mean_query_us\": %.1f}%s\n",
+                   p.queries, p.qps, p.mean_query_us,
+                   i + 1 == ladder_points.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]\n  },\n");
+  } else {
+    std::fprintf(f, "  \"scale_ladder\": null,\n");
   }
   std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
                deterministic ? "true" : "false");

@@ -21,10 +21,16 @@
 #   L2R_BENCH_ADMISSION       admission A/B (*)     admission_ab
 #   L2R_BENCH_OVERLOAD        overload sweep        overload_sweep
 #   L2R_BENCH_DYNAMIC         dynamic world (*)     dynamic_world
+#   L2R_BENCH_SCALE_LADDER    metro-scale ladder    scale_ladder
 #   (*) also requires the cache pass on (and, for admission, budget > 0).
 #
+# The scale ladder additionally reads L2R_BENCH_LADDER_SCALES (comma-
+# separated generator scales, default "0.3,1.0,3.0"; scale 3.0 is a
+# 1M+-vertex world and takes ~20s on a laptop).
+#
 # To run a SINGLE gated block, set L2R_BENCH_ONLY to a comma-separated
-# subset of {cache,stream,deadline_sweep,admission,overload,dynamic}:
+# subset of {cache,stream,deadline_sweep,admission,overload,dynamic,
+# scale_ladder}:
 # every gated knob you did not set explicitly defaults to 0 and the
 # listed blocks are forced on. Example — just the dynamic-world block:
 #   L2R_BENCH_ONLY=cache,dynamic scripts/bench.sh
@@ -42,7 +48,9 @@
 # measured capacity: goodput, shed split, drain-wait percentiles), and
 # the dynamic-world scenarios (incident_injection / rush_hour_transition
 # / rolling_closures: epoch-versioned invalidation, incremental repair
-# vs wholesale recompute, no-stale-serve byte audits).
+# vs wholesale recompute, no-stale-serve byte audits), and the
+# metro-scale ladder (generator scales 0.3/1.0/3.0: world footprint,
+# CSV-vs-mmap snapshot cold start, Dijkstra QPS on the mapped image).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -60,6 +68,7 @@ if [[ -n "${L2R_BENCH_ONLY:-}" ]]; then
     [admission]=L2R_BENCH_ADMISSION
     [overload]=L2R_BENCH_OVERLOAD
     [dynamic]=L2R_BENCH_DYNAMIC
+    [scale_ladder]=L2R_BENCH_SCALE_LADDER
   )
   for knob in "${KNOB_FOR_BLOCK[@]}"; do
     if [[ -z "${!knob:-}" ]]; then

@@ -45,7 +45,12 @@ Checks (per file):
     new epoch), per-point repair conservation (repaired + full_recompute
     + unroutable == invalidated), every scenario's world restore
     reproducing the epoch-0 bytes, and the single-incident point showing
-    repair cost < 30% of a wholesale recompute at >= 70% convergence.
+    repair cost < 30% of a wholesale recompute at >= 70% convergence;
+  - the scale_ladder block (unless L2R_BENCH_SCALE_LADDER=0) has strictly
+    increasing scales with monotone world footprints, snapshot sizes
+    consistent with the in-memory arrays, positive QPS at every rung, and
+    a snapshot-mmap cold start >= 10x faster than the CSV rebuild at
+    every metro-sized rung (scale >= 1.0).
 
 Exits 0 when every file passes, 1 with a per-violation message otherwise.
 CI runs this after each bench pass so a malformed or regressed artifact
@@ -74,6 +79,7 @@ REQUIRED_TOP_KEYS = [
     "admission_ab",
     "overload_sweep",
     "dynamic_world",
+    "scale_ladder",
     "deterministic_across_threads",
     "runs",
 ]
@@ -119,6 +125,30 @@ DYNAMIC_SCENARIOS = [
     "incident_injection",
     "rush_hour_transition",
     "rolling_closures",
+]
+
+# Snapshot mmap must beat the CSV parse-and-rebuild cold start by at
+# least this factor once the world is metro-sized (generator scale >=
+# 1.0, ~140k vertices). Measured runs sit near 20x even at scale 0.3;
+# 10x leaves room for CI page-cache and disk noise while still failing
+# a snapshot path that quietly degenerates into a full parse.
+MIN_LADDER_COLD_START_SPEEDUP = 10.0
+MIN_LADDER_SPEEDUP_SCALE = 1.0
+
+LADDER_POINT_KEYS = [
+    "scale",
+    "num_vertices",
+    "num_edges",
+    "world_bytes",
+    "snapshot_bytes",
+    "gen_seconds",
+    "csv_cold_start_seconds",
+    "mmap_cold_start_seconds",
+    "cold_start_speedup",
+    "zero_copy",
+    "queries",
+    "qps",
+    "mean_query_us",
 ]
 
 # The incident case the repair pass exists for: a single incident's
@@ -662,6 +692,61 @@ def check_dynamic_world(block):
     )
 
 
+def check_scale_ladder(block):
+    if block is None:
+        return  # skipped (L2R_BENCH_SCALE_LADDER=0)
+    require(isinstance(block, dict), "scale_ladder: not an object")
+    require("scales" in block, "scale_ladder: missing 'scales'")
+    points = block["scales"]
+    require(
+        isinstance(points, list) and points,
+        "scale_ladder: scales missing or empty",
+    )
+    prev = None
+    for p in points:
+        where = f"scale_ladder[scale={p.get('scale')}]"
+        for key in LADDER_POINT_KEYS:
+            require(key in p, f"{where}: missing '{key}'")
+        require(p["num_vertices"] > 0, f"{where}: empty world")
+        require(p["num_edges"] > 0, f"{where}: no edges")
+        require(p["qps"] > 0, f"{where}: non-positive qps")
+        require(
+            p["csv_cold_start_seconds"] > 0
+            and p["mmap_cold_start_seconds"] > 0,
+            f"{where}: non-positive cold-start timing",
+        )
+        # The snapshot image is the world arrays plus fixed-size header,
+        # section table, and alignment padding — never more than a few KB
+        # of overhead, and never smaller than the arrays it contains.
+        require(
+            0
+            <= p["snapshot_bytes"] - p["world_bytes"]
+            <= 64 * 1024,
+            f"{where}: snapshot_bytes {p['snapshot_bytes']} inconsistent "
+            f"with world_bytes {p['world_bytes']}",
+        )
+        if prev is not None:
+            require(
+                p["scale"] > prev["scale"],
+                f"{where}: scales not strictly increasing",
+            )
+            require(
+                p["num_vertices"] > prev["num_vertices"]
+                and p["world_bytes"] > prev["world_bytes"],
+                f"{where}: footprint not monotone with scale "
+                f"({prev['num_vertices']} -> {p['num_vertices']} vertices, "
+                f"{prev['world_bytes']} -> {p['world_bytes']} bytes)",
+            )
+        prev = p
+        if p["scale"] >= MIN_LADDER_SPEEDUP_SCALE:
+            require(
+                p["cold_start_speedup"] >= MIN_LADDER_COLD_START_SPEEDUP,
+                f"{where}: cold-start speedup {p['cold_start_speedup']}x "
+                f"below the {MIN_LADDER_COLD_START_SPEEDUP}x floor — the "
+                "mmap path is not materially faster than the CSV rebuild",
+            )
+
+
 def check_file(path):
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
@@ -682,6 +767,7 @@ def check_file(path):
     check_admission_ab(data["admission_ab"])
     check_overload_sweep(data["overload_sweep"])
     check_dynamic_world(data["dynamic_world"])
+    check_scale_ladder(data["scale_ladder"])
     require(
         data["deterministic_across_threads"] is True,
         "deterministic_across_threads is not true",

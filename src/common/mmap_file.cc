@@ -1,0 +1,96 @@
+#include "common/mmap_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define L2R_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace l2r {
+
+namespace {
+
+/// Reads the whole file into `out` (the no-mmap fallback path).
+Status ReadWhole(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  if (len < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(len));
+  const size_t got = len == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size()) return Status::IOError("short read on " + path);
+  return Status();
+}
+
+}  // namespace
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  MappedFile mf;
+#ifdef L2R_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    // The descriptor is not needed once mapped; the mapping pins the file.
+    ::close(fd);
+    if (addr != MAP_FAILED) {
+      mf.mapped_ = addr;
+      mf.data_ = static_cast<const uint8_t*>(addr);
+      mf.size_ = size;
+      return mf;
+    }
+    // Map failed (e.g. an exotic filesystem): fall through to a heap read.
+  } else {
+    ::close(fd);
+    return mf;  // empty file: data == nullptr, size == 0
+  }
+#endif
+  L2R_RETURN_NOT_OK(ReadWhole(path, &mf.fallback_));
+  mf.data_ = mf.fallback_.data();
+  mf.size_ = mf.fallback_.size();
+  return mf;
+}
+
+MappedFile::~MappedFile() { Reset(); }
+
+MappedFile::MappedFile(MappedFile&& o) noexcept { *this = std::move(o); }
+
+MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
+  if (this == &o) return *this;
+  Reset();
+  mapped_ = std::exchange(o.mapped_, nullptr);
+  fallback_ = std::move(o.fallback_);
+  size_ = std::exchange(o.size_, 0);
+  data_ = std::exchange(o.data_, nullptr);
+  if (mapped_ == nullptr && !fallback_.empty()) data_ = fallback_.data();
+  return *this;
+}
+
+void MappedFile::Reset() {
+#ifdef L2R_HAVE_MMAP
+  if (mapped_ != nullptr) ::munmap(mapped_, size_);
+#endif
+  mapped_ = nullptr;
+  fallback_.clear();
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace l2r

@@ -89,7 +89,9 @@ Result<RegionGraph> BuildRegionGraph(
 
   const size_t num_regions = clustering.regions.size();
   g.regions_.resize(num_regions);
-  g.out_edges_.resize(num_regions);
+  // Build-time adjacency accumulator; flattened into the CSR members at
+  // the end of the build.
+  std::vector<std::vector<uint32_t>> out_edges(num_regions);
 
   // --- Region metadata from members.
   for (RegionId r = 0; r < num_regions; ++r) {
@@ -210,7 +212,7 @@ Result<RegionGraph> BuildRegionGraph(
     e.t_paths = std::move(acc.paths);
     const uint32_t id = static_cast<uint32_t>(g.edges_.size());
     g.edge_index_.Insert(key, id);
-    g.out_edges_[e.from].push_back(id);
+    out_edges[e.from].push_back(id);
     g.edges_.push_back(std::move(e));
   }
   g.num_t_edges_ = g.edges_.size();
@@ -304,10 +306,22 @@ Result<RegionGraph> BuildRegionGraph(
         e.is_t_edge = false;
         const uint32_t id = static_cast<uint32_t>(g.edges_.size());
         g.edge_index_.Insert(DirectedKey(from, to), id);
-        g.out_edges_[from].push_back(id);
+        out_edges[from].push_back(id);
         g.edges_.push_back(std::move(e));
       }
     }
+  }
+
+  // Flatten the per-region edge lists into the contiguous CSR pair.
+  g.out_offsets_.assign(num_regions + 1, 0);
+  for (RegionId r = 0; r < num_regions; ++r) {
+    g.out_offsets_[r + 1] =
+        g.out_offsets_[r] + static_cast<uint32_t>(out_edges[r].size());
+  }
+  g.out_edge_ids_.reserve(g.edges_.size());
+  for (RegionId r = 0; r < num_regions; ++r) {
+    g.out_edge_ids_.insert(g.out_edge_ids_.end(), out_edges[r].begin(),
+                           out_edges[r].end());
   }
 
   return g;

@@ -95,7 +95,8 @@ class RegionGraph {
 
   /// Outgoing region-edge ids of region `r`.
   std::span<const uint32_t> OutEdges(RegionId r) const {
-    return {out_edges_[r].data(), out_edges_[r].size()};
+    return {out_edge_ids_.data() + out_offsets_[r],
+            out_offsets_[r + 1] - out_offsets_[r]};
   }
 
   /// Materializes a stored path reference into vertices.
@@ -113,7 +114,12 @@ class RegionGraph {
 
   std::vector<RegionInfo> regions_;
   std::vector<RegionEdge> edges_;
-  std::vector<std::vector<uint32_t>> out_edges_;
+  /// Region-edge adjacency in CSR form (size num_regions + 1 offsets into
+  /// one contiguous id array): the build accumulates per-region vectors
+  /// and flattens them at the end, so the steady-state structure is two
+  /// flat arrays — contiguous, 32-bit, snapshot-able.
+  std::vector<uint32_t> out_offsets_;
+  std::vector<uint32_t> out_edge_ids_;
   std::vector<RegionId> vertex_region_;
   FlatMap64 edge_index_;  // (from,to) -> edge
   size_t num_t_edges_ = 0;

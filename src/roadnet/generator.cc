@@ -124,14 +124,12 @@ class Generator {
     }
 
     L2R_ASSIGN_OR_RETURN(RoadNetwork net, builder_.Build());
-    GeneratedNetwork out;
+    World out;
     out.net = std::move(net);
     out.vertex_district = std::move(districts_);
     out.num_patches = patches.size();
-    for (VertexId v = 0; v < out.net.NumVertices(); ++v) {
-      out.vertices_by_district[static_cast<size_t>(out.vertex_district[v])]
-          .push_back(v);
-    }
+    out.origin = WorldOrigin::kGenerated;
+    out.IndexDistricts();
     return out;
   }
 
@@ -359,7 +357,7 @@ class Generator {
     double oy = 0;
   };
 
-  const NetworkGenConfig& config_;
+  const NetworkGenConfig config_;
   Rng rng_;
   RoadNetworkBuilder builder_;
   std::vector<DistrictType> districts_;
@@ -405,15 +403,37 @@ double DistrictPeakFactor(DistrictType t) {
   return 0.8;
 }
 
-Result<GeneratedNetwork> GenerateNetwork(const NetworkGenConfig& config) {
-  if (config.city_width_m < 1000 || config.city_height_m < 1000) {
+Result<World> GenerateNetwork(const NetworkGenConfig& config) {
+  NetworkGenConfig scaled = config;
+  if (!(config.world_scale > 0)) {
+    return Status::InvalidArgument("world_scale must be positive");
+  }
+  scaled.city_width_m *= config.world_scale;
+  scaled.city_height_m *= config.world_scale;
+  scaled.metro_radius_m *= config.world_scale;
+  scaled.world_scale = 1.0;
+  if (scaled.city_width_m < 1000 || scaled.city_height_m < 1000) {
     return Status::InvalidArgument("city patch must be at least 1 km");
   }
-  if (config.block_spacing_m < 20) {
+  if (scaled.block_spacing_m < 20) {
     return Status::InvalidArgument("block spacing too small");
   }
-  Generator gen(config);
+  Generator gen(scaled);
   return gen.Run();
+}
+
+NetworkGenConfig MetroScaleConfig(double scale, uint64_t seed) {
+  NetworkGenConfig cfg;
+  cfg.style = NetworkStyle::kMetro;
+  cfg.seed = seed;
+  cfg.city_width_m = 32000;
+  cfg.city_height_m = 24000;
+  cfg.block_spacing_m = 100;
+  cfg.num_satellite_towns = 5;
+  cfg.metro_radius_m = 42000;
+  cfg.satellite_scale = 0.4;
+  cfg.world_scale = scale;
+  return cfg;
 }
 
 }  // namespace l2r

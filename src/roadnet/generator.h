@@ -1,34 +1,13 @@
 #ifndef L2R_ROADNET_GENERATOR_H_
 #define L2R_ROADNET_GENERATOR_H_
 
-#include <array>
 #include <cstdint>
-#include <vector>
 
 #include "common/result.h"
 #include "roadnet/road_network.h"
+#include "roadnet/world.h"
 
 namespace l2r {
-
-/// Urban-planning district classes used by the synthetic world model. The
-/// generator assigns one to every vertex; the trajectory generator's latent
-/// driver preferences key on district types (see DESIGN.md substitutions).
-/// L2R itself never sees districts — it only sees the network and
-/// trajectories, exactly like the paper.
-enum class DistrictType : uint8_t {
-  kCityCenter = 0,
-  kBusiness = 1,
-  kResidential = 2,
-  kIndustrial = 3,
-  kSuburb = 4,
-  kRural = 5,
-};
-inline constexpr int kNumDistrictTypes = 6;
-
-const char* DistrictTypeName(DistrictType t);
-
-/// Peak-hour congestion multiplier on free-flow speed for a district.
-double DistrictPeakFactor(DistrictType t);
 
 /// Network shapes mirroring the paper's two datasets:
 ///  - kCity:  one dense city (Chengdu-like N2 shape).
@@ -58,24 +37,28 @@ struct NetworkGenConfig {
 
   /// Emit a motorway ring around city patches.
   bool motorway_ring = true;
+
+  /// Uniform world-scale multiplier: patch dimensions and the metro ring
+  /// radius are multiplied by this (block spacing is unchanged), so the
+  /// vertex count grows roughly with world_scale^2. 1.0 keeps the
+  /// configured size.
+  double world_scale = 1.0;
 };
 
-/// A generated network plus the world-model ground truth that the
-/// trajectory generator needs (per-vertex district types).
-struct GeneratedNetwork {
-  RoadNetwork net;
-  std::vector<DistrictType> vertex_district;
-  std::array<std::vector<VertexId>, kNumDistrictTypes> vertices_by_district;
-  size_t num_patches = 0;
-
-  DistrictType VertexDistrict(VertexId v) const {
-    return vertex_district[v];
-  }
-};
+/// Historical name for the generator's output; the unified handle is
+/// World (roadnet/world.h), which builder, generator and snapshot all
+/// produce — see roadnet/world_source.h.
+using GeneratedNetwork = World;
 
 /// Generates a synthetic hierarchical road network (see DESIGN.md §2).
 /// Deterministic in `config.seed`.
-Result<GeneratedNetwork> GenerateNetwork(const NetworkGenConfig& config);
+Result<World> GenerateNetwork(const NetworkGenConfig& config);
+
+/// Metro-scale preset for the scale ladder: a main city plus 5 satellite
+/// towns at 100 m block spacing, all dimensions multiplied by `scale`.
+/// Approximate vertex counts: scale 0.3 ≈ 14k, 1.0 ≈ 140k, 3.0 ≥ 1M.
+/// Deterministic in `seed`.
+NetworkGenConfig MetroScaleConfig(double scale, uint64_t seed = 7101);
 
 }  // namespace l2r
 

@@ -1,92 +1,140 @@
 #include "roadnet/io.h"
 
-#include "common/csv.h"
-#include "common/strings.h"
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "roadnet/road_network.h"
 
 namespace l2r {
 
-Status SaveNetwork(const GeneratedNetwork& gn, const std::string& prefix) {
-  const RoadNetwork& net = gn.net;
-  std::vector<std::vector<std::string>> vrows;
-  vrows.reserve(net.NumVertices());
-  for (VertexId v = 0; v < net.NumVertices(); ++v) {
-    const Point& p = net.VertexPos(v);
-    vrows.push_back({std::to_string(v), StrFormat("%.3f", p.x),
-                     StrFormat("%.3f", p.y),
-                     std::to_string(static_cast<int>(gn.vertex_district[v]))});
-  }
-  L2R_RETURN_NOT_OK(WriteCsvFile(prefix + ".vertices.csv",
-                                 {"id", "x", "y", "district"}, vrows));
+namespace {
 
-  std::vector<std::vector<std::string>> erows;
-  erows.reserve(net.NumEdges());
-  for (EdgeId e = 0; e < net.NumEdges(); ++e) {
-    const EdgeRecord& r = net.edge(e);
-    erows.push_back({std::to_string(r.from), std::to_string(r.to),
-                     StrFormat("%.3f", static_cast<double>(r.length_m)),
-                     StrFormat("%.3f", static_cast<double>(r.speed_offpeak_kmh)),
-                     StrFormat("%.3f", static_cast<double>(r.speed_peak_kmh)),
-                     std::to_string(static_cast<int>(r.road_type))});
+/// Parses up to `max_fields` comma-separated doubles from `line` into
+/// `out`; returns the field count or -1 on a malformed field. The CSV
+/// written by ExportWorldCsv is plain numeric (no quoting), so a direct
+/// strtod walk keeps the metro-scale import path allocation-free.
+int ParseNumericRow(const char* line, double* out, int max_fields) {
+  int count = 0;
+  const char* p = line;
+  while (count < max_fields) {
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(p, &end);
+    if (end == p || errno != 0) return -1;
+    out[count++] = v;
+    while (*end == ' ') ++end;
+    if (*end == ',') {
+      p = end + 1;
+      continue;
+    }
+    if (*end == '\0' || *end == '\n' || *end == '\r') return count;
+    return -1;
   }
-  return WriteCsvFile(
-      prefix + ".edges.csv",
-      {"from", "to", "length_m", "speed_offpeak", "speed_peak", "type"},
-      erows);
+  return count;
 }
 
-Result<GeneratedNetwork> LoadNetwork(const std::string& prefix) {
-  L2R_ASSIGN_OR_RETURN(auto vrows, ReadCsvFile(prefix + ".vertices.csv"));
-  L2R_ASSIGN_OR_RETURN(auto erows, ReadCsvFile(prefix + ".edges.csv"));
+/// fopen with RAII close.
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-  GeneratedNetwork out;
+}  // namespace
+
+Status ExportWorldCsv(const World& world, const std::string& prefix) {
+  const RoadNetwork& net = world.net;
+  if (world.vertex_district.size() != net.NumVertices()) {
+    return Status::InvalidArgument("world district array size mismatch");
+  }
+
+  const std::string vpath = prefix + ".vertices.csv";
+  FilePtr vf(std::fopen(vpath.c_str(), "wb"));
+  if (vf == nullptr) return Status::IOError("cannot create " + vpath);
+  std::fputs("id,x,y,district\n", vf.get());
+  for (VertexId v = 0; v < net.NumVertices(); ++v) {
+    const Point& p = net.VertexPos(v);
+    std::fprintf(vf.get(), "%u,%.3f,%.3f,%d\n", v, p.x, p.y,
+                 static_cast<int>(world.vertex_district[v]));
+  }
+  if (std::ferror(vf.get())) return Status::IOError("write failed " + vpath);
+
+  const std::string epath = prefix + ".edges.csv";
+  FilePtr ef(std::fopen(epath.c_str(), "wb"));
+  if (ef == nullptr) return Status::IOError("cannot create " + epath);
+  std::fputs("from,to,length_m,speed_offpeak,speed_peak,type\n", ef.get());
+  for (const EdgeRecord& r : net.Edges()) {
+    std::fprintf(ef.get(), "%u,%u,%.3f,%.3f,%.3f,%d\n", r.from, r.to,
+                 static_cast<double>(r.length_m),
+                 static_cast<double>(r.speed_offpeak_kmh),
+                 static_cast<double>(r.speed_peak_kmh),
+                 static_cast<int>(r.road_type));
+  }
+  if (std::ferror(ef.get())) return Status::IOError("write failed " + epath);
+  return Status();
+}
+
+Result<World> ImportWorldCsv(const std::string& prefix) {
+  char line[512];
+
+  const std::string vpath = prefix + ".vertices.csv";
+  FilePtr vf(std::fopen(vpath.c_str(), "rb"));
+  if (vf == nullptr) return Status::IOError("cannot open " + vpath);
+
   RoadNetworkBuilder builder;
-  bool first = true;
-  for (const auto& row : vrows) {
-    if (first) {  // header
-      first = false;
+  std::vector<DistrictType> districts;
+  bool header = true;
+  while (std::fgets(line, sizeof(line), vf.get()) != nullptr) {
+    if (header) {  // column names
+      header = false;
       continue;
     }
-    if (row.size() != 4) return Status::IOError("bad vertex row");
-    L2R_ASSIGN_OR_RETURN(const double x, ParseDouble(row[1]));
-    L2R_ASSIGN_OR_RETURN(const double y, ParseDouble(row[2]));
-    L2R_ASSIGN_OR_RETURN(const int64_t d, ParseInt(row[3]));
+    if (line[0] == '\n' || line[0] == '#') continue;
+    double f[4];
+    if (ParseNumericRow(line, f, 4) != 4) {
+      return Status::IOError("bad vertex row in " + vpath);
+    }
+    const int d = static_cast<int>(f[3]);
     if (d < 0 || d >= kNumDistrictTypes) {
-      return Status::IOError("bad district id");
+      return Status::IOError("bad district id in " + vpath);
     }
-    builder.AddVertex(Point(x, y));
-    out.vertex_district.push_back(static_cast<DistrictType>(d));
+    builder.AddVertex(Point(f[1], f[2]));
+    districts.push_back(static_cast<DistrictType>(d));
   }
 
-  first = true;
-  for (const auto& row : erows) {
-    if (first) {
-      first = false;
+  const std::string epath = prefix + ".edges.csv";
+  FilePtr ef(std::fopen(epath.c_str(), "rb"));
+  if (ef == nullptr) return Status::IOError("cannot open " + epath);
+  header = true;
+  while (std::fgets(line, sizeof(line), ef.get()) != nullptr) {
+    if (header) {
+      header = false;
       continue;
     }
-    if (row.size() != 6) return Status::IOError("bad edge row");
-    L2R_ASSIGN_OR_RETURN(const int64_t from, ParseInt(row[0]));
-    L2R_ASSIGN_OR_RETURN(const int64_t to, ParseInt(row[1]));
-    L2R_ASSIGN_OR_RETURN(const double length, ParseDouble(row[2]));
-    L2R_ASSIGN_OR_RETURN(const double so, ParseDouble(row[3]));
-    L2R_ASSIGN_OR_RETURN(const double sp, ParseDouble(row[4]));
-    L2R_ASSIGN_OR_RETURN(const int64_t type, ParseInt(row[5]));
-    if (type < 0 || type >= kNumRoadTypes) {
-      return Status::IOError("bad road type");
+    if (line[0] == '\n' || line[0] == '#') continue;
+    double f[6];
+    if (ParseNumericRow(line, f, 6) != 6) {
+      return Status::IOError("bad edge row in " + epath);
     }
-    builder.AddEdge(static_cast<VertexId>(from), static_cast<VertexId>(to),
-                    static_cast<RoadType>(type), so, sp, length);
+    const int type = static_cast<int>(f[5]);
+    if (f[0] < 0 || f[0] >= builder.NumVertices() || f[1] < 0 ||
+        f[1] >= builder.NumVertices()) {
+      return Status::IOError("edge endpoint out of range in " + epath);
+    }
+    if (type < 0 || type >= kNumRoadTypes) {
+      return Status::IOError("bad road type in " + epath);
+    }
+    builder.AddEdge(static_cast<VertexId>(f[0]), static_cast<VertexId>(f[1]),
+                    static_cast<RoadType>(type), f[3], f[4], f[2]);
   }
 
-  L2R_ASSIGN_OR_RETURN(out.net, builder.Build());
-  if (out.vertex_district.size() != out.net.NumVertices()) {
-    return Status::IOError("vertex/district count mismatch");
-  }
-  for (VertexId v = 0; v < out.net.NumVertices(); ++v) {
-    out.vertices_by_district[static_cast<size_t>(out.vertex_district[v])]
-        .push_back(v);
-  }
-  out.num_patches = 1;
-  return out;
+  L2R_ASSIGN_OR_RETURN(RoadNetwork net, builder.Build());
+  return WorldFromNetwork(std::move(net), std::move(districts));
 }
 
 }  // namespace l2r

@@ -3,16 +3,25 @@
 
 #include <string>
 
-#include "roadnet/generator.h"
+#include "common/result.h"
+#include "roadnet/world.h"
 
 namespace l2r {
 
-/// Saves a generated network to `<prefix>.vertices.csv` (id,x,y,district)
-/// and `<prefix>.edges.csv` (from,to,length_m,speed_offpeak,speed_peak,type).
-Status SaveNetwork(const GeneratedNetwork& gn, const std::string& prefix);
+/// CSV interop (compat only — the native persistence format is the binary
+/// snapshot, roadnet/snapshot.h, which is what serving cold-starts from).
+/// These exist for exchanging worlds with external tooling and for the
+/// bench's cold-start comparison; both stream row-by-row so metro-scale
+/// worlds do not materialize the whole text image in memory.
 
-/// Loads a network previously written by SaveNetwork.
-Result<GeneratedNetwork> LoadNetwork(const std::string& prefix);
+/// Writes `<prefix>.vertices.csv` (id,x,y,district) and `<prefix>.edges.csv`
+/// (from,to,length_m,speed_offpeak,speed_peak,type).
+Status ExportWorldCsv(const World& world, const std::string& prefix);
+
+/// Parses a pair of CSV files written by ExportWorldCsv and rebuilds the
+/// world (full CSR reconstruction — this is the slow path the snapshot
+/// format exists to avoid).
+Result<World> ImportWorldCsv(const std::string& prefix);
 
 }  // namespace l2r
 

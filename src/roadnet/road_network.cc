@@ -22,7 +22,9 @@ double RoadNetwork::EdgeFuelMl(EdgeId e, TimePeriod p) const {
 void RoadNetwork::SetEdgeSpeeds(EdgeId e, double offpeak_kmh,
                                 double peak_kmh) {
   L2R_CHECK(e < edges_.size());
-  EdgeRecord& r = edges_[e];
+  // Copy-on-write: the first mutation of a snapshot-backed network copies
+  // the edge array into private memory, leaving the shared image intact.
+  EdgeRecord& r = edges_.Mutable()[e];
   r.speed_offpeak_kmh = static_cast<float>(offpeak_kmh < 1 ? 1 : offpeak_kmh);
   r.speed_peak_kmh = static_cast<float>(peak_kmh < 1 ? 1 : peak_kmh);
 }
@@ -39,14 +41,14 @@ void RoadNetwork::SetEdgeClosed(EdgeId e, bool closed) {
 }
 
 Result<double> RoadNetwork::PathLengthM(
-    const std::vector<VertexId>& path) const {
+    std::span<const VertexId> path) const {
   L2R_ASSIGN_OR_RETURN(std::vector<EdgeId> edges, PathToEdges(path));
   double total = 0;
   for (EdgeId e : edges) total += EdgeLengthM(e);
   return total;
 }
 
-Result<double> RoadNetwork::PathTravelTimeS(const std::vector<VertexId>& path,
+Result<double> RoadNetwork::PathTravelTimeS(std::span<const VertexId> path,
                                             TimePeriod p) const {
   L2R_ASSIGN_OR_RETURN(std::vector<EdgeId> edges, PathToEdges(path));
   double total = 0;
@@ -55,7 +57,7 @@ Result<double> RoadNetwork::PathTravelTimeS(const std::vector<VertexId>& path,
 }
 
 Result<std::vector<EdgeId>> RoadNetwork::PathToEdges(
-    const std::vector<VertexId>& path) const {
+    std::span<const VertexId> path) const {
   std::vector<EdgeId> out;
   if (path.size() < 2) return out;
   out.reserve(path.size() - 1);
@@ -112,38 +114,42 @@ Result<RoadNetwork> RoadNetworkBuilder::Build() {
     }
   }
 
-  RoadNetwork net;
-  net.positions_ = std::move(positions_);
-  net.edges_ = std::move(edges_);
+  std::vector<Point> positions = std::move(positions_);
+  std::vector<EdgeRecord> edges = std::move(edges_);
   positions_.clear();
   edges_.clear();
 
-  const size_t n = net.positions_.size();
-  const size_t m = net.edges_.size();
+  const size_t n = positions.size();
+  const size_t m = edges.size();
 
-  net.out_offsets_.assign(n + 1, 0);
-  net.in_offsets_.assign(n + 1, 0);
-  for (const EdgeRecord& e : net.edges_) {
-    ++net.out_offsets_[e.from + 1];
-    ++net.in_offsets_[e.to + 1];
+  std::vector<uint32_t> out_offsets(n + 1, 0);
+  std::vector<uint32_t> in_offsets(n + 1, 0);
+  for (const EdgeRecord& e : edges) {
+    ++out_offsets[e.from + 1];
+    ++in_offsets[e.to + 1];
   }
-  std::partial_sum(net.out_offsets_.begin(), net.out_offsets_.end(),
-                   net.out_offsets_.begin());
-  std::partial_sum(net.in_offsets_.begin(), net.in_offsets_.end(),
-                   net.in_offsets_.begin());
+  std::partial_sum(out_offsets.begin(), out_offsets.end(),
+                   out_offsets.begin());
+  std::partial_sum(in_offsets.begin(), in_offsets.end(), in_offsets.begin());
 
-  net.out_ids_.resize(m);
-  net.in_ids_.resize(m);
-  std::vector<uint32_t> out_cursor(net.out_offsets_.begin(),
-                                   net.out_offsets_.end() - 1);
-  std::vector<uint32_t> in_cursor(net.in_offsets_.begin(),
-                                  net.in_offsets_.end() - 1);
+  std::vector<EdgeId> out_ids(m);
+  std::vector<EdgeId> in_ids(m);
+  std::vector<uint32_t> out_cursor(out_offsets.begin(),
+                                   out_offsets.end() - 1);
+  std::vector<uint32_t> in_cursor(in_offsets.begin(), in_offsets.end() - 1);
   for (EdgeId e = 0; e < m; ++e) {
-    net.out_ids_[out_cursor[net.edges_[e].from]++] = e;
-    net.in_ids_[in_cursor[net.edges_[e].to]++] = e;
+    out_ids[out_cursor[edges[e].from]++] = e;
+    in_ids[in_cursor[edges[e].to]++] = e;
   }
 
-  for (const Point& p : net.positions_) net.bounds_.Extend(p);
+  RoadNetwork net;
+  for (const Point& p : positions) net.bounds_.Extend(p);
+  net.positions_ = std::move(positions);
+  net.edges_ = std::move(edges);
+  net.out_offsets_ = std::move(out_offsets);
+  net.out_ids_ = std::move(out_ids);
+  net.in_offsets_ = std::move(in_offsets);
+  net.in_ids_ = std::move(in_ids);
   return net;
 }
 

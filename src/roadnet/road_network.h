@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/cow_span.h"
 #include "common/geo.h"
 #include "common/result.h"
 #include "roadnet/road_types.h"
@@ -23,7 +25,10 @@ inline constexpr EdgeId kInvalidEdge = 0xFFFFFFFFu;
 enum class TimePeriod : uint8_t { kOffPeak = 0, kPeak = 1 };
 inline constexpr int kNumTimePeriods = 2;
 
-/// A directed road segment.
+/// A directed road segment. The layout is frozen by the snapshot format
+/// (roadnet/snapshot.h): fields at fixed offsets, 3 tail padding bytes,
+/// 24 bytes total — snapshot readers view mapped bytes as EdgeRecord
+/// directly, so reordering or widening fields is a snapshot version bump.
 struct EdgeRecord {
   VertexId from = kInvalidVertex;
   VertexId to = kInvalidVertex;
@@ -56,11 +61,16 @@ struct BoundingBox {
 /// directions. Weight functions W (distance, travel time, fuel, road type)
 /// are exposed per edge; bulk weight arrays live in roadnet/weights.h.
 ///
+/// Storage: every array is a CowSpan, so a network either owns its arrays
+/// (builder/generator output) or views a read-only snapshot image shared
+/// across processes (roadnet/snapshot.h); `backing_` pins the mapping.
 /// The *topology* (vertices, CSR adjacency) is immutable after Build; the
 /// per-edge attributes W are mutable through the narrow seam below
 /// (SetEdgeSpeeds / SetEdgeClosed) so a dynamic world
 /// (world/update_channel.h) can absorb rush-hour weight shifts and
-/// closures without rebuilding. Mutation is not synchronized here: the
+/// closures without rebuilding — on a snapshot-backed network the first
+/// such mutation copy-on-writes the edge array into private memory and
+/// never touches the shared image. Mutation is not synchronized here: the
 /// update channel serializes it against in-flight queries with its epoch
 /// gate, which is the only supported way to mutate a network that is
 /// being served.
@@ -80,6 +90,10 @@ class RoadNetwork {
     L2R_DCHECK(e < edges_.size());
     return edges_[e];
   }
+
+  /// All vertex positions / edge records, contiguous.
+  std::span<const Point> VertexPositions() const { return positions_.span(); }
+  std::span<const EdgeRecord> Edges() const { return edges_.span(); }
 
   /// Outgoing edge ids of `v`.
   std::span<const EdgeId> OutEdges(VertexId v) const {
@@ -126,29 +140,40 @@ class RoadNetwork {
   }
   size_t NumClosedEdges() const { return num_closed_; }
 
+  /// True when the topology arrays view a shared snapshot image (edge
+  /// attributes may still have been copy-on-written locally).
+  bool snapshot_backed() const { return backing_ != nullptr; }
+
   const BoundingBox& bounds() const { return bounds_; }
 
   /// Sum of wDI over a vertex path; Status if the path is not connected.
-  Result<double> PathLengthM(const std::vector<VertexId>& path) const;
+  /// Takes any contiguous vertex sequence (vector, array, subrange)
+  /// without copying.
+  Result<double> PathLengthM(std::span<const VertexId> path) const;
   /// Sum of wTT over a vertex path.
-  Result<double> PathTravelTimeS(const std::vector<VertexId>& path,
+  Result<double> PathTravelTimeS(std::span<const VertexId> path,
                                  TimePeriod p) const;
   /// Resolves a vertex path to edge ids; Status if some hop has no edge.
   Result<std::vector<EdgeId>> PathToEdges(
-      const std::vector<VertexId>& path) const;
+      std::span<const VertexId> path) const;
 
  private:
   friend class RoadNetworkBuilder;
+  friend struct SnapshotAccess;  // roadnet/snapshot.cc: raw array I/O
 
-  std::vector<Point> positions_;
-  std::vector<EdgeRecord> edges_;
-  std::vector<uint32_t> out_offsets_;  // size n+1
-  std::vector<EdgeId> out_ids_;
-  std::vector<uint32_t> in_offsets_;   // size n+1
-  std::vector<EdgeId> in_ids_;
+  CowSpan<Point> positions_;
+  CowSpan<EdgeRecord> edges_;
+  CowSpan<uint32_t> out_offsets_;  // size n+1
+  CowSpan<EdgeId> out_ids_;
+  CowSpan<uint32_t> in_offsets_;   // size n+1
+  CowSpan<EdgeId> in_ids_;
   BoundingBox bounds_;
+  /// Pins the storage a viewing network's arrays point into (the snapshot
+  /// mapping); null for fully owned networks.
+  std::shared_ptr<const void> backing_;
   /// Closure bitmap, allocated lazily on the first SetEdgeClosed so the
-  /// (frozen-world) common case pays nothing.
+  /// (frozen-world) common case pays nothing. Always private memory —
+  /// never part of a snapshot image.
   std::vector<uint8_t> closed_;
   size_t num_closed_ = 0;
 };

@@ -1,0 +1,487 @@
+#include "roadnet/snapshot.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/mmap_file.h"
+
+namespace l2r {
+
+// The snapshot writer/reader reads RoadNetwork's private arrays and
+// constructs view-backed networks; this is the only code with that access.
+struct SnapshotAccess {
+  static const CowSpan<Point>& Positions(const RoadNetwork& n) {
+    return n.positions_;
+  }
+  static const CowSpan<EdgeRecord>& Edges(const RoadNetwork& n) {
+    return n.edges_;
+  }
+  static const CowSpan<uint32_t>& OutOffsets(const RoadNetwork& n) {
+    return n.out_offsets_;
+  }
+  static const CowSpan<EdgeId>& OutIds(const RoadNetwork& n) {
+    return n.out_ids_;
+  }
+  static const CowSpan<uint32_t>& InOffsets(const RoadNetwork& n) {
+    return n.in_offsets_;
+  }
+  static const CowSpan<EdgeId>& InIds(const RoadNetwork& n) {
+    return n.in_ids_;
+  }
+
+  static RoadNetwork MakeView(const Point* pos, size_t n,
+                              const EdgeRecord* edges, size_t m,
+                              const uint32_t* out_off, const EdgeId* out_ids,
+                              const uint32_t* in_off, const EdgeId* in_ids,
+                              const BoundingBox& bounds,
+                              std::shared_ptr<const void> backing) {
+    RoadNetwork net;
+    net.positions_ = CowSpan<Point>::View(pos, n);
+    net.edges_ = CowSpan<EdgeRecord>::View(edges, m);
+    net.out_offsets_ = CowSpan<uint32_t>::View(out_off, n + 1);
+    net.out_ids_ = CowSpan<EdgeId>::View(out_ids, m);
+    net.in_offsets_ = CowSpan<uint32_t>::View(in_off, n + 1);
+    net.in_ids_ = CowSpan<EdgeId>::View(in_ids, m);
+    net.bounds_ = bounds;
+    net.backing_ = std::move(backing);
+    return net;
+  }
+};
+
+namespace {
+
+// ---- On-disk structures (little-endian, fixed layout). ----
+
+// The snapshot format freezes these layouts; the static_asserts below are
+// the tripwire that turns an accidental struct change into a compile
+// error instead of a silently incompatible file.
+static_assert(sizeof(Point) == 16, "Point layout is frozen by the format");
+static_assert(sizeof(EdgeRecord) == 24,
+              "EdgeRecord layout is frozen by the format");
+static_assert(offsetof(EdgeRecord, from) == 0);
+static_assert(offsetof(EdgeRecord, to) == 4);
+static_assert(offsetof(EdgeRecord, length_m) == 8);
+static_assert(offsetof(EdgeRecord, speed_offpeak_kmh) == 12);
+static_assert(offsetof(EdgeRecord, speed_peak_kmh) == 16);
+static_assert(offsetof(EdgeRecord, road_type) == 20);
+// Tail padding [21, 24) is zeroed on write for checksum determinism.
+inline constexpr size_t kEdgePadOffset = 21;
+inline constexpr size_t kEdgePadBytes = 3;
+
+struct SnapshotHeader {
+  uint64_t magic = kSnapshotMagic;
+  uint32_t version = kSnapshotVersion;
+  uint32_t section_count = 0;
+  uint64_t file_size = 0;
+  /// Checksum over [kSnapshotHeaderBytes, file_size): section table,
+  /// alignment gaps (zero), and every section payload.
+  uint64_t payload_checksum = 0;
+  uint32_t num_vertices = 0;
+  uint32_t num_edges = 0;
+  uint32_t num_patches = 0;
+  uint32_t flags = 0;
+  double bounds_min_x = 0;
+  double bounds_min_y = 0;
+  double bounds_max_x = 0;
+  double bounds_max_y = 0;
+  /// Reserved, written as zero; pads the header to 96 bytes.
+  uint64_t reserved[2] = {0, 0};
+};
+static_assert(sizeof(SnapshotHeader) == kSnapshotHeaderBytes);
+static_assert(std::is_trivially_copyable_v<SnapshotHeader>);
+
+enum SectionType : uint32_t {
+  kSecPositions = 1,   // Point[num_vertices]
+  kSecEdges = 2,       // EdgeRecord[num_edges]
+  kSecOutOffsets = 3,  // uint32[num_vertices + 1]
+  kSecOutIds = 4,      // uint32[num_edges]
+  kSecInOffsets = 5,   // uint32[num_vertices + 1]
+  kSecInIds = 6,       // uint32[num_edges]
+  kSecDistricts = 7,   // uint8[num_vertices]
+};
+
+struct SnapshotSection {
+  uint32_t type = 0;
+  uint32_t elem_size = 0;
+  uint64_t offset = 0;  ///< absolute file offset, 64-byte aligned
+  uint64_t count = 0;
+  uint64_t byte_size = 0;  ///< == elem_size * count
+};
+static_assert(sizeof(SnapshotSection) == 32);
+static_assert(std::is_trivially_copyable_v<SnapshotSection>);
+
+inline constexpr size_t kSectionAlign = 64;
+inline constexpr uint32_t kNumSections = 7;
+
+constexpr uint64_t Align64(uint64_t off) {
+  return (off + (kSectionAlign - 1)) & ~static_cast<uint64_t>(
+                                           kSectionAlign - 1);
+}
+
+/// Streaming 64-bit checksum: Mix64-chained over 8-byte words with the
+/// total length folded in at the end. Chunk boundaries do not affect the
+/// result, so the writer can stream and the reader can hash the mapping
+/// in one pass.
+class Checksummer {
+ public:
+  void Update(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    total_ += n;
+    if (pending_ > 0) {
+      while (n > 0 && pending_ < 8) {
+        buf_[pending_++] = *p++;
+        --n;
+      }
+      if (pending_ == 8) {
+        Absorb(buf_);
+        pending_ = 0;
+      }
+    }
+    while (n >= 8) {
+      Absorb(p);
+      p += 8;
+      n -= 8;
+    }
+    while (n > 0) {
+      buf_[pending_++] = *p++;
+      --n;
+    }
+  }
+
+  uint64_t Finish() {
+    if (pending_ > 0) {
+      std::memset(buf_ + pending_, 0, 8 - pending_);
+      Absorb(buf_);
+      pending_ = 0;
+    }
+    return Mix64(h_ ^ total_);
+  }
+
+ private:
+  void Absorb(const uint8_t* p) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h_ = Mix64(h_ ^ w);
+  }
+
+  uint64_t h_ = 0x9e3779b97f4a7c15ULL;
+  uint64_t total_ = 0;
+  uint8_t buf_[8] = {};
+  size_t pending_ = 0;
+};
+
+/// Writes `n` bytes, feeding them into the checksum.
+Status WriteChunk(std::FILE* f, Checksummer* sum, const void* data,
+                  size_t n) {
+  if (n == 0) return Status();
+  sum->Update(data, n);
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IOError("snapshot write failed");
+  }
+  return Status();
+}
+
+Status WriteZeros(std::FILE* f, Checksummer* sum, size_t n) {
+  static constexpr uint8_t kZeros[kSectionAlign] = {};
+  while (n > 0) {
+    const size_t k = n < sizeof(kZeros) ? n : sizeof(kZeros);
+    L2R_RETURN_NOT_OK(WriteChunk(f, sum, kZeros, k));
+    n -= k;
+  }
+  return Status();
+}
+
+/// Owns the FILE* and removes a partially written file unless released.
+class FileGuard {
+ public:
+  FileGuard(std::FILE* f, std::string path)
+      : f_(f), path_(std::move(path)) {}
+  ~FileGuard() {
+    if (f_ != nullptr) {
+      std::fclose(f_);
+      std::remove(path_.c_str());
+    }
+  }
+  std::FILE* get() { return f_; }
+  /// Closes normally; returns false on flush failure.
+  bool CloseKeep() {
+    std::FILE* f = f_;
+    f_ = nullptr;
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  std::FILE* f_;
+  std::string path_;
+};
+
+}  // namespace
+
+Status WorldSnapshot::Write(const World& world, const std::string& path) {
+  const RoadNetwork& net = world.net;
+  const size_t n = net.NumVertices();
+  const size_t m = net.NumEdges();
+  if (world.vertex_district.size() != n) {
+    return Status::InvalidArgument("world district array size mismatch");
+  }
+  if (n >= kInvalidVertex || m >= kInvalidEdge) {
+    return Status::InvalidArgument("world too large for 32-bit ids");
+  }
+
+  // Layout: header, section table, then 64-byte-aligned sections.
+  SnapshotSection sections[kNumSections];
+  const uint32_t types[kNumSections] = {
+      kSecPositions, kSecEdges,     kSecOutOffsets, kSecOutIds,
+      kSecInOffsets, kSecInIds,     kSecDistricts};
+  const uint64_t counts[kNumSections] = {n, m, n + 1, m, n + 1, m, n};
+  const uint32_t elem_sizes[kNumSections] = {
+      sizeof(Point), sizeof(EdgeRecord), 4, 4, 4, 4, 1};
+  uint64_t off = kSnapshotHeaderBytes + sizeof(sections);
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    off = Align64(off);
+    sections[i].type = types[i];
+    sections[i].elem_size = elem_sizes[i];
+    sections[i].count = counts[i];
+    sections[i].byte_size = counts[i] * elem_sizes[i];
+    sections[i].offset = off;
+    off += sections[i].byte_size;
+  }
+
+  SnapshotHeader header;
+  header.section_count = kNumSections;
+  header.file_size = off;
+  header.num_vertices = static_cast<uint32_t>(n);
+  header.num_edges = static_cast<uint32_t>(m);
+  header.num_patches = static_cast<uint32_t>(world.num_patches);
+  header.bounds_min_x = net.bounds().min.x;
+  header.bounds_min_y = net.bounds().min.y;
+  header.bounds_max_x = net.bounds().max.x;
+  header.bounds_max_y = net.bounds().max.y;
+
+  std::FILE* raw = std::fopen(path.c_str(), "wb");
+  if (raw == nullptr) {
+    return Status::IOError("cannot create snapshot " + path);
+  }
+  FileGuard file(raw, path);
+
+  // Placeholder header (checksum not known yet), rewritten at the end.
+  if (std::fwrite(&header, 1, sizeof(header), file.get()) !=
+      sizeof(header)) {
+    return Status::IOError("snapshot write failed");
+  }
+
+  Checksummer sum;
+  L2R_RETURN_NOT_OK(WriteChunk(file.get(), &sum, sections,
+                               sizeof(sections)));
+
+  uint64_t written = kSnapshotHeaderBytes + sizeof(sections);
+  auto pad_to = [&](uint64_t target) -> Status {
+    L2R_RETURN_NOT_OK(WriteZeros(file.get(), &sum, target - written));
+    written = target;
+    return Status();
+  };
+
+  // Section payloads. Everything except edges is written straight from
+  // the in-memory arrays (no internal padding); EdgeRecord has 3 tail
+  // padding bytes that must be zeroed for checksum determinism, so edges
+  // go through a scrubbed chunk buffer.
+  const auto& positions = SnapshotAccess::Positions(net);
+  L2R_RETURN_NOT_OK(pad_to(sections[0].offset));
+  L2R_RETURN_NOT_OK(WriteChunk(file.get(), &sum, positions.data(),
+                               sections[0].byte_size));
+  written += sections[0].byte_size;
+
+  L2R_RETURN_NOT_OK(pad_to(sections[1].offset));
+  {
+    constexpr size_t kChunkRecords = 32768;
+    std::vector<EdgeRecord> chunk;
+    const EdgeRecord* src = SnapshotAccess::Edges(net).data();
+    for (size_t begin = 0; begin < m; begin += kChunkRecords) {
+      const size_t k = std::min(kChunkRecords, m - begin);
+      chunk.assign(src + begin, src + begin + k);
+      uint8_t* bytes = reinterpret_cast<uint8_t*>(chunk.data());
+      for (size_t i = 0; i < k; ++i) {
+        std::memset(bytes + i * sizeof(EdgeRecord) + kEdgePadOffset, 0,
+                    kEdgePadBytes);
+      }
+      L2R_RETURN_NOT_OK(WriteChunk(file.get(), &sum, bytes,
+                                   k * sizeof(EdgeRecord)));
+    }
+    written += sections[1].byte_size;
+  }
+
+  const void* arrays[4] = {SnapshotAccess::OutOffsets(net).data(),
+                           SnapshotAccess::OutIds(net).data(),
+                           SnapshotAccess::InOffsets(net).data(),
+                           SnapshotAccess::InIds(net).data()};
+  for (int i = 0; i < 4; ++i) {
+    L2R_RETURN_NOT_OK(pad_to(sections[2 + i].offset));
+    L2R_RETURN_NOT_OK(WriteChunk(file.get(), &sum, arrays[i],
+                                 sections[2 + i].byte_size));
+    written += sections[2 + i].byte_size;
+  }
+
+  static_assert(sizeof(DistrictType) == 1);
+  L2R_RETURN_NOT_OK(pad_to(sections[6].offset));
+  L2R_RETURN_NOT_OK(WriteChunk(file.get(), &sum,
+                               world.vertex_district.data(),
+                               sections[6].byte_size));
+  written += sections[6].byte_size;
+
+  header.payload_checksum = sum.Finish();
+  if (std::fseek(file.get(), 0, SEEK_SET) != 0 ||
+      std::fwrite(&header, 1, sizeof(header), file.get()) !=
+          sizeof(header)) {
+    return Status::IOError("snapshot header rewrite failed");
+  }
+  if (!file.CloseKeep()) {
+    return Status::IOError("snapshot close failed");
+  }
+  return Status();
+}
+
+Result<WorldSnapshot> WorldSnapshot::Open(const std::string& path) {
+  L2R_ASSIGN_OR_RETURN(MappedFile mf, MappedFile::Open(path));
+  if (mf.size() < kSnapshotHeaderBytes) {
+    return Status::IOError("snapshot truncated: " +
+                           std::to_string(mf.size()) + " bytes");
+  }
+  SnapshotHeader header;
+  std::memcpy(&header, mf.data(), sizeof(header));
+  if (header.magic != kSnapshotMagic) {
+    return Status::IOError("bad snapshot magic in " + path);
+  }
+  if (header.version != kSnapshotVersion) {
+    return Status::IOError("unsupported snapshot version " +
+                           std::to_string(header.version));
+  }
+  if (header.file_size != mf.size()) {
+    return Status::IOError("snapshot size mismatch (truncated or "
+                           "appended): header says " +
+                           std::to_string(header.file_size) + ", file has " +
+                           std::to_string(mf.size()));
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(header.section_count) * sizeof(SnapshotSection);
+  if (header.section_count > 4096 ||
+      kSnapshotHeaderBytes + table_bytes > mf.size()) {
+    return Status::IOError("snapshot section table out of bounds");
+  }
+
+  Checksummer sum;
+  sum.Update(mf.data() + kSnapshotHeaderBytes,
+             mf.size() - kSnapshotHeaderBytes);
+  if (sum.Finish() != header.payload_checksum) {
+    return Status::IOError("snapshot checksum mismatch in " + path);
+  }
+
+  const size_t n = header.num_vertices;
+  const size_t m = header.num_edges;
+  const uint64_t expect_counts[8] = {0, n, m, n + 1, m, n + 1, m, n};
+  const uint32_t expect_elem[8] = {0,
+                                   sizeof(Point),
+                                   sizeof(EdgeRecord),
+                                   4,
+                                   4,
+                                   4,
+                                   4,
+                                   1};
+  // Unknown section types are skipped (additive extensions); the seven
+  // core sections must all be present, in bounds, aligned, and sized
+  // consistently with the header's vertex/edge counts.
+  const uint8_t* base[8] = {};
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SnapshotSection sec;
+    std::memcpy(&sec, mf.data() + kSnapshotHeaderBytes +
+                          i * sizeof(SnapshotSection),
+                sizeof(sec));
+    if (sec.type < kSecPositions || sec.type > kSecDistricts) continue;
+    if (sec.offset % kSectionAlign != 0 ||
+        sec.byte_size != sec.count * sec.elem_size ||
+        sec.offset > mf.size() || sec.byte_size > mf.size() - sec.offset) {
+      return Status::IOError("snapshot section " +
+                             std::to_string(sec.type) + " out of bounds");
+    }
+    if (sec.count != expect_counts[sec.type] ||
+        sec.elem_size != expect_elem[sec.type]) {
+      return Status::IOError("snapshot section " +
+                             std::to_string(sec.type) +
+                             " inconsistent with header counts");
+    }
+    base[sec.type] = mf.data() + sec.offset;
+  }
+  for (uint32_t t = kSecPositions; t <= kSecDistricts; ++t) {
+    if (base[t] == nullptr) {
+      return Status::IOError("snapshot missing section " +
+                             std::to_string(t));
+    }
+  }
+
+  // The mapping is page-aligned and sections are 64-byte aligned, so
+  // viewing the bytes as the (implicit-lifetime, trivially copyable)
+  // element types is well-defined on every ABI we build for.
+  const auto* positions = reinterpret_cast<const Point*>(base[kSecPositions]);
+  const auto* edges = reinterpret_cast<const EdgeRecord*>(base[kSecEdges]);
+  const auto* out_off =
+      reinterpret_cast<const uint32_t*>(base[kSecOutOffsets]);
+  const auto* out_ids = reinterpret_cast<const EdgeId*>(base[kSecOutIds]);
+  const auto* in_off = reinterpret_cast<const uint32_t*>(base[kSecInOffsets]);
+  const auto* in_ids = reinterpret_cast<const EdgeId*>(base[kSecInIds]);
+  const auto* districts = base[kSecDistricts];
+
+  // Structural validation: one linear pass so a corrupt-but-checksummed
+  // (i.e. maliciously or bit-rot-consistently rewritten) image can still
+  // never index out of bounds at serve time.
+  if (out_off[0] != 0 || out_off[n] != m || in_off[0] != 0 ||
+      in_off[n] != m) {
+    return Status::IOError("snapshot CSR offsets corrupt");
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (out_off[v] > out_off[v + 1] || in_off[v] > in_off[v + 1]) {
+      return Status::IOError("snapshot CSR offsets not monotone");
+    }
+    if (districts[v] >= kNumDistrictTypes) {
+      return Status::IOError("snapshot district id out of range");
+    }
+  }
+  for (size_t e = 0; e < m; ++e) {
+    const EdgeRecord& r = edges[e];
+    if (r.from >= n || r.to >= n ||
+        static_cast<uint8_t>(r.road_type) >= kNumRoadTypes ||
+        !(r.length_m > 0) || !(r.speed_offpeak_kmh > 0) ||
+        !(r.speed_peak_kmh > 0)) {
+      return Status::IOError("snapshot edge record corrupt");
+    }
+    if (out_ids[e] >= m || in_ids[e] >= m) {
+      return Status::IOError("snapshot CSR edge id out of range");
+    }
+  }
+
+  BoundingBox bounds;
+  bounds.min = Point(header.bounds_min_x, header.bounds_min_y);
+  bounds.max = Point(header.bounds_max_x, header.bounds_max_y);
+
+  WorldSnapshot snap;
+  snap.file_bytes_ = mf.size();
+  snap.zero_copy_ = mf.zero_copy();
+  auto keepalive = std::make_shared<MappedFile>(std::move(mf));
+  snap.world_.net = SnapshotAccess::MakeView(
+      positions, n, edges, m, out_off, out_ids, in_off, in_ids, bounds,
+      std::shared_ptr<const void>(keepalive, keepalive.get()));
+  snap.world_.vertex_district.assign(
+      reinterpret_cast<const DistrictType*>(districts),
+      reinterpret_cast<const DistrictType*>(districts) + n);
+  snap.world_.num_patches = header.num_patches;
+  snap.world_.origin = WorldOrigin::kSnapshot;
+  snap.world_.IndexDistricts();
+  return snap;
+}
+
+}  // namespace l2r

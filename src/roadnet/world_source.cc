@@ -1,0 +1,26 @@
+#include "roadnet/world_source.h"
+
+namespace l2r {
+
+Result<World> WorldSource::Acquire() {
+  if (auto* b = std::get_if<BuilderSource>(&source_)) {
+    L2R_ASSIGN_OR_RETURN(RoadNetwork net, b->builder.Build());
+    Result<World> world =
+        WorldFromNetwork(std::move(net), std::move(b->districts));
+    source_ = std::monostate{};
+    return world;
+  }
+  if (auto* cfg = std::get_if<NetworkGenConfig>(&source_)) {
+    Result<World> world = GenerateNetwork(*cfg);
+    source_ = std::monostate{};
+    return world;
+  }
+  if (auto* snap = std::get_if<SnapshotSource>(&source_)) {
+    L2R_ASSIGN_OR_RETURN(WorldSnapshot s, WorldSnapshot::Open(snap->path));
+    source_ = std::monostate{};
+    return std::move(s).TakeWorld();
+  }
+  return Status::FailedPrecondition("WorldSource already consumed");
+}
+
+}  // namespace l2r

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <set>
+#include <span>
 
 #include "common/rng.h"
 #include "roadnet/generator.h"
@@ -93,8 +94,13 @@ TEST(RoadNetworkTest, PathHelpers) {
   EXPECT_NEAR(net.PathLengthM(path).value(), 300, 1e-6);
   EXPECT_TRUE(net.PathToEdges(path).ok());
   EXPECT_EQ(net.PathToEdges(path)->size(), 3u);
-  EXPECT_FALSE(net.PathToEdges({0, 2}).ok());
-  EXPECT_EQ(net.PathToEdges({0})->size(), 0u);
+  // Span-style read paths accept any contiguous vertex sequence.
+  const VertexId disconnected[] = {0, 2};
+  const VertexId single[] = {0};
+  EXPECT_FALSE(net.PathToEdges(disconnected).ok());
+  EXPECT_EQ(net.PathToEdges(single)->size(), 0u);
+  EXPECT_NEAR(net.PathLengthM(std::span(path).subspan(1)).value(), 200,
+              1e-6);
 }
 
 TEST(RoadNetworkTest, BoundsCoverAllVertices) {
@@ -329,9 +335,9 @@ TEST(GeneratorTest, VerticesByDistrictPartition) {
   EXPECT_EQ(total, gen->net.NumVertices());
 }
 
-// ---------- io ----------
+// ---------- io (CSV interop compat) ----------
 
-TEST(IoTest, SaveLoadRoundTrip) {
+TEST(IoTest, CsvExportImportRoundTrip) {
   NetworkGenConfig config;
   config.city_width_m = 4000;
   config.city_height_m = 3000;
@@ -341,8 +347,8 @@ TEST(IoTest, SaveLoadRoundTrip) {
   ASSERT_TRUE(gen.ok());
 
   const std::string prefix = ::testing::TempDir() + "/l2r_net_test";
-  ASSERT_TRUE(SaveNetwork(*gen, prefix).ok());
-  auto loaded = LoadNetwork(prefix);
+  ASSERT_TRUE(ExportWorldCsv(*gen, prefix).ok());
+  auto loaded = ImportWorldCsv(prefix);
   ASSERT_TRUE(loaded.ok());
   ASSERT_EQ(loaded->net.NumVertices(), gen->net.NumVertices());
   ASSERT_EQ(loaded->net.NumEdges(), gen->net.NumEdges());
@@ -359,8 +365,25 @@ TEST(IoTest, SaveLoadRoundTrip) {
   std::remove((prefix + ".edges.csv").c_str());
 }
 
-TEST(IoTest, LoadMissingFails) {
-  EXPECT_FALSE(LoadNetwork("/nonexistent/prefix").ok());
+TEST(IoTest, ImportMissingFails) {
+  EXPECT_FALSE(ImportWorldCsv("/nonexistent/prefix").ok());
+}
+
+TEST(GeneratorTest, WorldScaleGrowsVertexCount) {
+  NetworkGenConfig config;
+  config.city_width_m = 5000;
+  config.city_height_m = 4000;
+  config.block_spacing_m = 400;
+  config.seed = 12;
+  auto small = GenerateNetwork(config);
+  ASSERT_TRUE(small.ok());
+  config.world_scale = 2.0;
+  auto big = GenerateNetwork(config);
+  ASSERT_TRUE(big.ok());
+  // Area grows 4x; the grid count should grow roughly with it.
+  EXPECT_GT(big->net.NumVertices(), 2 * small->net.NumVertices());
+  config.world_scale = -1;
+  EXPECT_FALSE(GenerateNetwork(config).ok());
 }
 
 }  // namespace
