@@ -36,6 +36,15 @@
 // bytes. These scenarios run LAST because they mutate the until-then
 // frozen world.
 //
+// PR 10 adds the scale-out block ("scale_out": the full serving stack —
+// route cache with its seqlock hot read path + stitch memo +
+// single-flight — at t = 1/2/4/8 batch threads, each rung byte-compared
+// against the bare-router reference, plus a StreamRouter drain-thread
+// audit at 1/2/4 overlapping drains with the same byte-identity gate;
+// L2R_BENCH_SCALE_OUT=0 skips it) and a checksum-only trusted-image
+// open timing per scale-ladder rung (SnapshotOpenMode::kChecksumOnly,
+// skipping the O(n+m) structural pass).
+//
 // Environment knobs: L2R_BENCH_SCALE (default 0.3), L2R_BENCH_QUERIES
 // (default 1200), L2R_BENCH_OUT (default BENCH_query_throughput.json),
 // L2R_BENCH_CACHE (default 1; 0 skips the cache-on serving pass),
@@ -133,6 +142,11 @@ bool ScaleLadderEnabled() {
   return env == nullptr || std::atoi(env) != 0;
 }
 
+bool ScaleOutEnabled() {
+  const char* env = std::getenv("L2R_BENCH_SCALE_OUT");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
 /// Generator scales for the metro ladder, smallest first
 /// (L2R_BENCH_LADDER_SCALES, comma-separated, default "0.3,1.0,3.0").
 std::vector<double> LadderScales() {
@@ -162,6 +176,9 @@ struct LadderPoint {
   double gen_seconds = 0;
   double csv_cold_start_seconds = 0;
   double mmap_cold_start_seconds = 0;
+  /// Trusted-image open (SnapshotOpenMode::kChecksumOnly): header +
+  /// checksum + section bounds, no O(n+m) structural pass.
+  double checksum_only_open_seconds = 0;
   double cold_start_speedup = 0;
   bool zero_copy = false;
   size_t queries = 0;
@@ -180,6 +197,27 @@ struct RunStats {
   unsigned threads = 0;
   double qps = 0;
   double best_batch_seconds = 0;
+};
+
+/// One rung of the scale-out serving ladder: the full serving stack
+/// (route cache + seqlock hot path + stitch memo + single-flight) at a
+/// fixed batch thread count, byte-compared against the bare-router
+/// reference.
+struct ScaleOutRun {
+  unsigned threads = 0;
+  double qps = 0;
+  bool identical = true;  ///< every slot byte-matched the reference
+};
+
+/// One StreamRouter drain-thread audit point: N overlapping batcher
+/// threads draining the same query stream, again gated on byte identity.
+struct DrainAudit {
+  unsigned drains = 0;
+  double qps = 0;
+  bool identical = true;   ///< every slot byte-matched the reference
+  uint64_t hits = 0;       ///< route-cache hits during the replay
+  uint64_t hot_hits = 0;   ///< subset served on the seqlock hot path
+  uint64_t batches = 0;
 };
 
 /// Per-scenario measurements (bench/workloads.h suite).
@@ -1273,6 +1311,19 @@ int main() {
           p.csv_cold_start_seconds / p.mmap_cold_start_seconds;
       p.zero_copy = mapped->world().net.snapshot_backed();
 
+      // Trusted-image open: checksum + bounds only, no structural pass.
+      // The delta vs mmap_cold_start_seconds is what the O(n+m)
+      // validation costs at this scale.
+      Timer trusted_timer;
+      auto trusted =
+          WorldSnapshot::Open(snap_path, SnapshotOpenMode::kChecksumOnly);
+      p.checksum_only_open_seconds = trusted_timer.ElapsedSeconds();
+      if (!trusted.ok()) {
+        std::fprintf(stderr, "[scale ladder] checksum-only open: %s\n",
+                     trusted.status().ToString().c_str());
+        return 1;
+      }
+
       // QPS on the mapped image: plain Dijkstra on random pairs — the
       // number that shows the mapped world routes at full speed.
       const RoadNetwork& mnet = mapped->world().net;
@@ -1296,14 +1347,128 @@ int main() {
       std::remove((csv_prefix + ".edges.csv").c_str());
       std::printf(
           "[scale ladder] scale %.2f: %zu vertices, %zu edges, "
-          "%.1f MB world, csv %.3fs vs mmap %.5fs (%.0fx), %.1f qps\n",
+          "%.1f MB world, csv %.3fs vs mmap %.5fs (%.0fx, trusted "
+          "%.5fs), %.1f qps\n",
           ladder_scale, n, m, static_cast<double>(p.world_bytes) / 1e6,
           p.csv_cold_start_seconds, p.mmap_cold_start_seconds,
-          p.cold_start_speedup, p.qps);
+          p.cold_start_speedup, p.checksum_only_open_seconds, p.qps);
       ladder_points.push_back(p);
     }
   } else {
     std::printf("[scale ladder] skipped (L2R_BENCH_SCALE_LADDER=0)\n");
+  }
+
+  // --- Scale-out serving: the FULL serving stack (route cache with its
+  // seqlock hot read path + stitch memo + single-flight; no fallback
+  // budget, so every result must byte-match the bare-router reference)
+  // at t = 1/2/4/8 batch threads, then a StreamRouter drain-thread audit
+  // at 1/2/4 overlapping drains. Both ladders gate on byte identity —
+  // the determinism contract the seqlock and tick-arbitration work must
+  // preserve — and the QPS rungs record how the stack scales (gated by
+  // bench_check.py, with a single_core escape hatch for 1-core CI).
+  const bool scale_out_enabled = ScaleOutEnabled();
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  const bool single_core = hw_threads <= 1;
+  std::vector<ScaleOutRun> scale_out_runs;
+  std::vector<DrainAudit> drain_audits;
+  bool scale_out_ok = true;
+  if (scale_out_enabled) {
+    for (const unsigned threads : kThreadCounts) {
+      ServingRouterOptions so_options;  // cache + memo on, no budget
+      ServingRouter so_serving(&l2r, so_options);
+      BatchRouter batch(&so_serving, BatchRouterOptions{threads, false});
+      auto warm = batch.RouteAll(queries);  // cold pass fills the cache
+      ScaleOutRun run;
+      run.threads = threads;
+      double best = kInfCost;
+      for (int rep = 0; rep < 3; ++rep) {
+        Timer t;
+        auto out = batch.RouteAll(queries);
+        best = std::min(best, t.ElapsedSeconds());
+        for (size_t i = 0; i < out.size(); ++i) {
+          if (!SameResult(reference[i], out[i])) {
+            run.identical = false;
+            break;
+          }
+        }
+      }
+      run.qps = static_cast<double>(queries.size()) / best;
+      scale_out_ok = scale_out_ok && run.identical;
+      const ServingRouter::Stats so_stats = so_serving.GetStats();
+      std::printf(
+          "[scale-out t=%u] %.0f qps warm, %s (%llu hits, %llu on the "
+          "hot path)\n",
+          threads, run.qps, run.identical ? "identical" : "DIVERGED",
+          static_cast<unsigned long long>(so_stats.cache.hits),
+          static_cast<unsigned long long>(so_stats.cache.hot_hits));
+      scale_out_runs.push_back(run);
+      (void)warm;
+    }
+
+    // Drain audit: same queries streamed through N overlapping batcher
+    // threads (fresh cache per rung, so cold-path and hot-path serves
+    // both participate). Byte identity must hold at every drain count.
+    constexpr size_t kScaleOutMaxBatch = 64;
+    constexpr int64_t kScaleOutDeadlineUs = 200;
+    for (const unsigned drains : {1u, 2u, 4u}) {
+      ServingRouterOptions so_options;
+      ServingRouter so_serving(&l2r, so_options);
+      StreamOptions stream_options;
+      stream_options.max_batch = kScaleOutMaxBatch;
+      stream_options.batch_deadline_us = kScaleOutDeadlineUs;
+      stream_options.num_threads = 2;
+      stream_options.num_drain_threads = drains;
+      stream_options.dedup = true;
+      StreamRouter stream(&so_serving, stream_options);
+
+      // Callbacks may run on any of the `drains` batcher threads, but
+      // each writes only its own slot; the completed-counter spin below
+      // orders the reads.
+      std::vector<Result<RouteResult>> got(
+          queries.size(), Result<RouteResult>(Status::Internal("unrun")));
+      Timer wall;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        stream.Submit(queries[i], [&got, i](const StreamResult& r) {
+          got[i] = r.result;
+        });
+      }
+      while (stream.GetStats().completed < queries.size()) {
+        std::this_thread::yield();
+      }
+      const double elapsed = wall.ElapsedSeconds();
+      stream.Shutdown();
+
+      DrainAudit audit;
+      audit.drains = drains;
+      audit.qps = static_cast<double>(queries.size()) / elapsed;
+      for (size_t i = 0; i < got.size(); ++i) {
+        if (!SameResult(reference[i], got[i])) {
+          audit.identical = false;
+          break;
+        }
+      }
+      const StreamRouter::Stats stats = stream.GetStats();
+      const ServingRouter::Stats so_stats = so_serving.GetStats();
+      audit.hits = so_stats.cache.hits;
+      audit.hot_hits = so_stats.cache.hot_hits;
+      audit.batches = stats.batches;
+      scale_out_ok = scale_out_ok && audit.identical &&
+                     stats.drain_threads == drains;
+      std::printf(
+          "[scale-out drains=%u] %.0f qps, %llu batches, %s (%llu hits, "
+          "%llu on the hot path)\n",
+          drains, audit.qps,
+          static_cast<unsigned long long>(audit.batches),
+          audit.identical ? "identical" : "DIVERGED",
+          static_cast<unsigned long long>(audit.hits),
+          static_cast<unsigned long long>(audit.hot_hits));
+      drain_audits.push_back(audit);
+    }
+    if (!scale_out_ok) {
+      std::printf("[scale-out] GATE VIOLATION (see rungs above)\n");
+    }
+  } else {
+    std::printf("[scale-out] skipped (L2R_BENCH_SCALE_OUT=0)\n");
   }
 
   // --- JSON artifact.
@@ -1638,10 +1803,11 @@ int main() {
                    "       \"gen_seconds\": %.3f, "
                    "\"csv_cold_start_seconds\": %.4f, "
                    "\"mmap_cold_start_seconds\": %.6f, "
+                   "\"checksum_only_open_seconds\": %.6f, "
                    "\"cold_start_speedup\": %.1f, \"zero_copy\": %s,\n",
                    p.gen_seconds, p.csv_cold_start_seconds,
-                   p.mmap_cold_start_seconds, p.cold_start_speedup,
-                   p.zero_copy ? "true" : "false");
+                   p.mmap_cold_start_seconds, p.checksum_only_open_seconds,
+                   p.cold_start_speedup, p.zero_copy ? "true" : "false");
       std::fprintf(f,
                    "       \"queries\": %zu, \"qps\": %.1f, "
                    "\"mean_query_us\": %.1f}%s\n",
@@ -1651,6 +1817,37 @@ int main() {
     std::fprintf(f, "    ]\n  },\n");
   } else {
     std::fprintf(f, "  \"scale_ladder\": null,\n");
+  }
+  if (scale_out_enabled) {
+    std::fprintf(f, "  \"scale_out\": {\n");
+    std::fprintf(f, "    \"hw_threads\": %u, \"single_core\": %s,\n",
+                 hw_threads, single_core ? "true" : "false");
+    std::fprintf(f, "    \"serving_runs\": [\n");
+    for (size_t i = 0; i < scale_out_runs.size(); ++i) {
+      const ScaleOutRun& run = scale_out_runs[i];
+      std::fprintf(f,
+                   "      {\"threads\": %u, \"qps\": %.1f, "
+                   "\"identical\": %s}%s\n",
+                   run.threads, run.qps, run.identical ? "true" : "false",
+                   i + 1 == scale_out_runs.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ],\n");
+    std::fprintf(f, "    \"drain_audits\": [\n");
+    for (size_t i = 0; i < drain_audits.size(); ++i) {
+      const DrainAudit& audit = drain_audits[i];
+      std::fprintf(
+          f,
+          "      {\"drains\": %u, \"qps\": %.1f, \"identical\": %s, "
+          "\"hits\": %llu, \"hot_hits\": %llu, \"batches\": %llu}%s\n",
+          audit.drains, audit.qps, audit.identical ? "true" : "false",
+          static_cast<unsigned long long>(audit.hits),
+          static_cast<unsigned long long>(audit.hot_hits),
+          static_cast<unsigned long long>(audit.batches),
+          i + 1 == drain_audits.size() ? "" : ",");
+    }
+    std::fprintf(f, "    ]\n  },\n");
+  } else {
+    std::fprintf(f, "  \"scale_out\": null,\n");
   }
   std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
                deterministic ? "true" : "false");
@@ -1666,7 +1863,7 @@ int main() {
   std::fclose(f);
   std::printf("[json] wrote %s\n", out_path.c_str());
   return deterministic && scenarios_ok && streaming_ok && overload_ok &&
-                 dynamic_ok
+                 dynamic_ok && scale_out_ok
              ? 0
              : 2;
 }

@@ -22,6 +22,7 @@
 #   L2R_BENCH_OVERLOAD        overload sweep        overload_sweep
 #   L2R_BENCH_DYNAMIC         dynamic world (*)     dynamic_world
 #   L2R_BENCH_SCALE_LADDER    metro-scale ladder    scale_ladder
+#   L2R_BENCH_SCALE_OUT       scale-out serving     scale_out
 #   (*) also requires the cache pass on (and, for admission, budget > 0).
 #
 # The scale ladder additionally reads L2R_BENCH_LADDER_SCALES (comma-
@@ -30,7 +31,7 @@
 #
 # To run a SINGLE gated block, set L2R_BENCH_ONLY to a comma-separated
 # subset of {cache,stream,deadline_sweep,admission,overload,dynamic,
-# scale_ladder}:
+# scale_ladder,scale_out}:
 # every gated knob you did not set explicitly defaults to 0 and the
 # listed blocks are forced on. Example — just the dynamic-world block:
 #   L2R_BENCH_ONLY=cache,dynamic scripts/bench.sh
@@ -50,7 +51,11 @@
 # / rolling_closures: epoch-versioned invalidation, incremental repair
 # vs wholesale recompute, no-stale-serve byte audits), and the
 # metro-scale ladder (generator scales 0.3/1.0/3.0: world footprint,
-# CSV-vs-mmap snapshot cold start, Dijkstra QPS on the mapped image).
+# CSV-vs-mmap snapshot cold start — validated and checksum-only trusted
+# opens — Dijkstra QPS on the mapped image), and the scale-out block
+# (full serving stack at t = 1/2/4/8 plus a StreamRouter drain-thread
+# 1/2/4 audit, every rung byte-compared against the bare-router
+# reference; seqlock hot-path hit counts ride along).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -69,6 +74,7 @@ if [[ -n "${L2R_BENCH_ONLY:-}" ]]; then
     [overload]=L2R_BENCH_OVERLOAD
     [dynamic]=L2R_BENCH_DYNAMIC
     [scale_ladder]=L2R_BENCH_SCALE_LADDER
+    [scale_out]=L2R_BENCH_SCALE_OUT
   )
   for knob in "${KNOB_FOR_BLOCK[@]}"; do
     if [[ -z "${!knob:-}" ]]; then

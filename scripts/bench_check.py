@@ -48,9 +48,17 @@ Checks (per file):
     repair cost < 30% of a wholesale recompute at >= 70% convergence;
   - the scale_ladder block (unless L2R_BENCH_SCALE_LADDER=0) has strictly
     increasing scales with monotone world footprints, snapshot sizes
-    consistent with the in-memory arrays, positive QPS at every rung, and
-    a snapshot-mmap cold start >= 10x faster than the CSV rebuild at
-    every metro-sized rung (scale >= 1.0).
+    consistent with the in-memory arrays, positive QPS at every rung, a
+    snapshot-mmap cold start >= 10x faster than the CSV rebuild at
+    every metro-sized rung (scale >= 1.0), and a positive checksum-only
+    (trusted-image) open timing;
+  - the scale_out block (unless L2R_BENCH_SCALE_OUT=0) covers serving-
+    stack runs at t = 1/2/4/8 and drain audits at 1/2/4 overlapping
+    drain threads, every rung byte-identical to the bare-router
+    reference, hot-path hits a subset of total hits, and QPS at t=4 at
+    least 2x the t=1 rung — unless the artifact declares
+    `single_core: true` (1 hardware thread: no parallel speedup exists
+    to measure, but the identity gates still apply in full).
 
 Exits 0 when every file passes, 1 with a per-violation message otherwise.
 CI runs this after each bench pass so a malformed or regressed artifact
@@ -80,6 +88,7 @@ REQUIRED_TOP_KEYS = [
     "overload_sweep",
     "dynamic_world",
     "scale_ladder",
+    "scale_out",
     "deterministic_across_threads",
     "runs",
 ]
@@ -95,6 +104,14 @@ SCENARIO_NAMES = [
 ]
 
 EXPECTED_THREADS = [1, 2, 4, 8]
+
+EXPECTED_DRAIN_LADDER = [1, 2, 4]
+
+# The scale-out serving ladder must show real parallel speedup on a
+# multi-core host: QPS at t=4 >= 2x the t=1 rung. On a host with one
+# hardware thread (single_core: true) there is no speedup to measure —
+# the byte-identity gates still apply in full there.
+MIN_SCALE_OUT_T4_SPEEDUP = 2.0
 
 # duplicate_heavy repeats every query 8x; dedup-on must beat dedup-off by
 # at least this factor. Far below the ~8x structural ceiling, far above
@@ -144,6 +161,7 @@ LADDER_POINT_KEYS = [
     "gen_seconds",
     "csv_cold_start_seconds",
     "mmap_cold_start_seconds",
+    "checksum_only_open_seconds",
     "cold_start_speedup",
     "zero_copy",
     "queries",
@@ -715,6 +733,10 @@ def check_scale_ladder(block):
             and p["mmap_cold_start_seconds"] > 0,
             f"{where}: non-positive cold-start timing",
         )
+        require(
+            p["checksum_only_open_seconds"] > 0,
+            f"{where}: non-positive checksum-only open timing",
+        )
         # The snapshot image is the world arrays plus fixed-size header,
         # section table, and alignment padding — never more than a few KB
         # of overhead, and never smaller than the arrays it contains.
@@ -747,6 +769,73 @@ def check_scale_ladder(block):
             )
 
 
+def check_scale_out(block):
+    if block is None:
+        return  # skipped (L2R_BENCH_SCALE_OUT=0)
+    require(isinstance(block, dict), "scale_out: not an object")
+    for key in ("hw_threads", "single_core", "serving_runs", "drain_audits"):
+        require(key in block, f"scale_out: missing '{key}'")
+    require(block["hw_threads"] >= 1, "scale_out: hw_threads < 1")
+    single_core = block["single_core"]
+    require(
+        isinstance(single_core, bool),
+        "scale_out: single_core is not a boolean",
+    )
+    if single_core:
+        require(
+            block["hw_threads"] == 1,
+            "scale_out: single_core claimed with more than one hardware "
+            "thread — the escape hatch only covers 1-thread hosts",
+        )
+
+    runs = block["serving_runs"]
+    threads = [run.get("threads") for run in runs]
+    require(
+        threads == EXPECTED_THREADS,
+        f"scale_out: serving ladder {threads} != {EXPECTED_THREADS}",
+    )
+    qps_by_threads = {}
+    for run in runs:
+        where = f"scale_out.serving_runs[t={run.get('threads')}]"
+        require(run.get("qps", 0) > 0, f"{where}: non-positive qps")
+        require(
+            run.get("identical") is True,
+            f"{where}: serving-stack results diverged from the "
+            "bare-router reference",
+        )
+        qps_by_threads[run["threads"]] = run["qps"]
+    if not single_core:
+        speedup = qps_by_threads[4] / qps_by_threads[1]
+        require(
+            speedup >= MIN_SCALE_OUT_T4_SPEEDUP,
+            f"scale_out: t=4 speedup {speedup:.2f}x below the "
+            f"{MIN_SCALE_OUT_T4_SPEEDUP}x floor on a "
+            f"{block['hw_threads']}-thread host",
+        )
+
+    audits = block["drain_audits"]
+    drains = [a.get("drains") for a in audits]
+    require(
+        drains == EXPECTED_DRAIN_LADDER,
+        f"scale_out: drain ladder {drains} != {EXPECTED_DRAIN_LADDER}",
+    )
+    for a in audits:
+        where = f"scale_out.drain_audits[drains={a.get('drains')}]"
+        require(a.get("qps", 0) > 0, f"{where}: non-positive qps")
+        require(
+            a.get("identical") is True,
+            f"{where}: streamed results diverged from the reference — "
+            "overlapping drains broke byte identity",
+        )
+        require(a.get("batches", 0) > 0, f"{where}: no batches drained")
+        hits, hot_hits = a.get("hits", 0), a.get("hot_hits", 0)
+        require(
+            0 <= hot_hits <= hits,
+            f"{where}: hot_hits {hot_hits} exceeds total hits {hits} — "
+            "the seqlock hot path is a subset of the hit count",
+        )
+
+
 def check_file(path):
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
@@ -768,6 +857,7 @@ def check_file(path):
     check_overload_sweep(data["overload_sweep"])
     check_dynamic_world(data["dynamic_world"])
     check_scale_ladder(data["scale_ladder"])
+    check_scale_out(data["scale_out"])
     require(
         data["deterministic_across_threads"] is True,
         "deterministic_across_threads is not true",

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Lock-discipline lint for the l2r tree (run by CI's lint step).
 
-Five checks, all textual (no compiler needed), tuned to this repo's
+Six checks, all textual (no compiler needed), tuned to this repo's
 conventions:
 
 1. src/: no raw ``std::mutex`` / ``std::condition_variable`` members —
@@ -31,7 +31,16 @@ conventions:
    an epoch load pairing with the wrong store order silently serves
    stale bytes, so the pairing must be written down where the access is.
 
-5. tests/: no ``sleep_for`` — timing tests must use the Clock seam
+5. src/: every atomic access to a sequence-lock field (identifier
+   containing ``seq``, e.g. the counter inside common/seqlock.h or a
+   seqlock-published payload member) must carry a documented memory-order
+   rationale, exactly like the epoch rule. Seqlock correctness lives
+   entirely in the fence/order pairing (Boehm, MSPC'12): a reader
+   validating with the wrong order admits torn payloads silently, so the
+   pairing must be written down where the access is. ``seq_cst`` in a
+   spelled order does not trip this (word-boundary match on ``seq``).
+
+6. tests/: no ``sleep_for`` — timing tests must use the Clock seam
    (serve/clock.h) or observable-state spin loops; real sleeps make the
    suite slow and flaky in equal measure.
 
@@ -68,6 +77,13 @@ SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
 # indexed as last_epoch[p].store(...), fetch_add bumps, CAS maxes.
 EPOCH_ATOMIC_RE = re.compile(
     r"\b\w*[Ee]poch\w*(?:\s*\[[^\]]*\])?\s*\.\s*"
+    r"(load|store|exchange|fetch_add|fetch_sub|compare_exchange_\w+)\s*\("
+)
+# An atomic access whose object identifier names a sequence counter or a
+# seqlock-published payload field (common/seqlock.h): seq_.load(...),
+# slot.seq.store(...), seq_table[i].fetch_add(...).
+SEQ_ATOMIC_RE = re.compile(
+    r"\b\w*[Ss]eq\w*(?:\s*\[[^\]]*\])?\s*\.\s*"
     r"(load|store|exchange|fetch_add|fetch_sub|compare_exchange_\w+)\s*\("
 )
 # What counts as a documented order rationale near the access.
@@ -202,6 +218,16 @@ def lint_src_file(path: Path) -> list[str]:
                     f"documented memory-order rationale — comment the "
                     f"acquire/release/relaxed pairing on or just above "
                     f"the access (see world/update_channel.h)"
+                )
+
+        if SEQ_ATOMIC_RE.search(line):
+            if not _has_order_comment(raw_lines, code_lines, idx):
+                findings.append(
+                    f"{rel}:{lineno}: atomic access to a seq-named field "
+                    f"without a documented memory-order rationale — "
+                    f"seqlock correctness is its fence/order pairing; "
+                    f"comment it on or just above the access (see "
+                    f"common/seqlock.h)"
                 )
 
         if NAKED_LOAD_RE.search(line):

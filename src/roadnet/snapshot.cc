@@ -347,7 +347,8 @@ Status WorldSnapshot::Write(const World& world, const std::string& path) {
   return Status();
 }
 
-Result<WorldSnapshot> WorldSnapshot::Open(const std::string& path) {
+Result<WorldSnapshot> WorldSnapshot::Open(const std::string& path,
+                                          SnapshotOpenMode mode) {
   L2R_ASSIGN_OR_RETURN(MappedFile mf, MappedFile::Open(path));
   if (mf.size() < kSnapshotHeaderBytes) {
     return Status::IOError("snapshot truncated: " +
@@ -438,29 +439,36 @@ Result<WorldSnapshot> WorldSnapshot::Open(const std::string& path) {
 
   // Structural validation: one linear pass so a corrupt-but-checksummed
   // (i.e. maliciously or bit-rot-consistently rewritten) image can still
-  // never index out of bounds at serve time.
-  if (out_off[0] != 0 || out_off[n] != m || in_off[0] != 0 ||
-      in_off[n] != m) {
-    return Status::IOError("snapshot CSR offsets corrupt");
-  }
-  for (size_t v = 0; v < n; ++v) {
-    if (out_off[v] > out_off[v + 1] || in_off[v] > in_off[v + 1]) {
-      return Status::IOError("snapshot CSR offsets not monotone");
+  // never index out of bounds at serve time. kChecksumOnly skips exactly
+  // this pass — the trusted-image open (snapshot.h): everything above
+  // (magic, version, size, payload checksum, section bounds) already
+  // ran, so accidental corruption is still rejected; what a trusted
+  // open forgoes is only the defense against an *adversarially
+  // consistent* image.
+  if (mode == SnapshotOpenMode::kValidate) {
+    if (out_off[0] != 0 || out_off[n] != m || in_off[0] != 0 ||
+        in_off[n] != m) {
+      return Status::IOError("snapshot CSR offsets corrupt");
     }
-    if (districts[v] >= kNumDistrictTypes) {
-      return Status::IOError("snapshot district id out of range");
+    for (size_t v = 0; v < n; ++v) {
+      if (out_off[v] > out_off[v + 1] || in_off[v] > in_off[v + 1]) {
+        return Status::IOError("snapshot CSR offsets not monotone");
+      }
+      if (districts[v] >= kNumDistrictTypes) {
+        return Status::IOError("snapshot district id out of range");
+      }
     }
-  }
-  for (size_t e = 0; e < m; ++e) {
-    const EdgeRecord& r = edges[e];
-    if (r.from >= n || r.to >= n ||
-        static_cast<uint8_t>(r.road_type) >= kNumRoadTypes ||
-        !(r.length_m > 0) || !(r.speed_offpeak_kmh > 0) ||
-        !(r.speed_peak_kmh > 0)) {
-      return Status::IOError("snapshot edge record corrupt");
-    }
-    if (out_ids[e] >= m || in_ids[e] >= m) {
-      return Status::IOError("snapshot CSR edge id out of range");
+    for (size_t e = 0; e < m; ++e) {
+      const EdgeRecord& r = edges[e];
+      if (r.from >= n || r.to >= n ||
+          static_cast<uint8_t>(r.road_type) >= kNumRoadTypes ||
+          !(r.length_m > 0) || !(r.speed_offpeak_kmh > 0) ||
+          !(r.speed_peak_kmh > 0)) {
+        return Status::IOError("snapshot edge record corrupt");
+      }
+      if (out_ids[e] >= m || in_ids[e] >= m) {
+        return Status::IOError("snapshot CSR edge id out of range");
+      }
     }
   }
 

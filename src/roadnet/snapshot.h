@@ -36,13 +36,36 @@ namespace l2r {
 ///   [64, 64 + 32 * k)    k SnapshotSection entries
 ///   aligned sections     positions, edges, out/in CSR offsets and ids,
 ///                        per-vertex districts
+/// How much of a snapshot Open() validates before serving from it.
+enum class SnapshotOpenMode : uint8_t {
+  /// Header + payload checksum + section bounds + the O(n+m) structural
+  /// pass (CSR monotonicity, in-range endpoints, positive lengths and
+  /// speeds, district ranges). The default: a corrupt-but-checksummed
+  /// (i.e. deliberately rewritten) image can never index out of bounds
+  /// at serve time.
+  kValidate,
+  /// Trusted-image open: header + payload checksum + section bounds
+  /// only, skipping the O(n+m) structural pass. For images this process
+  /// (or its deploy pipeline) wrote itself, the checksum already catches
+  /// every accidental corruption — truncation, bit rot, torn writes —
+  /// so the structural pass is pure open-time cost (it dominates the
+  /// metro-scale mmap open; see the scale_ladder bench block). Never
+  /// use it on images from an untrusted source: a checksum can be
+  /// recomputed by an adversary, the structural invariants cannot be
+  /// skipped safely then.
+  kChecksumOnly,
+};
+
 class WorldSnapshot {
  public:
-  /// Maps `path` read-only, validates header + checksum + structure, and
+  /// Maps `path` read-only, validates it per `mode` (header + checksum +
+  /// section bounds always; the structural pass under kValidate), and
   /// exposes a World whose network arrays view the mapping (the World
   /// pins the mapping; copies of it share the pin). The freshly opened
   /// world is frozen — epoch 0 for a WorldUpdateChannel built on it.
-  static Result<WorldSnapshot> Open(const std::string& path);
+  static Result<WorldSnapshot> Open(
+      const std::string& path,
+      SnapshotOpenMode mode = SnapshotOpenMode::kValidate);
 
   /// Serializes `world` into the snapshot format at `path` (overwrites).
   static Status Write(const World& world, const std::string& path);

@@ -1,6 +1,7 @@
 #ifndef L2R_SERVE_ROUTE_CACHE_H_
 #define L2R_SERVE_ROUTE_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/seqlock.h"
 #include "common/thread_annotations.h"
 #include "core/l2r.h"
 #include "serve/admission_policy.h"
@@ -28,6 +30,12 @@ struct RouteCacheOptions {
   /// Lock-striping width; rounded up to a power of two. More shards =
   /// less contention, slightly worse per-shard LRU fidelity.
   unsigned num_shards = 16;
+  /// Seqlock-published hot slots per shard (rounded up to a power of
+  /// two): a direct-mapped read-side table Lookup probes *without taking
+  /// the shard mutex*. 0 disables the hot path (every lookup locks),
+  /// which also restores exact LRU recency — hot hits never touch the
+  /// recency list (see Lookup).
+  unsigned hot_slots_per_shard = 64;
   /// Gate on what may enter the cache (budget-degraded results).
   AdmissionOptions admission;
 };
@@ -35,6 +43,20 @@ struct RouteCacheOptions {
 /// Sharded, mutex-striped LRU cache of complete RouteResults. Serves
 /// repeated (source, dest, period) queries without touching the search
 /// kernels.
+///
+/// Hot read path (scale-out serving): each shard additionally publishes
+/// its most-recently stored entries into a fixed, direct-mapped table of
+/// seqlock-protected *hot slots* (common/seqlock.h). Lookup probes the
+/// slot for the key's hash first and copies the entry without taking the
+/// shard mutex; a torn read (writer overlapped the copy), a key/epoch
+/// mismatch, a stale footprint, or a payload too large to inline all
+/// fall back to the locked path, so the mutex-striped LRU below remains
+/// the source of truth and the hot table is purely an accelerator.
+/// Writers (insert, locked-path hit promotion, invalidation, eviction,
+/// Clear) update the slots under the shard mutex, which is exactly the
+/// external writer serialization SeqLock requires. A hot hit does NOT
+/// touch LRU recency — recency becomes approximate when the hot path is
+/// enabled (set hot_slots_per_shard = 0 where exact LRU order matters).
 ///
 /// Dynamic world: each entry carries the WorldEpoch it was computed on
 /// plus its region footprint (RouteRegionFootprint). When a world view is
@@ -58,8 +80,11 @@ struct RouteCacheOptions {
 class RouteCache {
  public:
   struct Stats {
-    uint64_t hits = 0;
+    uint64_t hits = 0;    ///< locked + hot hits (hot_hits included)
     uint64_t misses = 0;
+    /// Hits served entirely from the seqlock hot path (no mutex taken);
+    /// a subset of `hits`.
+    uint64_t hot_hits = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
     /// Entries dropped because a later epoch dirtied their footprint
@@ -108,6 +133,12 @@ class RouteCache {
   /// lazy invalidation into an explicit re-route work list.
   void ExtractInvalid(std::vector<StaleEntry>* out);
 
+  /// Per-shard variant of ExtractInvalid for partitioned background
+  /// repair (world/RouteRepairer::BackgroundTick): sweeps only shard
+  /// `shard_idx` (< NumShards()), so N repair workers pinned to disjoint
+  /// shard sets never contend on the same stripe.
+  void ExtractInvalidShard(size_t shard_idx, std::vector<StaleEntry>* out);
+
   void Clear();
 
   /// Aggregated over shards; counters are exact, entries/bytes are a
@@ -133,10 +164,40 @@ class RouteCache {
     std::vector<RegionId> regions;
   };
 
-  /// One lock stripe. Every field is under the shard mutex: the LRU
-  /// list and its index move together on every hit, so there is no
-  /// read-only fast path to carve out (that rework is ROADMAP item 1,
-  /// gated on these annotations holding).
+  /// Inline capacity of a hot slot's path / footprint. Entries that do
+  /// not fit stay locked-path-only (the slot for their index is cleared
+  /// instead of published) — the fallback is sanctioned, not an error.
+  static constexpr size_t kHotPathCapacity = 64;
+  static constexpr size_t kHotRegionCapacity = 8;
+
+  /// One seqlock-published cache entry, flattened to atomic words so
+  /// lock-free readers racing the (mutex-serialized) writer are
+  /// value-races resolved by the sequence check, never C++ data races.
+  /// All payload accesses are relaxed; SeqLock's fences order them (see
+  /// common/seqlock.h for the full memory-order contract).
+  struct HotSlot {
+    SeqLock seq;
+    std::atomic<uint8_t> used{0};
+    std::atomic<VertexId> s{0};
+    std::atomic<VertexId> d{0};
+    std::atomic<uint8_t> period{0};
+    std::atomic<WorldEpoch> epoch{0};
+    std::atomic<uint64_t> cost_bits{0};  ///< bit_cast of Path::cost
+    std::atomic<uint8_t> method{0};
+    std::atomic<RegionId> source_region{0};
+    std::atomic<RegionId> dest_region{0};
+    std::atomic<uint32_t> region_hops{0};
+    std::atomic<uint8_t> degraded{0};
+    std::atomic<uint16_t> num_path{0};
+    std::atomic<uint16_t> num_regions{0};
+    std::atomic<VertexId> path[kHotPathCapacity] = {};
+    std::atomic<RegionId> regions[kHotRegionCapacity] = {};
+  };
+
+  /// One lock stripe. The LRU list and its index move together under the
+  /// shard mutex; the hot table beside them is the lock-free read path —
+  /// written only under the mutex (SeqLock's writer serialization),
+  /// probed by readers with no lock at all.
   struct Shard {
     Mutex mu;
     /// Front = most recently used.
@@ -150,6 +211,13 @@ class RouteCache {
     uint64_t inserts L2R_GUARDED_BY(mu) = 0;
     uint64_t evictions L2R_GUARDED_BY(mu) = 0;
     uint64_t invalidated L2R_GUARDED_BY(mu) = 0;
+    /// Seqlock read path (null when hot_slots_per_shard == 0). Slots are
+    /// written under mu but deliberately not GUARDED_BY it: readers
+    /// access them lock-free by design, mediated by each slot's SeqLock.
+    std::unique_ptr<HotSlot[]> hot;
+    /// Pure tally of lock-free hits (relaxed: nothing is published
+    /// through it; see admission_policy.h for the rationale convention).
+    std::atomic<uint64_t> hot_hits{0};
   };
 
   static uint64_t HashKey(const RouteCacheKey& key);
@@ -159,14 +227,39 @@ class RouteCache {
   /// True when no region of `e`'s footprint was dirtied after `e.epoch`.
   bool EntryValid(const Entry& e) const;
 
+  /// Lock-free probe of the hot slot for (key, hash). True on a hit:
+  /// `*out` holds an untorn, footprint-valid copy. False means "consult
+  /// the locked path" — torn read, wrong key, oversized entry, empty
+  /// slot, or stale footprint (the locked path also erases stale
+  /// entries, which a reader cannot).
+  bool HotLookup(Shard& shard, const RouteCacheKey& key, uint64_t hash,
+                 RouteResult* out, WorldEpoch* epoch_out);
+  /// Publishes `e` into its hot slot, or clears the slot when the entry
+  /// exceeds the inline capacities. Caller holds shard.mu (the external
+  /// writer serialization SeqLock requires).
+  void HotPublish(Shard& shard, uint64_t hash, const Entry& e)
+      L2R_REQUIRES(shard.mu);
+  /// Clears the hot slot for `hash` iff it currently advertises `key`
+  /// (direct-mapped: another key may legitimately occupy it). Caller
+  /// holds shard.mu.
+  void HotErase(Shard& shard, uint64_t hash, const RouteCacheKey& key)
+      L2R_REQUIRES(shard.mu);
+
   Shard& ShardFor(uint64_t hash) {
     return *shards_[hash & (shards_.size() - 1)];
+  }
+  size_t HotIndex(uint64_t hash) const {
+    // Shard selection eats the low bits; index slots with higher ones so
+    // the two mappings decorrelate.
+    return (hash >> 20) & (hot_slots_ - 1);
   }
 
   /// Shards are heap-allocated: mutexes are neither movable nor copyable,
   /// and a stable address per shard keeps iterators/locks simple.
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_capacity_ = 0;
+  /// Hot slots per shard (power of two; 0 = hot path disabled).
+  size_t hot_slots_ = 0;
   AdmissionPolicy admission_;
   /// Set once at configure time, read on every Lookup (see SetWorld).
   const WorldViewIface* world_ = nullptr;

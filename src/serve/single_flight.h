@@ -140,6 +140,13 @@ class SingleFlight {
 
   /// Heap-allocated for stable addresses (mutexes are pinned).
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Pure tallies, relaxed everywhere: nothing is published through
+  /// them — the flight's *result* travels through Flight::mu — and RMW
+  /// atomicity alone keeps each count exact under any number of
+  /// concurrent callers, so leaders + coalesced == total Do() calls
+  /// always reconciles (see serve/admission_policy.h for the full
+  /// memory-order rationale; serve_test's 8-thread duplicate burst pins
+  /// the conservation law).
   std::atomic<uint64_t> leaders_{0};
   std::atomic<uint64_t> coalesced_{0};
 };

@@ -1,6 +1,7 @@
 #include "serve/stream_router.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <future>
 #include <memory>
 
@@ -22,6 +23,14 @@ int64_t BatchDeadline(int64_t now, int64_t batch_deadline_us) {
 
 }  // namespace
 
+unsigned StreamRouter::DefaultDrainThreads() {
+  if (const char* env = std::getenv("L2R_DRAIN_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return 1;
+}
+
 StreamRouter::StreamRouter(const L2RRouter* router,
                            const StreamOptions& options)
     : options_(options),
@@ -35,15 +44,15 @@ StreamRouter::StreamRouter(const L2RRouter* router,
   dyn_deadline_us_ = controller_ != nullptr
                          ? controller_->options().max_batch_deadline_us
                          : options_.batch_deadline_us;
-  // The first tick is anchored to construction time, before the batcher
-  // starts: anchoring it on the batcher thread instead would race thread
+  // The first tick is anchored to construction time, before any batcher
+  // starts: anchoring it on a batcher thread instead would race thread
   // startup against the first clock advance under ManualClock, making
   // the first tick's timing scheduling-dependent.
   if (controller_ != nullptr) {
     next_tick_us_ =
         clock_->NowMicros() + controller_->options().control_period_us;
   }
-  batcher_ = std::thread([this] { BatcherLoop(); });
+  StartBatchers();
 }
 
 StreamRouter::StreamRouter(QueryService* service,
@@ -59,15 +68,28 @@ StreamRouter::StreamRouter(QueryService* service,
   dyn_deadline_us_ = controller_ != nullptr
                          ? controller_->options().max_batch_deadline_us
                          : options_.batch_deadline_us;
-  // The first tick is anchored to construction time, before the batcher
-  // starts: anchoring it on the batcher thread instead would race thread
+  // The first tick is anchored to construction time, before any batcher
+  // starts: anchoring it on a batcher thread instead would race thread
   // startup against the first clock advance under ManualClock, making
   // the first tick's timing scheduling-dependent.
   if (controller_ != nullptr) {
     next_tick_us_ =
         clock_->NowMicros() + controller_->options().control_period_us;
   }
-  batcher_ = std::thread([this] { BatcherLoop(); });
+  StartBatchers();
+}
+
+void StreamRouter::StartBatchers() {
+  const unsigned n = options_.num_drain_threads != 0
+                         ? options_.num_drain_threads
+                         : DefaultDrainThreads();
+  // Fix the resolved count before the first spawn: batcher threads read
+  // drain_threads() while this loop is still appending to batchers_.
+  resolved_drain_threads_ = n;
+  batchers_.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    batchers_.emplace_back([this, w] { BatcherLoop(w); });
+  }
 }
 
 StreamRouter::~StreamRouter() { Shutdown(); }
@@ -145,13 +167,17 @@ void StreamRouter::Shutdown() {
   {
     MutexLock guard(mu_);
     stopping_ = true;
-    if (!batcher_joined_) {
-      batcher_joined_ = true;
+    if (!batchers_joined_) {
+      batchers_joined_ = true;
       join = true;
     }
     cv_.NotifyAll();
   }
-  if (join && batcher_.joinable()) batcher_.join();
+  if (join) {
+    for (std::thread& t : batchers_) {
+      if (t.joinable()) t.join();
+    }
+  }
 }
 
 void StreamRouter::CloseOpenLocked(CloseReason reason, int64_t close_us) {
@@ -207,12 +233,17 @@ OverloadDecision StreamRouter::ControllerTickLocked() {
   return decision;
 }
 
-void StreamRouter::BatcherLoop() {
+void StreamRouter::BatcherLoop(unsigned worker) {
   MutexLock lock(mu_);  // next_tick_us_ was anchored by the constructor
   for (;;) {
     // The tick outranks draining: under sustained overload closed_ never
     // empties, and the tick is exactly the thing that decides to shed —
     // starving it would wedge the stream at full queues and no relief.
+    // With N drain threads this check is the tick arbitration: the first
+    // thread through here at the period boundary ticks, and
+    // ControllerTickLocked advances next_tick_us_ before mu_ is
+    // released, so every other thread observes now < next_tick_us_ —
+    // exactly one tick per control period at any drain count.
     if (controller_ != nullptr && clock_->NowMicros() >= next_tick_us_) {
       const OverloadDecision decision = ControllerTickLocked();
       if (options_.budget_sink) {
@@ -225,6 +256,10 @@ void StreamRouter::BatcherLoop() {
       continue;
     }
     if (!closed_.empty()) {
+      // Overlapping drains: each thread takes exactly one closed batch
+      // and routes it with the lock released, so N threads drain N
+      // batches concurrently. Slot results are pure functions of their
+      // queries, so which thread drains a batch never changes bytes.
       ClosedBatch batch = std::move(closed_.front());
       closed_.pop_front();
       lock.Unlock();
@@ -239,6 +274,20 @@ void StreamRouter::BatcherLoop() {
     }
     if (open_.empty()) {
       if (stopping_) return;
+      if (options_.background_work) {
+        // Idle: overlap cache repair (or any maintenance) with serving.
+        // Runs unlocked — it calls into the serving stack, which must
+        // never happen under mu_.
+        lock.Unlock();
+        const bool did_work =
+            options_.background_work(worker, drain_threads());
+        lock.Lock();
+        if (did_work) {
+          ++background_work_runs_;
+          continue;  // re-poll: drains may have queued up meanwhile
+        }
+        if (!closed_.empty() || !open_.empty() || stopping_) continue;
+      }
       // Idle ticks still run when a controller is wired — that is how a
       // tripped stream recovers (deadline growth, level drops) during a
       // lull with no arrivals to drain.
@@ -339,7 +388,9 @@ StreamRouter::Stats StreamRouter::GetStats() const {
     stats.completed_by_class[c] =
         completed_by_class_[c].load(std::memory_order_relaxed);
   }
+  stats.drain_threads = drain_threads();
   MutexLock guard(mu_);
+  stats.background_work_runs = background_work_runs_;
   stats.submitted = submitted_;
   stats.rejected = rejected_;
   stats.shed = shed_;

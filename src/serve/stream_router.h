@@ -41,6 +41,15 @@ struct StreamOptions {
   int64_t batch_deadline_us = 1000;
   /// Drain parallelism (BatchRouter threads); 0 = DefaultThreadCount().
   unsigned num_threads = 0;
+  /// Batcher/drain threads running overlapping drains (scale-out
+  /// serving). 0 = DefaultDrainThreads(): the L2R_DRAIN_THREADS
+  /// environment knob, else 1. With N > 1 the controller still ticks
+  /// exactly once per control period (the tick is arbitrated under the
+  /// stream mutex: whichever thread observes the period boundary first
+  /// ticks and advances the next-tick anchor before unlocking), but
+  /// cross-batch callback order is no longer guaranteed — see the class
+  /// Threading section.
+  unsigned num_drain_threads = 0;
   /// Batch-level dedup on the drain (BatchRouterOptions::dedup): batches
   /// formed from bursty arrivals concentrate identical queries, the case
   /// dedup exists for.
@@ -60,9 +69,22 @@ struct StreamOptions {
   OverloadController* overload = nullptr;
   /// Receives each tick's OverloadDecision::budget_scale — wire it to
   /// ServingRouter::SetBudgetScale so level >= 2 trades route fidelity
-  /// for capacity. Called on the batcher thread with no StreamRouter
+  /// for capacity. Called on a batcher thread with no StreamRouter
   /// lock held (it may call GetStats); must outlive the StreamRouter.
   std::function<void(double)> budget_sink;
+  /// Background maintenance seam: an idle drain thread (no closed batch
+  /// to drain, no open batch of its own concern) calls
+  /// background_work(worker, num_drain_threads) with no stream lock held
+  /// before sleeping; a `true` return means work was done and the thread
+  /// re-polls instead of waiting. Wire it to
+  /// RouteRepairer::BackgroundTick so cache repair overlaps serving,
+  /// partitioned by worker index (each worker owns the cache shards with
+  /// shard % num_drain_threads == worker, so workers never sweep the
+  /// same stripe). Runs opportunistically: only when a drain thread goes
+  /// idle, and re-polled on every wakeup (with a controller wired, the
+  /// idle tick cadence doubles as the repair poll). Must not call back
+  /// into this StreamRouter; must outlive it.
+  std::function<bool(unsigned worker, unsigned num_workers)> background_work;
 };
 
 /// What a stream callback receives: the routing result plus the identity
@@ -115,16 +137,25 @@ using StreamCallback = std::function<void(const StreamResult&)>;
 /// Threading: Submit is safe from any thread and never blocks on
 /// routing; size-triggered closes happen inside Submit (so batch
 /// composition is a pure function of the submission sequence), while
-/// deadline closes, controller ticks and all draining happen on one
-/// internal batcher thread. Callbacks run on the batcher thread (shed
-/// callbacks on the submitting thread), in slot order within a batch and
-/// batch order across batches; they may Submit (pipelines) but must not
-/// call SubmitWait or Shutdown (self-deadlock).
+/// deadline closes, controller ticks and all draining happen on
+/// StreamOptions::num_drain_threads internal batcher threads with
+/// overlapping drains (each thread pops one closed batch and drains it
+/// with the lock released). Exactly one thread ticks the controller per
+/// control period: the tick is arbitrated under the stream mutex and
+/// the winner advances the next-tick anchor before unlocking, so the
+/// deterministic control trace is preserved at any drain count.
+/// Callbacks run on whichever drain thread drained the batch (shed
+/// callbacks on the submitting thread), in slot order within a batch;
+/// cross-batch callback order is guaranteed only with one drain thread.
+/// Callbacks may Submit (pipelines) but must not call SubmitWait or
+/// Shutdown (self-deadlock).
 ///
 /// Determinism: a slot's result is a pure function of its query through
 /// the BatchRouter/QueryService contracts, so results are byte-identical
 /// to a pre-formed BatchRouter run of the same queries — whatever batch
-/// boundaries the arrival jitter produced and for any num_threads. With
+/// boundaries the arrival jitter produced, for any num_threads, and for
+/// any num_drain_threads (drains only ever reorder *which thread* runs
+/// a batch, never a slot's bytes). With
 /// overload control, the control trace itself is deterministic under
 /// ManualClock (controller decisions are pure functions of the
 /// observation sequence), so scripted overload scenarios replay exactly.
@@ -145,6 +176,10 @@ class StreamRouter {
     uint64_t closed_by_shutdown = 0;
     /// (batch size -> batches closed at that size), ascending by size.
     std::vector<std::pair<size_t, uint64_t>> batch_size_hist;
+    /// Drain threads this stream runs (resolved, never 0).
+    unsigned drain_threads = 0;
+    /// Idle-thread background_work invocations that reported work done.
+    uint64_t background_work_runs = 0;
     /// Overload-control snapshot (zeros when no controller is wired).
     uint64_t controller_ticks = 0;
     int overload_level = 0;
@@ -186,13 +221,22 @@ class StreamRouter {
   StreamResult SubmitWait(const BatchQuery& query);
 
   /// Stops accepting queries, disposes of queued ones per the shutdown
-  /// policy, and joins the batcher. Idempotent; must not be called from
-  /// a stream callback.
+  /// policy, and joins every batcher thread. Idempotent; must not be
+  /// called from a stream callback.
   void Shutdown() L2R_EXCLUDES(mu_);
 
   Stats GetStats() const L2R_EXCLUDES(mu_);
   const StreamOptions& options() const { return options_; }
   const Clock& clock() const { return *clock_; }
+  /// Resolved drain-thread count (num_drain_threads, or the
+  /// L2R_DRAIN_THREADS default when that was 0).
+  unsigned drain_threads() const { return resolved_drain_threads_; }
+
+  /// What StreamOptions::num_drain_threads == 0 resolves to: the
+  /// L2R_DRAIN_THREADS environment variable when set to a positive
+  /// integer, else 1. An env knob (not DefaultThreadCount()) so CI can
+  /// sanitize the multi-drain path without code changes.
+  static unsigned DefaultDrainThreads();
 
  private:
   struct Pending {
@@ -221,9 +265,17 @@ class StreamRouter {
       L2R_REQUIRES(mu_);
   /// Feeds the controller one observation and applies its decision to
   /// the stream knobs. Returns the decision so the caller can run the
-  /// budget sink outside the lock.
+  /// budget sink outside the lock. Advances next_tick_us_ before
+  /// returning, which is the whole tick arbitration: with N drain
+  /// threads, the first to observe the period boundary under mu_ ticks,
+  /// and every other thread then sees now < next_tick_us_.
   OverloadDecision ControllerTickLocked() L2R_REQUIRES(mu_);
-  void BatcherLoop() L2R_EXCLUDES(mu_);
+  /// Body of drain thread `worker` (of drain_threads()). All threads run
+  /// the same loop; the worker index only parameterizes background_work
+  /// shard pinning.
+  void BatcherLoop(unsigned worker) L2R_EXCLUDES(mu_);
+  /// Starts the drain threads (constructor tail, after state is ready).
+  void StartBatchers();
   /// Runs with mu_ released: routing and callbacks never hold the lock.
   DrainOutcome DrainBatch(ClosedBatch batch) L2R_EXCLUDES(mu_);
   /// Fails every pending callback with FailedPrecondition (kFail path).
@@ -244,7 +296,8 @@ class StreamRouter {
   /// Queries closed but not yet drained (depth signal, with open_).
   size_t undrained_ L2R_GUARDED_BY(mu_) = 0;
   bool stopping_ L2R_GUARDED_BY(mu_) = false;
-  bool batcher_joined_ L2R_GUARDED_BY(mu_) = false;
+  bool batchers_joined_ L2R_GUARDED_BY(mu_) = false;
+  uint64_t background_work_runs_ L2R_GUARDED_BY(mu_) = 0;
   // --- Overload-control state, all applied/read under mu_.
   /// Deadline for newly opened batches; controller-owned when wired.
   int64_t dyn_deadline_us_ L2R_GUARDED_BY(mu_);
@@ -276,7 +329,14 @@ class StreamRouter {
   std::atomic<uint64_t> completed_by_class_[kNumQueryClasses];
   std::atomic<uint64_t> failed_on_shutdown_{0};
 
-  std::thread batcher_;  ///< last member: starts after state is ready
+  /// Resolved drain-thread count, fixed by StartBatchers before any
+  /// batcher spawns. Immutable afterwards, so batcher threads may read
+  /// it freely; batchers_ itself is NOT safe to read from them (the
+  /// constructor is still appending while early threads run).
+  unsigned resolved_drain_threads_ = 1;
+
+  /// Last member: threads start after the rest of the state is ready.
+  std::vector<std::thread> batchers_;
 };
 
 }  // namespace l2r

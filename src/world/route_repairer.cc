@@ -26,6 +26,14 @@ RouteRepairer::RouteRepairer(ServingRouter* serving,
   L2R_CHECK(serving != nullptr);
   L2R_CHECK(serving->route_cache() != nullptr);
   L2R_CHECK(serving->world() != nullptr);
+  num_shards_ = serving->route_cache()->NumShards();
+  shard_swept_epoch_ =
+      std::make_unique<std::atomic<WorldEpoch>[]>(num_shards_);
+  for (size_t i = 0; i < num_shards_; ++i) {
+    // Epoch 0 is the frozen world — nothing to sweep there; relaxed
+    // init, coordination orders documented at the member.
+    shard_swept_epoch_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 RouteRepairer::Report RouteRepairer::RepairAll() {
@@ -37,9 +45,71 @@ RouteRepairer::Report RouteRepairer::RepairAll() {
 
   std::vector<RouteCache::StaleEntry> stale;
   serving_->route_cache()->ExtractInvalid(&stale);
+  // The wholesale pass covered every shard: record the sweep so idle
+  // background workers do not redundantly re-sweep this epoch (relaxed
+  // coordination epoch stores; rationale at the member).
+  for (size_t i = 0; i < num_shards_; ++i) {
+    shard_swept_epoch_[i].store(report.epoch, std::memory_order_relaxed);
+  }
   report.candidates = stale.size();
   if (stale.empty()) return report;
+  RepairEntries(stale, &report);
+  return report;
+}
 
+bool RouteRepairer::BackgroundTick(unsigned worker, unsigned num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  // Pin the world for the whole tick: sweep and re-routes all happen on
+  // one epoch, exactly like RepairAll.
+  WorldReadPin pin(serving_->world());
+  const WorldEpoch epoch = pin.epoch();
+
+  std::vector<RouteCache::StaleEntry> stale;
+  for (size_t s = worker; s < num_shards_; s += num_workers) {
+    // Relaxed coordination load/store (orders documented at the
+    // member): shard pinning means no *other worker* writes slot s; a
+    // concurrent RepairAll can, but any lost update only re-marks an
+    // epoch already swept, costing one redundant sweep of a clean
+    // shard — never a missed one.
+    if (shard_swept_epoch_[s].load(std::memory_order_relaxed) == epoch) {
+      continue;
+    }
+    serving_->route_cache()->ExtractInvalidShard(s, &stale);
+    // Relaxed coordination store (rationale at the member).
+    shard_swept_epoch_[s].store(epoch, std::memory_order_relaxed);
+  }
+  if (stale.empty()) return false;
+
+  Report report;
+  report.epoch = epoch;
+  report.candidates = stale.size();
+  RepairEntries(stale, &report);
+  // Pure tallies, relaxed (admission_policy.h rationale).
+  bg_passes_.fetch_add(1, std::memory_order_relaxed);
+  bg_candidates_.fetch_add(report.candidates, std::memory_order_relaxed);
+  bg_repaired_.fetch_add(report.repaired, std::memory_order_relaxed);
+  bg_full_recompute_.fetch_add(report.full_recompute,
+                               std::memory_order_relaxed);
+  bg_unroutable_.fetch_add(report.unroutable, std::memory_order_relaxed);
+  bg_settles_.fetch_add(report.repair_settles, std::memory_order_relaxed);
+  return true;
+}
+
+RouteRepairer::BackgroundStats RouteRepairer::GetBackgroundStats() const {
+  BackgroundStats s;
+  // Pure tallies, relaxed (admission_policy.h rationale).
+  s.passes = bg_passes_.load(std::memory_order_relaxed);
+  s.candidates = bg_candidates_.load(std::memory_order_relaxed);
+  s.repaired = bg_repaired_.load(std::memory_order_relaxed);
+  s.full_recompute = bg_full_recompute_.load(std::memory_order_relaxed);
+  s.unroutable = bg_unroutable_.load(std::memory_order_relaxed);
+  s.repair_settles = bg_settles_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RouteRepairer::RepairEntries(std::vector<RouteCache::StaleEntry>& stale,
+                                  Report* report_out) {
+  Report& report = *report_out;
   const L2RRouter& router = serving_->router();
   L2RQueryContext ctx = router.MakeContext();
   const size_t serving_cap = serving_->CurrentSettleCap();
@@ -108,7 +178,6 @@ RouteRepairer::Report RouteRepairer::RepairAll() {
         entry.key, *repaired, report.epoch,
         RouteRegionFootprint(router, *repaired, period));
   }
-  return report;
 }
 
 }  // namespace l2r

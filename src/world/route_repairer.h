@@ -1,9 +1,13 @@
 #ifndef L2R_WORLD_ROUTE_REPAIRER_H_
 #define L2R_WORLD_ROUTE_REPAIRER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "serve/route_cache.h"
 #include "serve/serving_router.h"
 #include "world/update_channel.h"
 
@@ -34,10 +38,21 @@ struct RouteRepairOptions {
 /// the uncapped search, which equals the serving-cap search; the final
 /// round is the serving-cap search).
 ///
-/// Single-threaded by design: run from the update/maintenance thread
-/// after Apply, not from query threads. Cost is measured in settled
-/// vertices (deterministic), so repair-vs-recompute ratios are stable
-/// across machines and CI-gateable.
+/// Two ways to run it:
+///  - RepairAll(): the synchronous wholesale pass — one caller sweeps
+///    every cache shard after an update batch (the update/maintenance
+///    thread). Not safe to overlap with itself.
+///  - BackgroundTick(worker, num_workers): the scale-out folding — wire
+///    it to StreamOptions::background_work so idle drain threads repair
+///    the cache *while serving continues*. Shard ownership is pinned per
+///    worker (worker w owns the cache shards with index % num_workers ==
+///    w), so concurrent workers never sweep the same stripe, and a
+///    per-shard swept-epoch table makes the no-work poll a handful of
+///    relaxed loads. Safe to call concurrently from distinct workers.
+/// Either way, cost is measured in settled vertices (deterministic), so
+/// repair-vs-recompute ratios are stable across machines and
+/// CI-gateable, and every reinserted result is byte-identical to the
+/// serving cold path on the same epoch.
 class RouteRepairer {
  public:
   struct Report {
@@ -67,9 +82,47 @@ class RouteRepairer {
   /// move mid-pass.
   Report RepairAll();
 
+  /// Background-drain variant (see the class comment): sweeps and
+  /// repairs only the cache shards owned by `worker` (of `num_workers`)
+  /// whose swept-epoch lags the current world epoch. Returns true when
+  /// it repaired at least one entry — the StreamRouter re-polls then —
+  /// and false when there was nothing to do (a cheap no-work poll).
+  bool BackgroundTick(unsigned worker, unsigned num_workers);
+
+  /// Totals across every BackgroundTick that found work (thread-safe
+  /// snapshot; relaxed counters, exact because each tick's contribution
+  /// is a single RMW per field).
+  struct BackgroundStats {
+    uint64_t passes = 0;  ///< ticks that repaired at least one entry
+    uint64_t candidates = 0;
+    uint64_t repaired = 0;
+    uint64_t full_recompute = 0;
+    uint64_t unroutable = 0;
+    uint64_t repair_settles = 0;
+  };
+  BackgroundStats GetBackgroundStats() const;
+
  private:
+  /// Shared repair loop: re-routes `stale` on `report->epoch` (the
+  /// caller's pinned epoch) and reinserts, accumulating into `report`.
+  void RepairEntries(std::vector<RouteCache::StaleEntry>& stale,
+                     Report* report);
+
   ServingRouter* serving_;
   RouteRepairOptions options_;
+  /// Background coordination: the world epoch each cache shard was last
+  /// swept at. Pure coordination values (a stale read just means one
+  /// redundant — still correct — sweep), so all accesses are relaxed;
+  /// see serve/admission_policy.h for the rationale convention.
+  std::unique_ptr<std::atomic<WorldEpoch>[]> shard_swept_epoch_;
+  size_t num_shards_ = 0;
+  /// Background totals; pure tallies, relaxed (admission_policy.h).
+  std::atomic<uint64_t> bg_passes_{0};
+  std::atomic<uint64_t> bg_candidates_{0};
+  std::atomic<uint64_t> bg_repaired_{0};
+  std::atomic<uint64_t> bg_full_recompute_{0};
+  std::atomic<uint64_t> bg_unroutable_{0};
+  std::atomic<uint64_t> bg_settles_{0};
 };
 
 }  // namespace l2r

@@ -175,6 +175,82 @@ TEST(RouteCacheStress, ConcurrentLookupInsertChurn) {
 }
 
 // ---------------------------------------------------------------------------
+// RouteCache hot path: seqlock torn-read hammer on one slot.
+
+TEST(RouteCacheStress, SeqlockHotSlotNeverServesATornEntry) {
+  // One shard, one key, hence one hot slot: the writer republishes it
+  // with epoch-derived payloads (varying length, cost, vertices) while 7
+  // readers hammer Lookup. The seqlock contract under fire: a reader
+  // observes a fully settled (key, stamp, payload) triple — the payload
+  // a pure function of the returned stamp — or retries / falls back to
+  // the locked map. A mixed entry (fields from two publishes) is a hard
+  // failure here and, because the payload fields are relaxed atomics
+  // under the fence protocol, a data race under TSan.
+  RouteCacheOptions options;
+  options.num_shards = 1;
+  RouteCache cache(options);
+  const RouteCacheKey key{7, 9, 1};
+  auto versioned = [](WorldEpoch v) {
+    return MakeResult(static_cast<VertexId>(v % 997),
+                      3 + static_cast<size_t>(v % 9));
+  };
+  constexpr WorldEpoch kVersions = 20000;
+  cache.Insert(key, versioned(1), 1, {1});
+
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<bool> done{false};
+  // Start barrier: on a single-core box the publish loop below can run
+  // to completion before any reader is ever scheduled, leaving the race
+  // untested (and hot_hits at 0). Each reader checks in after its first
+  // lookup; the writer holds off churning until all have.
+  std::atomic<int> readers_started{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads - 1; ++t) {
+    readers.emplace_back([&] {
+      RouteResult got;
+      WorldEpoch stamp = 0;
+      bool started = false;
+      while (!done.load(std::memory_order_acquire)) {
+        if (!cache.Lookup(key, &got, &stamp)) {
+          // The key is resident throughout — the locked fallback can
+          // never miss it (no world, no eviction pressure).
+          misses.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (!started) {
+          // Check in only after a completed lookup: that lookup ran
+          // against the still-quiescent slot, so it is a hot hit.
+          started = true;
+          readers_started.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!(got == versioned(stamp))) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  while (readers_started.load(std::memory_order_relaxed) < kThreads - 1) {
+    std::this_thread::yield();
+  }
+  for (WorldEpoch v = 2; v <= kVersions; ++v) {
+    cache.Insert(key, versioned(v), v, {1});
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_EQ(torn.load(std::memory_order_acquire), 0u);
+  EXPECT_EQ(misses.load(std::memory_order_acquire), 0u);
+  EXPECT_GT(cache.GetStats().hot_hits, 0u);  // the lock-free path engaged
+  // Quiesced, the slot serves exactly the final publish.
+  RouteResult got;
+  WorldEpoch stamp = 0;
+  ASSERT_TRUE(cache.Lookup(key, &got, &stamp));
+  EXPECT_EQ(stamp, kVersions);
+  EXPECT_TRUE(got == versioned(kVersions));
+}
+
+// ---------------------------------------------------------------------------
 // RouteCache: dirty-set invalidation racing Insert/Lookup under eviction
 // pressure (dynamic world).
 
@@ -578,14 +654,22 @@ TEST_F(StreamStressTest, ConcurrentSubmittersThroughServingStack) {
             serve_stats.queries);
 }
 
-TEST_F(StreamStressTest, OverloadShedStressConservesCallbacks) {
+class OverloadShedStressTest
+    : public StreamStressTest,
+      public ::testing::WithParamInterface<unsigned> {};
+
+TEST_P(OverloadShedStressTest, ConservesCallbacks) {
   // 8 submitter threads flood the stream on the system clock while the
   // overload controller (tiny shed depths, trip after one tick) flips
   // admission shedding and the budget scale under them, and a chaos layer
-  // injects backend errors under the drain. The invariants that must
-  // survive the races: every accepted query gets exactly one callback,
-  // every shed callback carries kResourceExhausted, and submitted ==
-  // completed + shed + failed_on_shutdown.
+  // injects backend errors under the drain. Parameterized over the
+  // drain-thread count: with 4 batchers the drains genuinely overlap, so
+  // the controller-tick arbitration, the shed bookkeeping, and the
+  // shutdown fail-path all race each other. The invariants that must
+  // survive: every accepted query gets exactly one callback, every shed
+  // callback carries kResourceExhausted, and submitted == completed +
+  // shed + failed_on_shutdown at any drain count.
+  const unsigned num_drains = GetParam();
   const std::vector<BatchQuery> queries = MakeQueries(16);
   ASSERT_GE(queries.size(), 8u);
 
@@ -613,6 +697,7 @@ TEST_F(StreamStressTest, OverloadShedStressConservesCallbacks) {
   StreamOptions options;
   options.max_batch = 8;
   options.num_threads = 2;
+  options.num_drain_threads = num_drains;
   options.dedup = false;  // every served slot must reach the chaos layer
   options.overload = &controller;
   options.budget_sink = [&serving](double scale) {
@@ -675,7 +760,14 @@ TEST_F(StreamStressTest, OverloadShedStressConservesCallbacks) {
   // The controller really ran and the chaos layer really misbehaved.
   EXPECT_GT(controller.GetStats().ticks, 0u);
   EXPECT_EQ(chaos.GetStats().queries, stats.completed);
+  EXPECT_EQ(stats.drain_threads, num_drains);
 }
+
+INSTANTIATE_TEST_SUITE_P(DrainLadder, OverloadShedStressTest,
+                         ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "Drains" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace l2r

@@ -78,7 +78,8 @@ TEST(RouteCacheTest, LruEvictionRespectsByteCapacityAndRecency) {
   const RouteResult r = MakeResult(0, 8);
   const size_t entry = RouteCache::EntryBytes(r);
   RouteCacheOptions options;
-  options.num_shards = 1;  // deterministic LRU order
+  options.num_shards = 1;         // deterministic LRU order
+  options.hot_slots_per_shard = 0;  // exact LRU: hot hits skip recency
   options.capacity_bytes = 3 * entry;
   RouteCache cache(options);
   auto key = [](VertexId s) { return RouteCacheKey{s, s + 1, 0}; };
@@ -166,6 +167,72 @@ TEST(RouteCacheTest, ConcurrentMixedLoadStaysConsistent) {
 }
 
 // ---------------------------------------------------------------------------
+// RouteCache hot read path (seqlock slots). The locked map stays the
+// source of truth; these pin that the lock-free accelerator serves
+// byte-identical values and maintains its slots across insert, evict,
+// invalidate, and Clear.
+
+TEST(RouteCacheTest, HotHitIsByteIdenticalAndCounted) {
+  RouteCache cache;  // default: hot path enabled
+  const RouteCacheKey key{7, 9, 1};
+  const RouteResult want = MakeResult(7, 5);
+  cache.Insert(key, want);  // publishes the hot slot
+  RouteResult got;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cache.Lookup(key, &got));
+    EXPECT_TRUE(got == want);  // byte-identical to the locked value
+  }
+  const RouteCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.hot_hits, 3u);  // every hit skipped the mutex
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(RouteCacheTest, OversizeFootprintStaysOnTheLockedPath) {
+  // Entries beyond the inline hot-slot capacity (64 path vertices) are
+  // still cached and served correctly — just never through the hot path.
+  RouteCache cache;
+  const RouteCacheKey key{1, 2, 0};
+  const RouteResult big = MakeResult(1, 100);  // 101 vertices > 64
+  cache.Insert(key, big);
+  RouteResult got;
+  ASSERT_TRUE(cache.Lookup(key, &got));
+  EXPECT_TRUE(got == big);
+  const RouteCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.hot_hits, 0u);
+}
+
+TEST(RouteCacheTest, EvictionClearsTheVictimsHotSlot) {
+  const size_t entry = RouteCache::EntryBytes(MakeResult(0, 8));
+  RouteCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_bytes = 2 * entry;
+  RouteCache cache(options);
+  auto key = [](VertexId s) { return RouteCacheKey{s, s + 1, 0}; };
+  cache.Insert(key(1), MakeResult(1, 8));
+  cache.Insert(key(2), MakeResult(2, 8));
+  cache.Insert(key(3), MakeResult(3, 8));  // evicts 1 (never touched)
+  RouteResult got;
+  // The victim must miss — its hot slot may not keep serving it.
+  EXPECT_FALSE(cache.Lookup(key(1), &got));
+  EXPECT_TRUE(cache.Lookup(key(2), &got));
+  EXPECT_TRUE(cache.Lookup(key(3), &got));
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+}
+
+TEST(RouteCacheTest, ClearEmptiesHotSlotsToo) {
+  RouteCache cache;
+  const RouteCacheKey key{7, 9, 1};
+  cache.Insert(key, MakeResult(7, 5));
+  RouteResult got;
+  ASSERT_TRUE(cache.Lookup(key, &got));
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(key, &got));
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // RouteCache epoch validation (dynamic world). A scripted WorldViewIface
 // stands in for the update channel so the invalidation predicate can be
 // exercised one dirty event at a time.
@@ -221,6 +288,26 @@ TEST(RouteCacheTest, EpochInvalidationIsSelectivePerFootprint) {
   ASSERT_TRUE(cache.Lookup(touched, &got, &epoch));
   EXPECT_TRUE(got == MakeResult(9, 4));
   EXPECT_EQ(epoch, 1u);
+}
+
+TEST(RouteCacheTest, HotPathNeverServesAnInvalidatedEntry) {
+  // The hot read path validates the entry's footprint against the world's
+  // dirty epochs before serving — a slot published before an update may
+  // not satisfy reads after it.
+  FakeWorld world;
+  RouteCache cache;  // hot path enabled
+  cache.SetWorld(&world);
+  const RouteCacheKey key{1, 2, 0};
+  cache.Insert(key, MakeResult(1, 4), 0, {2});
+  RouteResult got;
+  ASSERT_TRUE(cache.Lookup(key, &got));  // warm: served hot
+  EXPECT_EQ(cache.GetStats().hot_hits, 1u);
+  world.MarkDirty(0, 2, 1);
+  EXPECT_FALSE(cache.Lookup(key, &got));  // hot probe rejects, map erases
+  // Reinsertion on the new epoch re-publishes the slot.
+  cache.Insert(key, MakeResult(9, 4), 1, {2});
+  ASSERT_TRUE(cache.Lookup(key, &got));
+  EXPECT_TRUE(got == MakeResult(9, 4));
 }
 
 TEST(RouteCacheTest, PeriodsInvalidateIndependently) {
@@ -392,7 +479,8 @@ TEST(RouteCacheTest, DegradedEntriesParticipateInLruEviction) {
   // age through the LRU list, and are evicted like full-fidelity ones.
   const size_t entry = RouteCache::EntryBytes(MakeResult(0, 8));
   RouteCacheOptions options;
-  options.num_shards = 1;  // deterministic LRU order
+  options.num_shards = 1;         // deterministic LRU order
+  options.hot_slots_per_shard = 0;  // exact LRU: hot hits skip recency
   options.capacity_bytes = 2 * entry;
   RouteCache cache(options);  // kTagged: degraded entries admitted
   auto key = [](VertexId s) { return RouteCacheKey{s, s + 1, 0}; };
@@ -561,6 +649,39 @@ TEST(SingleFlightTest, ConcurrentMixedKeysStayConsistent) {
   const SingleFlight::Stats stats = flights.GetStats();
   EXPECT_EQ(stats.leaders + stats.coalesced,
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(SingleFlightTest, DuplicateBurstConservesLeaderAndCoalescedCounts) {
+  // 8 threads hammer ONE key: maximal contention on the leader-election
+  // CAS window. The leaders_/coalesced_ tallies are relaxed atomics (see
+  // the order comment in single_flight.h) — this pins the conservation
+  // law they promise: every Do() call is counted exactly once, as leader
+  // or as coalesced, never both, never dropped.
+  SingleFlight flights;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  const QueryKey key{1, 2, 0};
+  const RouteResult value = MakeResult(1, 4);
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&flights, &mismatches, &key, &value] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto r = flights.Do(key, [&value]() -> Result<RouteResult> {
+          return value;
+        });
+        if (!r.ok() || !(*r == value)) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  const SingleFlight::Stats stats = flights.GetStats();
+  EXPECT_EQ(stats.leaders + stats.coalesced,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  // At least one flight ran (a duplicate burst coalesces, but sequential
+  // stragglers each lead — both sides of the ledger must be populated).
+  EXPECT_GE(stats.leaders, 1u);
 }
 
 // ---------------------------------------------------------------------------

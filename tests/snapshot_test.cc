@@ -290,6 +290,44 @@ TEST_F(SnapshotRejectTest, ChecksumMismatch) {
                  "checksum");
 }
 
+// ---------- kChecksumOnly: trusted-image opens ----------
+
+TEST_F(SnapshotTest, ChecksumOnlyOpenIsByteIdenticalToValidatedOpen) {
+  // Skipping the O(n+m) structural pass changes open-time cost, never the
+  // mapped bytes: both modes view the same image.
+  auto validated = WorldSnapshot::Open(*path_, SnapshotOpenMode::kValidate);
+  ASSERT_TRUE(validated.ok());
+  auto trusted = WorldSnapshot::Open(*path_, SnapshotOpenMode::kChecksumOnly);
+  ASSERT_TRUE(trusted.ok()) << trusted.status().message();
+  const World& a = validated->world();
+  const World& b = trusted->world();
+  ASSERT_EQ(a.net.NumVertices(), b.net.NumVertices());
+  ASSERT_EQ(a.net.NumEdges(), b.net.NumEdges());
+  EXPECT_EQ(a.vertex_district, b.vertex_district);
+  EXPECT_EQ(std::memcmp(a.net.VertexPositions().data(),
+                        b.net.VertexPositions().data(),
+                        a.net.NumVertices() * sizeof(Point)),
+            0);
+  EXPECT_EQ(std::memcmp(&a.net.edge(0), &b.net.edge(0),
+                        a.net.NumEdges() * sizeof(EdgeRecord)),
+            0);
+  EXPECT_EQ(trusted->file_bytes(), validated->file_bytes());
+}
+
+TEST_F(SnapshotRejectTest, ChecksumOnlyStillRejectsCorruptPayload) {
+  // The trusted mode skips structural validation, not integrity: a
+  // bit-flipped payload byte must still fail the checksum at open.
+  const std::string path = WriteMutated(
+      "bad_payload_trusted.snap",
+      [](std::vector<uint8_t>& b) { b[b.size() / 2] ^= 0x40; });
+  auto snap = WorldSnapshot::Open(path, SnapshotOpenMode::kChecksumOnly);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kIOError);
+  EXPECT_NE(snap.status().message().find("checksum"), std::string::npos)
+      << snap.status().message();
+  std::remove(path.c_str());
+}
+
 TEST_F(SnapshotRejectTest, ChecksummedButStructurallyCorrupt) {
   // A zero-length file and a section-table-only file exercise the
   // structural paths without touching checksum internals.

@@ -18,6 +18,7 @@
 #include "eval/datasets.h"
 #include "serve/clock.h"
 #include "serve/deadline_budget.h"
+#include "serve/overload_controller.h"
 #include "serve/serving_router.h"
 #include "serve/stream_router.h"
 #include "test_util.h"
@@ -389,6 +390,91 @@ TEST_F(StreamRouterTest, JitteredArrivalsMatchPreformedBatchAcrossLadder) {
       EXPECT_EQ(queries_in_batches, slots.size());
     }
   }
+}
+
+TEST_F(StreamRouterTest, DrainThreadLadderMatchesReferenceByteForByte) {
+  // The scale-out acceptance property: the drain-thread count is a pure
+  // throughput knob. Under one seeded jittered arrival schedule, every
+  // slot's result at num_drain_threads = 1/2/4 is byte-identical to the
+  // pre-formed cold BatchRouter run — overlapping drains may reorder
+  // *when* batches complete, never what bytes a slot receives.
+  std::vector<BatchQuery> pool = MakeQueries(24);
+  ASSERT_GT(pool.size(), 8u);
+  pool.push_back(BatchQuery{0, 0, 0});  // invalid: errors must fan out too
+
+  Rng rng(7031);
+  std::vector<BatchQuery> slots;
+  std::vector<int64_t> gaps;
+  for (size_t i = 0; i < kLadderEvents; ++i) {
+    slots.push_back(pool[rng.Index(pool.size())]);
+    gaps.push_back(static_cast<int64_t>(rng.Exponential(1.0 / 120.0)));
+  }
+
+  BatchRouter reference(router_, BatchRouterOptions{1, false});
+  const std::vector<Result<RouteResult>> want = reference.RouteAll(slots);
+
+  for (const unsigned drains : {1u, 2u, 4u}) {
+    ManualClock clock;
+    ServingRouter serving(router_);
+    StreamOptions options;
+    options.max_batch = 8;
+    options.batch_deadline_us = 500;
+    options.num_threads = 2;
+    options.num_drain_threads = drains;
+    options.dedup = true;
+    options.clock = &clock;
+    StreamRouter stream(&serving, options);
+    ASSERT_EQ(stream.drain_threads(), drains);
+
+    std::vector<StreamResult> got(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      clock.AdvanceMicros(gaps[i]);
+      ASSERT_TRUE(stream.Submit(
+          slots[i], [&got, i](const StreamResult& r) { got[i] = r; }));
+    }
+    clock.AdvanceMicros(options.batch_deadline_us + 1);
+    AwaitCompleted(stream, slots.size());
+
+    for (size_t i = 0; i < slots.size(); ++i) {
+      ExpectSameResult(want[i], got[i].result, i);
+    }
+    const StreamRouter::Stats stats = stream.GetStats();
+    EXPECT_EQ(stats.completed, slots.size());
+    EXPECT_EQ(stats.drain_threads, drains);
+  }
+}
+
+TEST_F(StreamRouterTest, OverlappingDrainsTickExactlyOncePerPeriod) {
+  // 4 drain threads, one controller, virtual time: at every period
+  // boundary exactly one thread wins the tick arbitration (the
+  // next_tick_us_ advance under mu_), so controller ticks count periods,
+  // not periods x drain threads. Idle ticks run with no queries at all —
+  // that is also how a tripped stream recovers during a lull.
+  ManualClock clock;
+  OverloadControllerOptions oc;
+  oc.control_period_us = 1000;
+  OverloadController controller(oc);
+  StreamOptions options;
+  options.num_threads = 1;
+  options.num_drain_threads = 4;
+  options.overload = &controller;
+  options.clock = &clock;
+  StreamRouter stream(router_, options);
+  ASSERT_EQ(stream.drain_threads(), 4u);
+
+  for (uint64_t period = 1; period <= 5; ++period) {
+    clock.AdvanceMicros(oc.control_period_us);  // exactly one boundary
+    // Wait for the winning thread's tick, then hold: virtual time is
+    // frozen, so a duplicate tick (a second thread through the same
+    // boundary) is the only way the count could move past period.
+    while (stream.GetStats().controller_ticks < period) {
+      std::this_thread::yield();
+    }
+    EXPECT_EQ(stream.GetStats().controller_ticks, period);
+    EXPECT_EQ(controller.GetStats().ticks, period);
+  }
+  stream.Shutdown();
+  EXPECT_EQ(stream.GetStats().controller_ticks, 5u);
 }
 
 TEST_F(StreamRouterTest, ShutdownFlushesQueuedQueries) {

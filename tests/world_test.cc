@@ -426,6 +426,71 @@ TEST_F(WorldTest, RepairerReinsertsByteIdenticalEntriesOnTheNewEpoch) {
   channel.Apply(SlowdownBatch(e, 2.0));  // restore the shared world
 }
 
+TEST_F(WorldTest, IdleDrainThreadsFoldBackgroundRepairIn) {
+  // The scale-out folding: RouteRepairer::BackgroundTick wired to
+  // StreamOptions::background_work, so idle drain threads sweep and
+  // repair their pinned cache shards between batches — no dedicated
+  // repair thread, no repair pass blocking the serving path.
+  WorldUpdateChannel channel(net(), router_);
+  ServingRouterOptions options;
+  options.world = &channel;
+  ServingRouter serving(router_, options);
+  RouteRepairer repairer(&serving, RouteRepairOptions{});
+
+  ManualClock clock;
+  StreamOptions sopts;
+  sopts.clock = &clock;
+  sopts.max_batch = 1;  // size-closed batches: no clock advancement needed
+  sopts.num_threads = 2;
+  sopts.num_drain_threads = 2;
+  sopts.background_work = [&repairer](unsigned worker,
+                                      unsigned num_workers) {
+    return repairer.BackgroundTick(worker, num_workers);
+  };
+  StreamRouter stream(&serving, sopts);
+
+  // Keep only routable queries so the cached population is exact.
+  std::vector<BatchQuery> queries;
+  for (const BatchQuery& q : MakeQueries(24)) {
+    if (PlainRoute(q).ok()) queries.push_back(q);
+  }
+  ASSERT_GE(queries.size(), 8u);
+
+  // Warm pass on epoch 0 through the stream.
+  const auto plain0 = PlainResults(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameResult(plain0[i], stream.SubmitWait(queries[i]).result, i);
+  }
+
+  // Incident. The drains are parked; the next submission wakes them, and
+  // once its batch is drained the idle threads pick up the repair work.
+  const EdgeId e = MidEdge(plain0[0]->path);
+  channel.Apply(SlowdownBatch(e, 0.5));
+  const auto plain1 = PlainResults(queries);
+  ExpectSameResult(plain1.back(), stream.SubmitWait(queries.back()).result,
+                   queries.size() - 1);
+  RouteRepairer::BackgroundStats bg = repairer.GetBackgroundStats();
+  while (bg.passes == 0) {
+    std::this_thread::yield();
+    bg = repairer.GetBackgroundStats();
+  }
+  EXPECT_GE(bg.candidates, 1u);  // query 0's entry at minimum
+  EXPECT_EQ(bg.repaired + bg.full_recompute + bg.unroutable,
+            bg.candidates);
+  EXPECT_EQ(bg.unroutable, 0u);  // slowdowns never cut the graph
+  EXPECT_GT(bg.repair_settles, 0u);
+
+  // Every repaired entry serves the exact bytes the new epoch's cold
+  // path produces — through the same stream that repaired them.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameResult(plain1[i], stream.SubmitWait(queries[i]).result, i);
+  }
+  stream.Shutdown();
+  EXPECT_GE(stream.GetStats().background_work_runs, bg.passes);
+
+  channel.Apply(SlowdownBatch(e, 2.0));  // restore the shared world
+}
+
 // ---------------------------------------------------------------------------
 // Deterministic interleaving on ManualClock: update batches land between
 // stream batches, and no stream serve ever reflects a dead epoch.
